@@ -1,0 +1,101 @@
+//! Left-edge register allocation — the classical high-level-synthesis
+//! baseline (Kurdahi–Parker): sort lifetimes by start time, first-fit them
+//! into register tracks, and demote whatever does not fit into the first
+//! `R` tracks to memory. Energy-oblivious.
+
+use crate::BaselineError;
+use lemra_core::{Allocation, AllocationProblem};
+use lemra_ir::VarId;
+
+/// Result of the left-edge baseline.
+#[derive(Debug, Clone)]
+pub struct LeftEdgeResult {
+    /// The resulting placement.
+    pub allocation: Allocation,
+    /// Number of tracks a register file would need to hold *everything*
+    /// (the maximum lifetime density).
+    pub tracks_needed: u32,
+}
+
+/// Runs left-edge allocation with `problem.registers` available tracks.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Core`] if the placement fails structural checks
+/// (it cannot: tracks are non-overlapping by construction).
+pub fn left_edge(problem: &AllocationProblem) -> Result<LeftEdgeResult, BaselineError> {
+    let table = &problem.lifetimes;
+    let block_len = table.block_len();
+    let mut order: Vec<VarId> = table.iter().map(|lt| lt.var).collect();
+    order.sort_by_key(|&v| table.lifetime(v).start());
+
+    let mut track_end: Vec<lemra_ir::Tick> = Vec::new();
+    let mut placement: Vec<Option<u32>> = vec![None; table.len()];
+    for v in order {
+        let lt = table.lifetime(v);
+        let track = track_end.iter().position(|&e| e < lt.start());
+        let idx = match track {
+            Some(i) => {
+                track_end[i] = lt.end(block_len);
+                i
+            }
+            None => {
+                track_end.push(lt.end(block_len));
+                track_end.len() - 1
+            }
+        };
+        if (idx as u32) < problem.registers {
+            placement[v.index()] = Some(idx as u32);
+        }
+    }
+    let allocation =
+        Allocation::from_var_placements(problem, &placement).map_err(BaselineError::Core)?;
+    Ok(LeftEdgeResult {
+        allocation,
+        tracks_needed: track_end.len() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_core::AllocationReport;
+    use lemra_ir::LifetimeTable;
+
+    #[test]
+    fn packs_disjoint_lifetimes_into_one_track() {
+        let t = LifetimeTable::from_intervals(
+            6,
+            vec![
+                (1, vec![2], false),
+                (3, vec![4], false),
+                (5, vec![6], false),
+            ],
+        )
+        .unwrap();
+        let p = AllocationProblem::new(t, 1);
+        let r = left_edge(&p).unwrap();
+        assert_eq!(r.tracks_needed, 1);
+        let report = AllocationReport::new(&p, &r.allocation);
+        assert_eq!(report.mem_accesses(), 0);
+    }
+
+    #[test]
+    fn overflow_tracks_go_to_memory() {
+        let t = LifetimeTable::from_intervals(
+            6,
+            vec![
+                (1, vec![6], false),
+                (1, vec![5], false),
+                (2, vec![4], false),
+            ],
+        )
+        .unwrap();
+        let p = AllocationProblem::new(t, 2);
+        let r = left_edge(&p).unwrap();
+        assert_eq!(r.tracks_needed, 3);
+        let report = AllocationReport::new(&p, &r.allocation);
+        assert_eq!(report.mem_writes, 1);
+        lemra_core::validate(&p, &r.allocation).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Prior-work baselines for `lemra`.
+//!
+//! The paper's evaluation compares its simultaneous allocator against
+//! earlier approaches; these are faithfully reimplemented here (none of
+//! them had open-source releases):
+//!
+//! * [`two_phase`] — Chang–Pedram DAC'95 \[8\]: minimum-switching register
+//!   allocation by flow, *then* partition into registers and memory
+//!   (Figure 3a / Figure 4a);
+//! * [`color_with_spills`] — Chaitin-style graph coloring with spilling
+//!   \[6, 7\], the performance-oriented compiler baseline;
+//! * [`left_edge`] — classic HLS left-edge allocation;
+//! * [`all_memory`] / [`all_registers`] — degenerate bounds used in tests
+//!   and as sanity anchors in benches.
+//!
+//! Every baseline returns a [`lemra_core::Allocation`] so results are
+//! measured by the same exact accounting ([`lemra_core::AllocationReport`])
+//! as the paper's method.
+//!
+//! # Examples
+//!
+//! ```
+//! use lemra_baselines::two_phase;
+//! use lemra_core::{allocate, AllocationProblem, AllocationReport};
+//! use lemra_ir::LifetimeTable;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lifetimes = LifetimeTable::from_intervals(
+//!     6,
+//!     vec![(1, vec![3], false), (3, vec![6], false), (1, vec![6], false)],
+//! )?;
+//! let problem = AllocationProblem::new(lifetimes, 1);
+//! let ours = AllocationReport::new(&problem, &allocate(&problem)?);
+//! let baseline = AllocationReport::new(&problem, &two_phase(&problem)?.allocation);
+//! assert!(ours.static_energy <= baseline.static_energy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chang_pedram;
+mod coloring;
+mod left_edge;
+mod trivial;
+
+pub use chang_pedram::{
+    chain_switching, min_switching_register_allocation, two_phase, TwoPhaseResult,
+};
+pub use coloring::{color_with_spills, ColoringResult};
+pub use left_edge::{left_edge, LeftEdgeResult};
+pub use trivial::{all_memory, all_registers};
+
+use lemra_core::CoreError;
+use lemra_netflow::NetflowError;
+
+/// Errors of the baseline allocators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The phase-1 flow could not cover every variable.
+    Infeasible {
+        /// Units that had to be routed.
+        required: i64,
+        /// Units actually routed.
+        achieved: i64,
+    },
+    /// An underlying flow failure.
+    Flow(NetflowError),
+    /// Placement construction or validation failed.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Infeasible { required, achieved } => write!(
+                f,
+                "baseline flow infeasible: required {required}, achieved {achieved}"
+            ),
+            BaselineError::Flow(e) => write!(f, "baseline flow solver: {e}"),
+            BaselineError::Core(e) => write!(f, "baseline placement: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Flow(e) => Some(e),
+            BaselineError::Core(e) => Some(e),
+            BaselineError::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl From<NetflowError> for BaselineError {
+    fn from(e: NetflowError) -> Self {
+        BaselineError::Flow(e)
+    }
+}
+
+impl From<CoreError> for BaselineError {
+    fn from(e: CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}

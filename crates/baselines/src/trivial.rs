@@ -1,0 +1,96 @@
+//! Degenerate placements: everything in memory, or everything in registers.
+//! Used as bounds in tests and as anchors in the benchmark tables.
+
+use crate::BaselineError;
+use lemra_core::{Allocation, AllocationProblem};
+use lemra_ir::DensityProfile;
+
+/// Places every variable in memory (the paper objective's constant
+/// baseline).
+///
+/// # Errors
+///
+/// Never fails for valid problems; the signature matches the other
+/// baselines.
+pub fn all_memory(problem: &AllocationProblem) -> Result<Allocation, BaselineError> {
+    let placement = vec![None; problem.lifetimes.len()];
+    Ok(Allocation::from_var_placements(problem, &placement)?)
+}
+
+/// Places every variable in its own register track (left-edge over all
+/// variables, ignoring the register budget) — the unconstrained lower bound
+/// on memory traffic.
+///
+/// # Errors
+///
+/// Never fails for valid problems.
+pub fn all_registers(problem: &AllocationProblem) -> Result<Allocation, BaselineError> {
+    let table = &problem.lifetimes;
+    let block_len = table.block_len();
+    let mut order: Vec<_> = table.iter().map(|lt| lt.var).collect();
+    order.sort_by_key(|&v| table.lifetime(v).start());
+    let mut track_end: Vec<lemra_ir::Tick> = Vec::new();
+    let mut placement = vec![None; table.len()];
+    for v in order {
+        let lt = table.lifetime(v);
+        match track_end.iter().position(|&e| e < lt.start()) {
+            Some(i) => {
+                track_end[i] = lt.end(block_len);
+                placement[v.index()] = Some(i as u32);
+            }
+            None => {
+                placement[v.index()] = Some(track_end.len() as u32);
+                track_end.push(lt.end(block_len));
+            }
+        }
+    }
+    debug_assert_eq!(track_end.len() as u32, DensityProfile::new(table).max());
+    Ok(Allocation::from_var_placements(problem, &placement)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_core::AllocationReport;
+    use lemra_ir::LifetimeTable;
+
+    fn problem() -> AllocationProblem {
+        let t = LifetimeTable::from_intervals(
+            6,
+            vec![
+                (1, vec![3], false),
+                (3, vec![6], false),
+                (1, vec![6], false),
+            ],
+        )
+        .unwrap();
+        AllocationProblem::new(t, 2)
+    }
+
+    #[test]
+    fn all_memory_has_no_register_traffic() {
+        let p = problem();
+        let r = AllocationReport::new(&p, &all_memory(&p).unwrap());
+        assert_eq!(r.reg_accesses(), 0);
+        assert_eq!(r.mem_writes, 3);
+    }
+
+    #[test]
+    fn all_registers_has_no_memory_traffic() {
+        let p = problem();
+        let a = all_registers(&p).unwrap();
+        let r = AllocationReport::new(&p, &a);
+        assert_eq!(r.mem_accesses(), 0);
+        assert_eq!(a.registers_used(), 2);
+    }
+
+    #[test]
+    fn bounds_bracket_the_optimum() {
+        let p = problem();
+        let opt = AllocationReport::new(&p, &lemra_core::allocate(&p).unwrap());
+        let lo = AllocationReport::new(&p, &all_registers(&p).unwrap());
+        let hi = AllocationReport::new(&p, &all_memory(&p).unwrap());
+        assert!(opt.static_energy <= hi.static_energy + 1e-9);
+        assert!(lo.static_energy <= opt.static_energy + 1e-9);
+    }
+}

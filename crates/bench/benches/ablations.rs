@@ -1,0 +1,58 @@
+//! Ablations of design choices DESIGN.md calls out: relief arcs (§4.3),
+//! the second-stage memory re-allocation, and the data-regeneration
+//! pre-pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemra_core::{allocate, reallocate_memory, AllocationProblem};
+use lemra_ir::{asap, regenerate, LifetimeTable, RegenConfig};
+use lemra_workloads::dsp;
+use lemra_workloads::rsp::{rsp, RspConfig};
+use std::hint::black_box;
+
+fn relief_arcs(c: &mut Criterion) {
+    let radar = rsp(&RspConfig::default());
+    let mut group = c.benchmark_group("relief_arcs");
+    for (name, enabled) in [("with_relief", true), ("without_relief", false)] {
+        let problem = AllocationProblem::new(radar.lifetimes.clone(), 16)
+            .with_relief_arcs(enabled)
+            .with_activity(radar.activity.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &problem, |b, p| {
+            b.iter(|| allocate(black_box(p)).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn memory_realloc(c: &mut Criterion) {
+    let radar = rsp(&RspConfig::default());
+    let problem =
+        AllocationProblem::new(radar.lifetimes.clone(), 8).with_activity(radar.activity.clone());
+    let allocation = allocate(&problem).expect("feasible");
+    c.bench_function("memory_realloc", |b| {
+        b.iter(|| reallocate_memory(black_box(&problem), black_box(&allocation)))
+    });
+}
+
+fn regeneration(c: &mut Criterion) {
+    let block = dsp::autocorrelation(8, 4).expect("builds");
+    let mut group = c.benchmark_group("regeneration");
+    group.bench_function("transform", |b| {
+        b.iter(|| regenerate(black_box(&block), &RegenConfig::default()))
+    });
+    group.bench_function("allocate_original", |b| {
+        let table = LifetimeTable::from_schedule(&block, &asap(&block).expect("ok")).expect("ok");
+        let p = AllocationProblem::new(table, 6);
+        b.iter(|| allocate(black_box(&p)).expect("feasible"));
+    });
+    group.bench_function("allocate_regenerated", |b| {
+        let r = regenerate(&block, &RegenConfig::default()).expect("ok");
+        let table =
+            LifetimeTable::from_schedule(&r.block, &asap(&r.block).expect("ok")).expect("ok");
+        let p = AllocationProblem::new(table, 6);
+        b.iter(|| allocate(black_box(&p)).expect("feasible"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, relief_arcs, memory_realloc, regeneration);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end allocation latency on the evaluation workloads, plus an
+//! ablation of the two graph styles (§5.1 regions vs ref [8] all-pairs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lemra_core::{allocate, AllocationProblem, GraphStyle};
+use lemra_ir::{asap, LifetimeTable};
+use lemra_workloads::dsp;
+use lemra_workloads::random::random_patterns;
+use lemra_workloads::rsp::{rsp, RspConfig};
+use std::hint::black_box;
+
+fn dsp_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_kernels");
+    let kernels: Vec<(&str, LifetimeTable, u32)> = vec![
+        ("fir16", lifetimes(dsp::fir(16).expect("builds")), 8),
+        ("iir4", lifetimes(dsp::iir_biquad(4).expect("builds")), 8),
+        ("fft8", lifetimes(dsp::fft_stage(8).expect("builds")), 8),
+        (
+            "elliptic",
+            lifetimes(dsp::elliptic_cascade().expect("builds")),
+            4,
+        ),
+        ("rsp", rsp(&RspConfig::default()).lifetimes, 16),
+    ];
+    for (name, table, regs) in kernels {
+        let n = table.len();
+        let problem = AllocationProblem::new(table, regs).with_activity(random_patterns(n, 11));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &problem, |b, p| {
+            b.iter(|| allocate(black_box(p)).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn graph_style_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_style");
+    let radar = rsp(&RspConfig::default());
+    for (name, style) in [
+        ("regions", GraphStyle::Regions),
+        ("all_pairs", GraphStyle::AllPairs),
+    ] {
+        let problem = AllocationProblem::new(radar.lifetimes.clone(), 16)
+            .with_style(style)
+            .with_activity(radar.activity.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &problem, |b, p| {
+            b.iter(|| allocate(black_box(p)).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn lifetimes(block: lemra_ir::BasicBlock) -> LifetimeTable {
+    let schedule = asap(&block).expect("schedulable");
+    LifetimeTable::from_schedule(&block, &schedule).expect("valid")
+}
+
+criterion_group!(benches, dsp_kernels, graph_style_ablation);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E1: regeneration timing of the Figure 3 comparison (two-phase [8] vs
+//! simultaneous). The rows themselves are printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lemra_bench::experiments::run_figure3;
+
+fn figure3(c: &mut Criterion) {
+    c.bench_function("figure3_experiment", |b| {
+        b.iter(|| {
+            let r = run_figure3();
+            assert!(r.static_improvement >= 1.0);
+            r
+        })
+    });
+}
+
+criterion_group!(benches, figure3);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E2: regeneration timing of the Figure 4 comparison (all-pairs vs region
+//! graph with split lifetimes). The rows are printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lemra_bench::experiments::run_figure4;
+
+fn figure4(c: &mut Criterion) {
+    c.bench_function("figure4_experiment", |b| {
+        b.iter(|| {
+            let r = run_figure4();
+            assert!(r.improvement_c_over_a >= 1.0);
+            r
+        })
+    });
+}
+
+criterion_group!(benches, figure4);
+criterion_main!(benches);

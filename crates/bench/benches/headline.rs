@@ -1,0 +1,22 @@
+//! E4: regeneration timing of the headline sweep (simultaneous vs every
+//! baseline on every evaluation workload — the paper's "1.4 to 2.5 times"
+//! claim). The rows are printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lemra_bench::experiments::run_headline;
+
+fn headline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("headline");
+    group.sample_size(10); // 18 full allocations per iteration
+    group.bench_function("headline_experiment", |b| {
+        b.iter(|| {
+            let rows = run_headline();
+            assert!(!rows.is_empty());
+            rows
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, headline);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E3: regeneration timing of Table 1 (the RSP memory-frequency sweep —
+//! three full allocations with restricted access times and voltage
+//! scaling). The rows are printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lemra_bench::experiments::run_table1;
+
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1_experiment", |b| {
+        b.iter(|| {
+            let rows = run_table1();
+            assert_eq!(rows.len(), 3);
+            rows
+        })
+    });
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Benchmark and reproduction harness for `lemra`.
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation (Figure 3, Figure 4, Table 1, and the headline improvement
+//! band); the `repro` binary prints them, and `benches/` holds the
+//! Criterion performance benchmarks (solver scaling, end-to-end
+//! allocation, and per-figure regeneration timing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

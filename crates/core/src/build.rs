@@ -1,0 +1,279 @@
+//! Network-flow graph construction (§5.1) over a [`Segmentation`].
+//!
+//! Every segment contributes a write node `w_i(v)` and a read node `r_i(v)`
+//! joined by a unit-capacity arc (lower bound 1 when the segment is forced
+//! into the register file, §5.2). Hand-off arcs `r_i(v1) → w_j(v2)` connect
+//! compatible segments; which pairs are connected depends on the
+//! [`GraphStyle`]:
+//!
+//! * [`GraphStyle::Regions`] — the paper's construction. A hand-off arc is
+//!   admitted only if no *region of maximum lifetime density* lies strictly
+//!   between the read and the write; this is the generalisation of the
+//!   "complete bipartite graph between adjacent regions" of §5.1 to events
+//!   that fall inside regions, and it is what guarantees a minimum number of
+//!   memory storage locations (§7).
+//! * [`GraphStyle::AllPairs`] — ref \[8\]: every compatible pair is connected.
+//!
+//! The total flow is fixed at the register count `R`; a zero-cost `s → t`
+//! bypass absorbs registers the optimum leaves unused, and optional relief
+//! arcs (`r → t` everywhere, `s → w` into forced segments) keep irregular
+//! instances feasible. Both are cost-neutral (DESIGN.md §4.3).
+
+use crate::costs::CostCalculator;
+use crate::problem::{AllocationProblem, GraphStyle};
+use crate::segment::{SegmentId, Segmentation};
+use crate::CoreError;
+use lemra_ir::{DensityProfile, Tick, TickRange};
+use lemra_netflow::{ArcId, FlowNetwork, NodeId};
+
+/// The constructed flow network plus the maps back to segments.
+///
+/// The arc maps beyond `segment_arc` exist for white-box tests and
+/// diagnostics; the allocator itself only needs the segment arcs.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub(crate) struct BuiltNetwork {
+    pub net: FlowNetwork,
+    pub s: NodeId,
+    pub t: NodeId,
+    /// Per segment: its `w → r` arc.
+    pub segment_arc: Vec<ArcId>,
+    /// Per segment: its read node (tail of hand-off arcs).
+    pub read_node: Vec<NodeId>,
+    /// Per segment: its write node.
+    pub write_node: Vec<NodeId>,
+    /// `(from_segment, to_segment)` per hand-off/chain arc, by [`ArcId`].
+    pub handoff_of: Vec<(ArcId, SegmentId, SegmentId)>,
+    /// Chain arcs `(from_segment, arc)`; `to` is from's successor segment.
+    pub chain_of: Vec<(ArcId, SegmentId)>,
+    /// The `s → t` bypass arc.
+    pub bypass: ArcId,
+}
+
+/// True if a hand-off from a read at `from` to a write at `to` is admitted
+/// under the region rule: `from <= to` and no maximum-density region lies
+/// strictly inside the open interval `(from, to)`.
+fn region_allows(regions: &[TickRange], from: Tick, to: Tick) -> bool {
+    if from > to {
+        return false;
+    }
+    !regions.iter().any(|r| from < r.start && r.end < to)
+}
+
+pub(crate) fn build(
+    problem: &AllocationProblem,
+    segmentation: &Segmentation,
+) -> Result<BuiltNetwork, CoreError> {
+    let costs = CostCalculator::new(
+        &problem.energy,
+        problem.register_energy,
+        &problem.activity,
+        &problem.carried_in_memory,
+        &problem.carried_in_register,
+    );
+    let regions = match problem.style {
+        GraphStyle::Regions => DensityProfile::from_intervals(
+            segmentation.block_len(),
+            segmentation.iter().map(|(_, s)| (s.start(), s.end())),
+        )
+        .max_regions(),
+        GraphStyle::AllPairs => Vec::new(),
+    };
+    // t sits after every event; s before every event.
+    let infinity = Tick(u32::MAX);
+    let source_tick = Tick(0);
+
+    let mut net = FlowNetwork::new();
+    let s = net.add_node();
+    let t = net.add_node();
+    let n = segmentation.len();
+    let mut write_node = Vec::with_capacity(n);
+    let mut read_node = Vec::with_capacity(n);
+    let mut segment_arc = Vec::with_capacity(n);
+    for (_, seg) in segmentation.iter() {
+        let w = net.add_node();
+        let r = net.add_node();
+        let lb = i64::from(seg.forced_register);
+        segment_arc.push(net.add_arc_bounded(w, r, lb, 1, 0)?);
+        write_node.push(w);
+        read_node.push(r);
+    }
+
+    let mut handoff_of = Vec::new();
+    let mut chain_of = Vec::new();
+
+    for (from_id, from) in segmentation.iter() {
+        // Chain arc to the variable's next segment — eq. (9).
+        if !from.is_last {
+            let next = segmentation.id_of(from.var, from.index + 1);
+            let arc = net.add_arc(
+                read_node[from_id.index()],
+                write_node[next.index()],
+                1,
+                costs.chain(from).raw(),
+            )?;
+            chain_of.push((arc, from_id));
+        }
+        // Hand-off arcs to other variables' segments. A register-carried
+        // variable's first segment is only reachable from `s` — its value
+        // is already in a register at block entry, so it cannot take over
+        // another variable's register.
+        for (to_id, to) in segmentation.iter() {
+            if to.var == from.var || (to.is_first && problem.carried_in_register.contains(&to.var))
+            {
+                continue;
+            }
+            if !region_allows(&regions, from.end(), to.start()) {
+                continue;
+            }
+            let arc = net.add_arc(
+                read_node[from_id.index()],
+                write_node[to_id.index()],
+                1,
+                costs.handoff(from, to).raw(),
+            )?;
+            handoff_of.push((arc, from_id, to_id));
+        }
+    }
+
+    // Source and sink hook-ups.
+    for (id, seg) in segmentation.iter() {
+        let source_ok = region_allows(&regions, source_tick, seg.start());
+        let carried_register = seg.is_first && problem.carried_in_register.contains(&seg.var);
+        if source_ok || carried_register || (problem.relief_arcs && seg.forced_register) {
+            net.add_arc(s, write_node[id.index()], 1, costs.source(seg).raw())?;
+        }
+        let sink_ok = region_allows(&regions, seg.end(), infinity);
+        if sink_ok || problem.relief_arcs {
+            net.add_arc(read_node[id.index()], t, 1, costs.sink(seg).raw())?;
+        }
+    }
+
+    // Unused registers flow straight through.
+    let bypass = net.add_arc(s, t, i64::from(problem.registers), 0)?;
+
+    Ok(BuiltNetwork {
+        net,
+        s,
+        t,
+        segment_arc,
+        read_node,
+        write_node,
+        handoff_of,
+        chain_of,
+        bypass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SplitOptions;
+    use lemra_ir::{LifetimeTable, Step};
+
+    fn figure1_table() -> LifetimeTable {
+        LifetimeTable::from_intervals(
+            7,
+            vec![
+                (1, vec![3], false), // a
+                (1, vec![3], false), // b
+                (2, vec![], true),   // c
+                (3, vec![], true),   // d
+                (5, vec![7], false), // e
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn region_rule() {
+        let regions = vec![
+            TickRange {
+                start: Tick(5),
+                end: Tick(7),
+            },
+            TickRange {
+                start: Tick(11),
+                end: Tick(14),
+            },
+        ];
+        // Within one gap: fine.
+        assert!(region_allows(&regions, Tick(8), Tick(10)));
+        // Region boundary contact: fine.
+        assert!(region_allows(&regions, Tick(5), Tick(10)));
+        assert!(region_allows(&regions, Tick(2), Tick(7)));
+        // Spans the second region entirely: rejected.
+        assert!(!region_allows(&regions, Tick(8), Tick(16)));
+        // Backwards in time: rejected.
+        assert!(!region_allows(&regions, Tick(9), Tick(8)));
+    }
+
+    #[test]
+    fn figure1_network_shape() {
+        let problem = crate::AllocationProblem::new(figure1_table(), 2);
+        let segs = Segmentation::new(&problem.lifetimes, &SplitOptions::none());
+        let built = build(&problem, &segs).unwrap();
+        // 2 terminals + 2 nodes per segment.
+        assert_eq!(built.net.node_count(), 2 + 2 * segs.len());
+        // a's read (t3r) can hand off to d (t3w) and e (t5w): both in the
+        // gap between the two max-density regions.
+        let a_handoffs: Vec<_> = built
+            .handoff_of
+            .iter()
+            .filter(|(_, from, _)| segs.segment(*from).var == lemra_ir::VarId(0))
+            .map(|(_, _, to)| segs.segment(*to).var)
+            .collect();
+        assert!(a_handoffs.contains(&lemra_ir::VarId(3))); // d
+        assert!(a_handoffs.contains(&lemra_ir::VarId(4))); // e
+                                                           // a cannot hand off to c (c starts before a ends).
+        assert!(!a_handoffs.contains(&lemra_ir::VarId(2)));
+    }
+
+    #[test]
+    fn all_pairs_has_at_least_region_arcs() {
+        let table = figure1_table();
+        let p_regions = crate::AllocationProblem::new(table.clone(), 2);
+        let p_all = crate::AllocationProblem::new(table, 2)
+            .with_style(GraphStyle::AllPairs)
+            .with_relief_arcs(false);
+        let segs = Segmentation::new(&p_regions.lifetimes, &SplitOptions::none());
+        let built_r = build(&p_regions, &segs).unwrap();
+        let built_a = build(&p_all, &segs).unwrap();
+        assert!(built_a.handoff_of.len() >= built_r.handoff_of.len());
+    }
+
+    #[test]
+    fn forced_segment_arc_has_lower_bound() {
+        let table = LifetimeTable::from_intervals(8, vec![(2, vec![4], false)]).unwrap();
+        let problem = crate::AllocationProblem::new(table, 1).with_access_period(4);
+        let segs = Segmentation::new(&problem.lifetimes, &problem.split);
+        assert!(segs.segment(crate::SegmentId(0)).forced_register);
+        let built = build(&problem, &segs).unwrap();
+        let arc = built.net.arc(built.segment_arc[0]);
+        assert_eq!(arc.lower_bound, 1);
+    }
+
+    #[test]
+    fn chain_arcs_connect_split_segments() {
+        let table = LifetimeTable::from_intervals(8, vec![(1, vec![3, 7], false)]).unwrap();
+        let problem = crate::AllocationProblem::new(table, 1);
+        let segs = Segmentation::new(&problem.lifetimes, &problem.split);
+        assert_eq!(segs.len(), 2);
+        let built = build(&problem, &segs).unwrap();
+        assert_eq!(built.chain_of.len(), 1);
+        let (arc, from) = built.chain_of[0];
+        assert_eq!(from, crate::SegmentId(0));
+        let a = built.net.arc(arc);
+        assert_eq!(a.from, built.read_node[0]);
+        assert_eq!(a.to, built.write_node[1]);
+    }
+
+    #[test]
+    fn extra_split_changes_shape() {
+        let table = LifetimeTable::from_intervals(8, vec![(1, vec![8], false)]).unwrap();
+        let problem =
+            crate::AllocationProblem::new(table, 1).with_extra_split(lemra_ir::VarId(0), Step(4));
+        let segs = Segmentation::new(&problem.lifetimes, &problem.split);
+        assert_eq!(segs.len(), 2);
+    }
+}

@@ -1,0 +1,392 @@
+//! Storage code generation: the methodology's final step (§5 — "detailed
+//! instruction mapping and data layout (for example adding loads and
+//! stores, or substituting in instructions with a memory operand …)").
+//!
+//! [`storage_plan`] lowers a solved [`Allocation`] into the explicit
+//! storage instructions a code generator would emit:
+//!
+//! * a `Store` whenever a value enters memory (at its definition, or as a
+//!   write-back when it loses its register mid-lifetime);
+//! * a `Load` whenever a value re-enters a register without a genuine read
+//!   at the boundary (a split-point fetch or a register-to-register move);
+//! * a memory *operand* on the consuming operation for genuine reads served
+//!   straight from memory — no separate load instruction, exactly the
+//!   "substituting in instructions with a memory operand" case.
+//!
+//! The plan's instruction counts reconcile exactly with the
+//! [`AllocationReport`](crate::AllocationReport): `stores == mem_writes`
+//! and `loads + memory-operand reads == mem_reads` (asserted in tests).
+
+use crate::allocator::{Allocation, Placement};
+use crate::problem::{AllocationProblem, CarryIn};
+use crate::segment::Boundary;
+use lemra_ir::{Step, VarId};
+use std::collections::HashMap;
+
+/// Where an instruction finds (or puts) a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register-file entry.
+    Register(u32),
+    /// Memory address.
+    Memory(u32),
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Register(r) => write!(f, "r{r}"),
+            Operand::Memory(a) => write!(f, "m[{a}]"),
+        }
+    }
+}
+
+/// One explicit storage instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageInstr {
+    /// Write `var` to its memory address at `step` — from register `from`,
+    /// or straight from the producing functional unit (or the register the
+    /// previous block carried it in, for boundary spills) when `from` is
+    /// `None`.
+    Store {
+        /// The variable stored.
+        var: VarId,
+        /// Source register (`None`: the defining operation's result bus).
+        from: Option<u32>,
+        /// Destination address.
+        address: u32,
+        /// Control step of the store.
+        step: Step,
+    },
+    /// Read `var` from memory into register `to` at `step`.
+    Load {
+        /// The variable loaded.
+        var: VarId,
+        /// Destination register.
+        to: u32,
+        /// Source address.
+        address: u32,
+        /// Control step of the load.
+        step: Step,
+    },
+}
+
+impl StorageInstr {
+    /// The control step the instruction executes at.
+    pub fn step(&self) -> Step {
+        match self {
+            StorageInstr::Store { step, .. } | StorageInstr::Load { step, .. } => *step,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageInstr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageInstr::Store {
+                var,
+                from,
+                address,
+                step,
+            } => match from {
+                Some(r) => write!(f, "@{}: st m[{address}], r{r}   ; spill {var}", step.0),
+                None => write!(f, "@{}: st m[{address}], {var}", step.0),
+            },
+            StorageInstr::Load {
+                var,
+                to,
+                address,
+                step,
+            } => write!(f, "@{}: ld r{to}, m[{address}]   ; reload {var}", step.0),
+        }
+    }
+}
+
+/// The lowered storage behaviour of one allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoragePlan {
+    /// Explicit loads and stores, sorted by step.
+    pub instrs: Vec<StorageInstr>,
+    /// For every genuine read `(variable, step)`: the operand the consuming
+    /// operation uses.
+    pub read_operand: HashMap<(VarId, Step), Operand>,
+    /// For every variable: where its defining operation writes its result.
+    pub def_target: HashMap<VarId, Operand>,
+}
+
+impl StoragePlan {
+    /// Number of explicit store instructions.
+    pub fn stores(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, StorageInstr::Store { .. }))
+            .count()
+    }
+
+    /// Number of explicit load instructions.
+    pub fn loads(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, StorageInstr::Load { .. }))
+            .count()
+    }
+
+    /// Number of genuine reads satisfied by a memory operand.
+    pub fn memory_operand_reads(&self) -> usize {
+        self.read_operand
+            .values()
+            .filter(|o| matches!(o, Operand::Memory(_)))
+            .count()
+    }
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate, storage_plan, AllocationProblem};
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lifetimes = LifetimeTable::from_intervals(4, vec![(1, vec![4], false)])?;
+/// let problem = AllocationProblem::new(lifetimes, 0);
+/// let allocation = allocate(&problem)?;
+/// let plan = storage_plan(&problem, &allocation);
+/// assert_eq!(plan.stores(), 1);                 // st m[0], v0
+/// assert_eq!(plan.memory_operand_reads(), 1);   // the read uses m[0]
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Lowers `allocation` into explicit storage instructions and operands.
+///
+/// # Panics
+///
+/// Panics if a memory-placed variable has no assigned address (cannot
+/// happen for allocations produced by this crate).
+#[allow(clippy::needless_range_loop)] // index drives parallel lookups
+pub fn storage_plan(problem: &AllocationProblem, allocation: &Allocation) -> StoragePlan {
+    let seg = allocation.segmentation();
+    let mut instrs = Vec::new();
+    let mut read_operand = HashMap::new();
+    let mut def_target = HashMap::new();
+
+    for v in 0..problem.lifetimes.len() {
+        let var = VarId(v as u32);
+        let segs = seg.segments_of(var);
+        if segs.is_empty() {
+            continue;
+        }
+        let place = |i: usize| allocation.placement(seg.id_of(var, i));
+        let address = || {
+            allocation
+                .memory_address(var)
+                .expect("memory-resident variables have addresses")
+        };
+
+        // Block entry.
+        let mut in_memory = false;
+        match (problem.carry_of(var), place(0)) {
+            (CarryIn::Memory, Placement::Register(r)) => {
+                // Carried in memory, wanted in a register: explicit fetch.
+                def_target.insert(var, Operand::Register(r));
+                instrs.push(StorageInstr::Load {
+                    var,
+                    to: r,
+                    address: address(),
+                    step: segs[0].start_step,
+                });
+                in_memory = true;
+            }
+            (CarryIn::Memory, Placement::Memory) => {
+                // Already stored: nothing to emit.
+                def_target.insert(var, Operand::Memory(address()));
+                in_memory = true;
+            }
+            (_, Placement::Register(r)) => {
+                def_target.insert(var, Operand::Register(r));
+            }
+            (_, Placement::Memory) => {
+                // Defined into memory, or a register-carried value spilled
+                // at the boundary: a real store either way.
+                def_target.insert(var, Operand::Memory(address()));
+                instrs.push(StorageInstr::Store {
+                    var,
+                    from: None,
+                    address: address(),
+                    step: segs[0].start_step,
+                });
+                in_memory = true;
+            }
+        }
+
+        for i in 1..segs.len() {
+            let prev = place(i - 1);
+            let cur = place(i);
+            let boundary = segs[i].start_kind;
+            let step = segs[i].start_step;
+            if boundary == Boundary::Read {
+                let operand = match prev {
+                    Placement::Register(r) => Operand::Register(r),
+                    Placement::Memory => Operand::Memory(address()),
+                };
+                read_operand.insert((var, step), operand);
+            }
+            match (prev, cur) {
+                (Placement::Register(a), Placement::Register(b)) if a == b => {}
+                (Placement::Register(a), Placement::Register(b)) => {
+                    if !in_memory {
+                        instrs.push(StorageInstr::Store {
+                            var,
+                            from: Some(a),
+                            address: address(),
+                            step,
+                        });
+                        in_memory = true;
+                    }
+                    instrs.push(StorageInstr::Load {
+                        var,
+                        to: b,
+                        address: address(),
+                        step,
+                    });
+                }
+                (Placement::Register(a), Placement::Memory) => {
+                    if !in_memory {
+                        instrs.push(StorageInstr::Store {
+                            var,
+                            from: Some(a),
+                            address: address(),
+                            step,
+                        });
+                        in_memory = true;
+                    }
+                }
+                (Placement::Memory, Placement::Register(b)) => {
+                    if boundary != Boundary::Read {
+                        instrs.push(StorageInstr::Load {
+                            var,
+                            to: b,
+                            address: address(),
+                            step,
+                        });
+                    } else {
+                        // The consuming op read from memory; the register
+                        // copy rides along on the same access (no extra
+                        // memory traffic, handled as a register write in
+                        // the report).
+                    }
+                }
+                (Placement::Memory, Placement::Memory) => {}
+            }
+        }
+
+        // Final read.
+        let last = segs.last().expect("non-empty");
+        if last.end_kind == Boundary::Read {
+            let operand = match place(segs.len() - 1) {
+                Placement::Register(r) => Operand::Register(r),
+                Placement::Memory => Operand::Memory(address()),
+            };
+            read_operand.insert((var, last.end_step), operand);
+        }
+    }
+    instrs.sort_by_key(|i| i.step());
+    StoragePlan {
+        instrs,
+        read_operand,
+        def_target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allocate, AllocationProblem, AllocationReport};
+    use lemra_ir::LifetimeTable;
+
+    fn plan_for(regs: u32, period: u32) -> (AllocationProblem, StoragePlan, AllocationReport) {
+        let table = LifetimeTable::from_intervals(
+            10,
+            vec![
+                (1, vec![4, 7, 10], false),
+                (2, vec![3], false),
+                (2, vec![6], false),
+                (4, vec![8], false),
+                (5, vec![9], false),
+            ],
+        )
+        .unwrap();
+        let problem = AllocationProblem::new(table, regs).with_access_period(period);
+        let allocation = allocate(&problem).unwrap();
+        let plan = storage_plan(&problem, &allocation);
+        let report = AllocationReport::new(&problem, &allocation);
+        (problem, plan, report)
+    }
+
+    #[test]
+    fn counts_reconcile_with_report() {
+        for (regs, period) in [(0u32, 1u32), (1, 1), (2, 1), (3, 1), (2, 3), (3, 3)] {
+            let (_, plan, report) = plan_for(regs, period);
+            assert_eq!(
+                plan.stores() as u32,
+                report.mem_writes,
+                "stores, R={regs} c={period}"
+            );
+            assert_eq!(
+                plan.loads() + plan.memory_operand_reads(),
+                report.mem_reads as usize,
+                "loads, R={regs} c={period}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_genuine_read_has_an_operand() {
+        let (problem, plan, _) = plan_for(2, 1);
+        for lt in problem.lifetimes.iter() {
+            for &read in &lt.reads {
+                assert!(
+                    plan.read_operand.contains_key(&(lt.var, read)),
+                    "{} read at {read}",
+                    lt.var
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_register_plan_has_no_instrs() {
+        let (_, plan, report) = plan_for(8, 1);
+        assert_eq!(report.mem_accesses(), 0);
+        assert!(plan.instrs.is_empty());
+        assert!(plan
+            .read_operand
+            .values()
+            .all(|o| matches!(o, Operand::Register(_))));
+    }
+
+    #[test]
+    fn all_memory_plan_uses_memory_operands() {
+        let (_, plan, report) = plan_for(0, 1);
+        assert_eq!(plan.stores() as u32, report.mem_writes);
+        assert_eq!(plan.loads(), 0); // genuine reads become operands
+        assert!(plan
+            .read_operand
+            .values()
+            .all(|o| matches!(o, Operand::Memory(_))));
+    }
+
+    #[test]
+    fn instrs_are_step_sorted_and_display() {
+        let (_, plan, _) = plan_for(2, 3);
+        for w in plan.instrs.windows(2) {
+            assert!(w[0].step() <= w[1].step());
+        }
+        for i in &plan.instrs {
+            let s = i.to_string();
+            assert!(s.contains("st") || s.contains("ld"));
+        }
+        assert_eq!(Operand::Register(3).to_string(), "r3");
+        assert_eq!(Operand::Memory(2).to_string(), "m[2]");
+    }
+}

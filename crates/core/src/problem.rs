@@ -1,0 +1,195 @@
+//! The allocation problem description (Problem 1 of the paper).
+
+use crate::segment::SplitOptions;
+use lemra_energy::{EnergyModel, RegisterEnergyKind};
+use lemra_ir::{ActivitySource, LifetimeTable, Step, VarId};
+
+/// Which network-flow graph the allocator builds (§5.1 vs ref \[8\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GraphStyle {
+    /// The paper's construction: hand-off arcs only between reads and
+    /// writes not separated by a region of maximum lifetime density —
+    /// guarantees a minimum number of memory storage locations (§5.1, §7).
+    #[default]
+    Regions,
+    /// The Chang–Pedram \[8\] construction: hand-off arcs between *all* pairs
+    /// of non-overlapping segments. May use more storage locations
+    /// (Figure 4b) but never fewer memory accesses.
+    AllPairs,
+}
+
+/// A complete instance of Problem 1: lifetimes, register file size, memory
+/// access restrictions, and the energy model.
+///
+/// Build one with [`AllocationProblem::new`] and the `with_*` methods, then
+/// hand it to [`allocate`](crate::allocate).
+///
+/// # Examples
+///
+/// ```
+/// use lemra_core::AllocationProblem;
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lifetimes = LifetimeTable::from_intervals(
+///     5,
+///     vec![(1, vec![3], false), (3, vec![5], false)],
+/// )?;
+/// let problem = AllocationProblem::new(lifetimes, 1);
+/// let allocation = lemra_core::allocate(&problem)?;
+/// assert!(allocation.registers_used() <= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AllocationProblem {
+    /// The scheduled variables to place.
+    pub lifetimes: LifetimeTable,
+    /// Register-file size `R` — the fixed flow value `F`.
+    pub registers: u32,
+    /// The energy model (per-access energies, voltages).
+    pub energy: EnergyModel,
+    /// Static (eq. 1) or activity-based (eq. 2) register accounting.
+    pub register_energy: RegisterEnergyKind,
+    /// Hamming-distance source for the activity model.
+    pub activity: ActivitySource,
+    /// Graph construction style.
+    pub style: GraphStyle,
+    /// Lifetime splitting (memory-access period, manual cuts).
+    pub split: SplitOptions,
+    /// Adds cost-bearing `r(v) → t` "relief" arcs from every read node and
+    /// `s → w(v)` arcs into forced segments, so irregular density profiles
+    /// and forced arcs never make the flow infeasible. Cost-neutral with
+    /// respect to the paper's optimum (DESIGN.md §4.3). Default `true`.
+    pub relief_arcs: bool,
+    /// Variables whose value already resides in **memory** when the block
+    /// begins (multi-block allocation: the predecessor block left them
+    /// there). Their baseline has no definition write; registering them
+    /// costs a fetch instead of saving a write.
+    pub carried_in_memory: Vec<VarId>,
+    /// Variables whose value sits in a **register** at block entry (the
+    /// predecessor kept them registered; register files persist across
+    /// blocks and indices can be renamed freely). Keeping them registered
+    /// costs no register write; spilling them costs the boundary store.
+    pub carried_in_register: Vec<VarId>,
+}
+
+impl AllocationProblem {
+    /// A problem with `registers` registers, the default 16-bit energy
+    /// model, static register accounting, uniform activity (half the word
+    /// switching), the paper's region-style graph and no access restriction.
+    pub fn new(lifetimes: LifetimeTable, registers: u32) -> Self {
+        Self {
+            lifetimes,
+            registers,
+            energy: EnergyModel::default_16bit(),
+            register_energy: RegisterEnergyKind::Static,
+            activity: ActivitySource::Uniform { hamming: 8.0 },
+            style: GraphStyle::Regions,
+            split: SplitOptions::none(),
+            relief_arcs: true,
+            carried_in_memory: Vec::new(),
+            carried_in_register: Vec::new(),
+        }
+    }
+
+    /// Sets the energy model.
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Selects static or activity-based register accounting.
+    pub fn with_register_energy(mut self, kind: RegisterEnergyKind) -> Self {
+        self.register_energy = kind;
+        self
+    }
+
+    /// Sets the switching-activity source.
+    pub fn with_activity(mut self, activity: ActivitySource) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// Selects the graph construction style.
+    pub fn with_style(mut self, style: GraphStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Restricts memory accesses to every `c` steps (Table 1).
+    pub fn with_access_period(mut self, c: u32) -> Self {
+        self.split.access_period = c.max(1);
+        self
+    }
+
+    /// Adds a manual lifetime cut (Figure 4c splits `f` by hand).
+    pub fn with_extra_split(mut self, var: VarId, step: Step) -> Self {
+        self.split.extra_splits.push((var, step));
+        self
+    }
+
+    /// Enables or disables relief arcs (see field docs).
+    pub fn with_relief_arcs(mut self, enabled: bool) -> Self {
+        self.relief_arcs = enabled;
+        self
+    }
+
+    /// Marks `var` as entering the block already stored in memory
+    /// (multi-block allocation).
+    pub fn with_carried_in_memory(mut self, var: VarId) -> Self {
+        self.carried_in_memory.push(var);
+        self
+    }
+
+    /// Marks `var` as entering the block in a register (multi-block
+    /// allocation).
+    pub fn with_carried_in_register(mut self, var: VarId) -> Self {
+        self.carried_in_register.push(var);
+        self
+    }
+
+    /// How `var` enters the block.
+    pub(crate) fn carry_of(&self, var: VarId) -> CarryIn {
+        if self.carried_in_memory.contains(&var) {
+            CarryIn::Memory
+        } else if self.carried_in_register.contains(&var) {
+            CarryIn::Register
+        } else {
+            CarryIn::Defined
+        }
+    }
+}
+
+/// How a variable's value comes into existence within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CarryIn {
+    /// Produced by an operation inside the block (the normal case).
+    Defined,
+    /// Already in memory at block entry.
+    Memory,
+    /// Already in a register at block entry.
+    Register,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_ir::LifetimeTable;
+
+    #[test]
+    fn builder_chains() {
+        let lt = LifetimeTable::from_intervals(4, vec![(1, vec![4], false)]).unwrap();
+        let p = AllocationProblem::new(lt, 2)
+            .with_style(GraphStyle::AllPairs)
+            .with_access_period(2)
+            .with_register_energy(RegisterEnergyKind::Activity)
+            .with_relief_arcs(false)
+            .with_extra_split(VarId(0), Step(2));
+        assert_eq!(p.style, GraphStyle::AllPairs);
+        assert_eq!(p.split.access_period, 2);
+        assert_eq!(p.split.extra_splits.len(), 1);
+        assert!(!p.relief_arcs);
+        assert_eq!(p.registers, 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Second-stage memory re-allocation (§5 methodology, last paragraph).
+//!
+//! "The lifetimes of data variables assigned to memory are then used to form
+//! another network flow graph. The minimum cost network flow is then solved
+//! on this graph to reallocate memory using an activity based energy model."
+//!
+//! Supporting an activity model for memory *simultaneously* with the main
+//! problem would need two-commodity flow, which is NP-complete (§7); the
+//! paper therefore re-allocates memory in a second, separate flow pass: the
+//! memory-resident lifetimes are matched to storage locations so that the
+//! total Hamming switching between consecutive residents of each address is
+//! minimal.
+
+use crate::allocator::Allocation;
+use crate::problem::AllocationProblem;
+use crate::CoreError;
+use lemra_ir::{ActivitySource, Tick, VarId};
+use lemra_netflow::{min_cost_flow, ArcId, FlowNetwork, NetflowError};
+use std::collections::HashMap;
+
+/// Result of the second-stage memory re-allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryReallocation {
+    /// New address per memory-resident variable.
+    pub address_of: HashMap<VarId, u32>,
+    /// Locations used (equals the first stage's count — the pass reshuffles
+    /// residents, it does not add storage).
+    pub locations: u32,
+    /// Total Hamming switching across addresses after re-allocation.
+    pub switching: f64,
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate, reallocate_memory, AllocationProblem};
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lifetimes =
+///     LifetimeTable::from_intervals(6, vec![(1, vec![3], false), (4, vec![6], false)])?;
+/// let problem = AllocationProblem::new(lifetimes, 0);
+/// let allocation = allocate(&problem)?;
+/// let addressing = reallocate_memory(&problem, &allocation)?;
+/// assert_eq!(addressing.locations, allocation.storage_locations());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Re-assigns memory addresses to minimise address-line switching, keeping
+/// the location count of `allocation`.
+///
+/// Costs are the activity source's Hamming terms scaled to micro-units; the
+/// optimum is exact over the given residency intervals.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Flow`] if the internal flow problem fails (cannot
+/// happen for well-formed allocations; the interval family always admits a
+/// matching with `locations` addresses).
+#[allow(clippy::needless_range_loop)] // index drives parallel lookups
+pub fn reallocate_memory(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+) -> Result<MemoryReallocation, CoreError> {
+    let residents: Vec<(VarId, (Tick, Tick))> = (0..problem.lifetimes.len() as u32)
+        .map(VarId)
+        .filter_map(|v| allocation.memory_residency(v).map(|r| (v, r)))
+        .collect();
+    let locations = allocation.storage_locations();
+    if residents.is_empty() {
+        return Ok(MemoryReallocation {
+            address_of: HashMap::new(),
+            locations: 0,
+            switching: 0.0,
+        });
+    }
+
+    // One w/r node pair per resident; every resident must be assigned, so
+    // its arc has lower bound 1. Hand-offs between all non-overlapping
+    // residents; costs are pure Hamming terms (scaled ×10⁶ for integrality).
+    const SCALE: f64 = 1e6;
+    let mut net = FlowNetwork::new();
+    let s = net.add_node();
+    let t = net.add_node();
+    let mut seg_arc: Vec<ArcId> = Vec::with_capacity(residents.len());
+    let mut nodes = Vec::with_capacity(residents.len());
+    for _ in &residents {
+        let w = net.add_node();
+        let r = net.add_node();
+        nodes.push((w, r));
+        seg_arc.push(
+            net.add_arc_bounded(w, r, 1, 1, 0)
+                .map_err(CoreError::Flow)?,
+        );
+    }
+    let quant = |h: f64| (h * SCALE).round() as i64;
+    let mut handoffs: Vec<(ArcId, usize, usize)> = Vec::new();
+    for (i, (v1, (_, end1))) in residents.iter().enumerate() {
+        net.add_arc(s, nodes[i].0, 1, quant(initial_of(&problem.activity, *v1)))
+            .map_err(CoreError::Flow)?;
+        net.add_arc(nodes[i].1, t, 1, 0).map_err(CoreError::Flow)?;
+        for (j, (v2, (start2, _))) in residents.iter().enumerate() {
+            if i == j || *end1 >= *start2 {
+                continue;
+            }
+            let arc = net
+                .add_arc(
+                    nodes[i].1,
+                    nodes[j].0,
+                    1,
+                    quant(problem.activity.hamming(*v1, *v2)),
+                )
+                .map_err(CoreError::Flow)?;
+            handoffs.push((arc, i, j));
+        }
+    }
+    net.add_arc(s, t, i64::from(locations), 0)
+        .map_err(CoreError::Flow)?;
+
+    let sol = min_cost_flow(&net, s, t, i64::from(locations)).map_err(|e| match e {
+        NetflowError::Infeasible { required, achieved } => CoreError::TooFewRegisters {
+            registers: locations,
+            shortfall: required - achieved,
+        },
+        other => CoreError::Flow(other),
+    })?;
+
+    // Extract chains: successor per resident.
+    let mut successor: Vec<Option<usize>> = vec![None; residents.len()];
+    let mut has_predecessor = vec![false; residents.len()];
+    for &(arc, i, j) in &handoffs {
+        if sol.flow(arc) == 1 {
+            successor[i] = Some(j);
+            has_predecessor[j] = true;
+        }
+    }
+    let mut address_of = HashMap::new();
+    let mut switching = 0.0;
+    let mut next_addr = 0u32;
+    for start in 0..residents.len() {
+        if has_predecessor[start] {
+            continue;
+        }
+        let addr = next_addr;
+        next_addr += 1;
+        let mut cur = Some(start);
+        let mut prev_var: Option<VarId> = None;
+        while let Some(i) = cur {
+            let v = residents[i].0;
+            address_of.insert(v, addr);
+            switching += match prev_var {
+                None => initial_of(&problem.activity, v),
+                Some(p) => problem.activity.hamming(p, v),
+            };
+            prev_var = Some(v);
+            cur = successor[i];
+        }
+    }
+
+    Ok(MemoryReallocation {
+        address_of,
+        locations: next_addr,
+        switching,
+    })
+}
+
+fn initial_of(activity: &ActivitySource, v: VarId) -> f64 {
+    activity.initial(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allocate, AllocationProblem, AllocationReport};
+    use lemra_ir::LifetimeTable;
+
+    fn memory_only_problem() -> AllocationProblem {
+        // Four sequential variables, pairwise-compatible, no registers.
+        let t = LifetimeTable::from_intervals(
+            9,
+            vec![
+                (1, vec![3], false),
+                (2, vec![4], false),
+                (4, vec![6], false),
+                (5, vec![9], false),
+            ],
+        )
+        .unwrap();
+        AllocationProblem::new(t, 0).with_activity(ActivitySource::from_pairs([
+            (VarId(0), VarId(2), 0.1),
+            (VarId(0), VarId(3), 0.9),
+            (VarId(1), VarId(2), 0.9),
+            (VarId(1), VarId(3), 0.1),
+        ]))
+    }
+
+    #[test]
+    fn realloc_picks_low_switching_pairing() {
+        let p = memory_only_problem();
+        let a = allocate(&p).unwrap();
+        assert_eq!(a.storage_locations(), 2);
+        let r = reallocate_memory(&p, &a).unwrap();
+        assert_eq!(r.locations, 2);
+        // Optimal pairing: 0→2 (0.1) and 1→3 (0.1) plus two initials (0.5).
+        assert!(
+            (r.switching - 1.2).abs() < 1e-9,
+            "switching {}",
+            r.switching
+        );
+        assert_eq!(r.address_of[&VarId(0)], r.address_of[&VarId(2)]);
+        assert_eq!(r.address_of[&VarId(1)], r.address_of[&VarId(3)]);
+    }
+
+    #[test]
+    fn realloc_never_worse_than_left_edge() {
+        let p = memory_only_problem();
+        let a = allocate(&p).unwrap();
+        let first_stage = AllocationReport::new(&p, &a).memory_switching;
+        let r = reallocate_memory(&p, &a).unwrap();
+        assert!(r.switching <= first_stage + 1e-9);
+    }
+
+    #[test]
+    fn empty_memory_is_trivial() {
+        let t = LifetimeTable::from_intervals(3, vec![(1, vec![3], false)]).unwrap();
+        let p = AllocationProblem::new(t, 4);
+        let a = allocate(&p).unwrap();
+        let r = reallocate_memory(&p, &a).unwrap();
+        assert_eq!(r.locations, 0);
+        assert!(r.address_of.is_empty());
+    }
+}

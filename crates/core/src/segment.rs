@@ -1,0 +1,438 @@
+//! Lifetime segmentation (§5.2): split lifetimes at multiple reads,
+//! restricted memory-access times, and user-requested points.
+//!
+//! "Each data variable lifetime is divided into multiple lifetimes (or split
+//! lifetimes) by cutting the lifetime at memory access times and/or multiple
+//! read times." A segment that begins and/or ends between memory-access
+//! times "must be stored in the register files during these times" — its
+//! flow arc gets lower bound 1 (rendered bold in Figure 1c).
+
+use lemra_ir::{Lifetime, LifetimeTable, Step, Tick, VarId};
+use std::collections::BTreeSet;
+
+/// Identifier of a segment within one [`Segmentation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u32);
+
+impl SegmentId {
+    /// Position of the segment in the segmentation's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// What happens at a segment boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Boundary {
+    /// The variable's definition (only ever a segment *start*).
+    Def,
+    /// A genuine read of the variable at this step (a use by an operation,
+    /// or the external read of a live-out variable).
+    Read,
+    /// A cut introduced at a memory-access time or by request; no value is
+    /// consumed here.
+    Split,
+}
+
+/// One split lifetime `w_i(v) → r_i(v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// The variable this segment belongs to.
+    pub var: VarId,
+    /// 0-based position among the variable's segments (`i` of `w_i`).
+    pub index: usize,
+    /// Boundary step at which the segment begins (value enters storage).
+    pub start_step: Step,
+    /// Boundary step at which the segment ends.
+    pub end_step: Step,
+    /// What produces the value at `start_step`.
+    pub start_kind: Boundary,
+    /// What consumes (or cuts) the value at `end_step`.
+    pub end_kind: Boundary,
+    /// True if the segment must live in the register file (§5.2: begins or
+    /// ends between memory-access times).
+    pub forced_register: bool,
+    /// True for the variable's first segment (`w_1`).
+    pub is_first: bool,
+    /// True for the variable's last segment (`r_last`).
+    pub is_last: bool,
+}
+
+impl Segment {
+    /// First tick the segment occupies storage (its start step's write
+    /// tick — boundary values are "re-written" at the cut, cf. Figure 1c).
+    pub fn start(&self) -> Tick {
+        self.start_step.write_tick()
+    }
+
+    /// Last tick the segment occupies storage (its end step's read tick).
+    pub fn end(&self) -> Tick {
+        self.end_step.read_tick()
+    }
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{Segmentation, SplitOptions};
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two reads split the lifetime into two arcs (Figure 2 of the paper).
+/// let table = LifetimeTable::from_intervals(6, vec![(1, vec![3, 6], false)])?;
+/// let segs = Segmentation::new(&table, &SplitOptions::none());
+/// assert_eq!(segs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+/// All segments of a lifetime table, ordered by variable then index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segmentation {
+    segments: Vec<Segment>,
+    /// First segment index per variable (parallel to `VarId`).
+    first_of_var: Vec<usize>,
+    block_len: u32,
+}
+
+/// How lifetimes are cut, beyond the mandatory cuts at multiple reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitOptions {
+    /// Memory-access period `c`: accesses possible at steps `1, 1+c,
+    /// 1+2c, …` only. `1` (the default) means every step.
+    pub access_period: u32,
+    /// Additional explicit cut points `(variable, step)` — used e.g. to
+    /// reproduce Figure 4c, which splits `f` by hand.
+    pub extra_splits: Vec<(VarId, Step)>,
+    /// Variables whose every segment is forced into the register file
+    /// (flow lower bound 1) — the §7 port-constraint mechanism.
+    pub force_register: Vec<VarId>,
+}
+
+impl Default for SplitOptions {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl SplitOptions {
+    /// No restrictions: split only at multiple reads.
+    pub fn none() -> Self {
+        Self {
+            access_period: 1,
+            extra_splits: Vec::new(),
+            force_register: Vec::new(),
+        }
+    }
+
+    /// Memory accessible every `c` steps (Table 1's `f/c` rows).
+    pub fn with_period(c: u32) -> Self {
+        Self {
+            access_period: c.max(1),
+            ..Self::none()
+        }
+    }
+
+    /// True if `step` is a memory-access time. The block boundary
+    /// (`block_len + 1`) always is: tasks resynchronise there.
+    pub fn is_access_step(&self, step: Step, block_len: u32) -> bool {
+        if step.0 > block_len {
+            return true;
+        }
+        let c = self.access_period.max(1);
+        step.0 >= 1 && (step.0 - 1) % c == 0
+    }
+}
+
+impl Segmentation {
+    /// Splits every lifetime of `table` per `options`.
+    ///
+    /// Cut points, per variable: every non-final read step; every
+    /// memory-access step strictly inside a (sub)segment when
+    /// `access_period > 1`; every requested extra split that falls strictly
+    /// inside the lifetime.
+    pub fn new(table: &LifetimeTable, options: &SplitOptions) -> Self {
+        let block_len = table.block_len();
+        let mut segments = Vec::new();
+        let mut first_of_var = Vec::with_capacity(table.len());
+        for lt in table.iter() {
+            first_of_var.push(segments.len());
+            build_segments(lt, table.block_len(), options, &mut segments);
+        }
+        Self {
+            segments,
+            first_of_var,
+            block_len,
+        }
+    }
+
+    /// All segments, ordered by variable then segment index.
+    pub fn iter(&self) -> impl Iterator<Item = (SegmentId, &Segment)> + '_ {
+        self.segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SegmentId(i as u32), s))
+    }
+
+    /// The segment with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.index()]
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The segments of `v`, in lifetime order.
+    pub fn segments_of(&self, v: VarId) -> &[Segment] {
+        let start = self.first_of_var[v.index()];
+        let end = self
+            .first_of_var
+            .get(v.index() + 1)
+            .copied()
+            .unwrap_or(self.segments.len());
+        &self.segments[start..end]
+    }
+
+    /// The [`SegmentId`] of segment `index` of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `index` are out of range.
+    pub fn id_of(&self, v: VarId, index: usize) -> SegmentId {
+        let base = self.first_of_var[v.index()];
+        assert!(index < self.segments_of(v).len(), "segment index in range");
+        SegmentId((base + index) as u32)
+    }
+
+    /// Block length in control steps.
+    pub fn block_len(&self) -> u32 {
+        self.block_len
+    }
+}
+
+fn build_segments(lt: &Lifetime, block_len: u32, options: &SplitOptions, out: &mut Vec<Segment>) {
+    // Boundary steps: def, cuts..., final read. Each cut is (step, kind).
+    let reads = lt.read_steps(block_len);
+    let last_read = *reads.last().expect("lifetime validated non-empty");
+    let mut cuts: BTreeSet<(Step, bool)> = BTreeSet::new(); // (step, is_read)
+    for &r in &reads[..reads.len() - 1] {
+        cuts.insert((r, true));
+    }
+    if options.access_period > 1 {
+        for step in (lt.def.0 + 1)..last_read.0 {
+            let s = Step(step);
+            if options.is_access_step(s, block_len) {
+                cuts.insert((s, false));
+            }
+        }
+    }
+    for &(v, s) in &options.extra_splits {
+        if v == lt.var && s > lt.def && s < last_read {
+            cuts.insert((s, false));
+        }
+    }
+    // Reads dominate coincident splits.
+    let cut_list: Vec<(Step, bool)> = {
+        let mut seen = BTreeSet::new();
+        let mut list: Vec<(Step, bool)> = Vec::new();
+        // BTreeSet orders (step, false) before (step, true); prefer reads.
+        for (s, is_read) in cuts.into_iter().rev() {
+            if seen.insert(s) {
+                list.push((s, is_read));
+            }
+        }
+        list.reverse();
+        list
+    };
+
+    let n = cut_list.len() + 1;
+    let mut start_step = lt.def;
+    let mut start_kind = Boundary::Def;
+    for i in 0..n {
+        let (end_step, end_kind) = if i < cut_list.len() {
+            let (s, is_read) = cut_list[i];
+            (
+                s,
+                if is_read {
+                    Boundary::Read
+                } else {
+                    Boundary::Split
+                },
+            )
+        } else {
+            (last_read, Boundary::Read)
+        };
+        let forced = options.force_register.contains(&lt.var)
+            || (options.access_period > 1
+                && (!aligned_start(start_step, start_kind, options, block_len)
+                    || !aligned_end(end_step, end_kind, options, block_len)));
+        out.push(Segment {
+            var: lt.var,
+            index: i,
+            start_step,
+            end_step,
+            start_kind,
+            end_kind,
+            forced_register: forced,
+            is_first: i == 0,
+            is_last: i == n - 1,
+        });
+        start_step = end_step;
+        start_kind = end_kind;
+    }
+}
+
+/// A segment start is memory-compatible if the value could be written to (or
+/// already lives in) memory at that step.
+fn aligned_start(step: Step, _kind: Boundary, options: &SplitOptions, block_len: u32) -> bool {
+    options.is_access_step(step, block_len)
+}
+
+/// A segment end is memory-compatible if the value could be read from memory
+/// at that step.
+fn aligned_end(step: Step, _kind: Boundary, options: &SplitOptions, block_len: u32) -> bool {
+    options.is_access_step(step, block_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_ir::LifetimeTable;
+
+    fn single(def: u32, reads: Vec<u32>, live_out: bool, block_len: u32) -> LifetimeTable {
+        LifetimeTable::from_intervals(block_len, vec![(def, reads, live_out)]).unwrap()
+    }
+
+    #[test]
+    fn unsplit_single_read() {
+        let t = single(1, vec![4], false, 5);
+        let seg = Segmentation::new(&t, &SplitOptions::none());
+        assert_eq!(seg.len(), 1);
+        let s = seg.segment(SegmentId(0));
+        assert!(s.is_first && s.is_last);
+        assert_eq!(s.start_kind, Boundary::Def);
+        assert_eq!(s.end_kind, Boundary::Read);
+        assert!(!s.forced_register);
+    }
+
+    #[test]
+    fn multiple_reads_split() {
+        let t = single(1, vec![3, 5, 7], false, 7);
+        let seg = Segmentation::new(&t, &SplitOptions::none());
+        assert_eq!(seg.len(), 3);
+        let segs = seg.segments_of(VarId(0));
+        assert_eq!(segs[0].end_step, Step(3));
+        assert_eq!(segs[1].start_step, Step(3));
+        assert_eq!(segs[1].end_step, Step(5));
+        assert_eq!(segs[2].end_step, Step(7));
+        assert!(segs[0].is_first && !segs[0].is_last);
+        assert!(segs[2].is_last && !segs[2].is_first);
+        assert_eq!(segs[1].start_kind, Boundary::Read);
+    }
+
+    #[test]
+    fn live_out_read_is_final_boundary() {
+        let t = single(2, vec![], true, 7);
+        let seg = Segmentation::new(&t, &SplitOptions::none());
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg.segment(SegmentId(0)).end_step, Step(8));
+    }
+
+    #[test]
+    fn figure1c_variable_c_splits_at_access_times() {
+        // c: defined at step 2, live-out past step 7; accesses at 1, 3, 5, 7.
+        let t = single(2, vec![], true, 7);
+        let seg = Segmentation::new(&t, &SplitOptions::with_period(2));
+        // Cuts at access steps 3, 5, 7 inside (2, 8).
+        assert_eq!(seg.len(), 4);
+        let segs = seg.segments_of(VarId(0));
+        // First segment [2, 3] begins off-grid: forced to the register file
+        // (bold in Figure 1c).
+        assert!(segs[0].forced_register);
+        assert_eq!(segs[0].start_step, Step(2));
+        assert_eq!(segs[0].end_step, Step(3));
+        // [3, 5] and [5, 7] are grid-aligned: free.
+        assert!(!segs[1].forced_register);
+        assert!(!segs[2].forced_register);
+        // [7, 8]: the block boundary is always accessible.
+        assert!(!segs[3].forced_register);
+        assert_eq!(segs[3].end_kind, Boundary::Read);
+    }
+
+    #[test]
+    fn figure1c_variable_e_is_forced() {
+        // e = [5, 7] with accesses at 1, 3, 5: begins on-grid at 5 but its
+        // read at 7 is off-grid -> forced (bold in Figure 1c).
+        let t = single(5, vec![7], false, 8);
+        let seg = Segmentation::new(&t, &SplitOptions::with_period(2));
+        // Access steps inside (5,7): step 7? grid = 1,3,5,7 — 7 is on-grid
+        // for period 2... so e ends ON grid here. Use period 4 instead:
+        // grid = 1, 5; e = [5, 7] ends off-grid.
+        let t2 = single(5, vec![7], false, 8);
+        let seg2 = Segmentation::new(&t2, &SplitOptions::with_period(4));
+        let segs2 = seg2.segments_of(VarId(0));
+        assert_eq!(segs2.len(), 1);
+        assert!(segs2[0].forced_register);
+        // And with period 2, e is not forced (7 = 1 + 3*2 is on-grid).
+        assert!(!seg.segment(SegmentId(0)).forced_register);
+    }
+
+    #[test]
+    fn extra_split_applies_inside_lifetime_only() {
+        let t = single(1, vec![6], false, 6);
+        let seg = Segmentation::new(
+            &t,
+            &SplitOptions {
+                extra_splits: vec![
+                    (VarId(0), Step(4)),
+                    (VarId(0), Step(1)), // at def: ignored
+                    (VarId(0), Step(6)), // at final read: ignored
+                    (VarId(1), Step(4)), // other var: ignored
+                ],
+                ..SplitOptions::none()
+            },
+        );
+        assert_eq!(seg.len(), 2);
+        let segs = seg.segments_of(VarId(0));
+        assert_eq!(segs[0].end_step, Step(4));
+        assert_eq!(segs[0].end_kind, Boundary::Split);
+        // Period 1: nothing is forced.
+        assert!(!segs[0].forced_register && !segs[1].forced_register);
+    }
+
+    #[test]
+    fn read_dominates_coincident_access_cut() {
+        let t = single(1, vec![3, 5], false, 5);
+        let seg = Segmentation::new(&t, &SplitOptions::with_period(2));
+        let segs = seg.segments_of(VarId(0));
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].end_kind, Boundary::Read); // step 3 is both
+    }
+
+    #[test]
+    fn id_of_roundtrip() {
+        let t = LifetimeTable::from_intervals(6, vec![(1, vec![3, 6], false), (2, vec![5], false)])
+            .unwrap();
+        let seg = Segmentation::new(&t, &SplitOptions::none());
+        assert_eq!(seg.len(), 3);
+        let id = seg.id_of(VarId(1), 0);
+        assert_eq!(seg.segment(id).var, VarId(1));
+        assert_eq!(seg.segments_of(VarId(0)).len(), 2);
+    }
+}

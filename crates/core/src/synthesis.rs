@@ -1,0 +1,368 @@
+//! The complete §5 methodology in one call.
+//!
+//! "First an algorithm is selected … The algorithm is represented as a task
+//! flow graph. … Transformations are performed within each task such as
+//! data regeneration … detailed scheduling of computations within each task
+//! is performed. Finally the minimum cost network flow approach is applied
+//! to each basic block … The lifetimes of data variables assigned to memory
+//! are then used to form another network flow graph [for] an activity based
+//! energy model. After this stage … detailed instruction mapping and data
+//! layout (for example adding loads and stores …) is completed."
+//!
+//! [`synthesize`] runs exactly that pipeline over a sequence of data-flow
+//! blocks: optional data regeneration, resource-constrained list
+//! scheduling, lifetime extraction, chained flow-based allocation with
+//! boundary threading, second-stage memory re-allocation, and storage code
+//! generation.
+
+use crate::codegen::{storage_plan, StoragePlan};
+use crate::multiblock::{allocate_chain, BlockChain, ChainAllocation};
+use crate::problem::{AllocationProblem, GraphStyle};
+use crate::realloc::{reallocate_memory, MemoryReallocation};
+use crate::CoreError;
+use lemra_energy::{EnergyModel, RegisterEnergyKind};
+use lemra_ir::{
+    list_schedule, regenerate, ActivitySource, BasicBlock, IrError, LifetimeTable, RegenConfig,
+    ResourceSet, VarId,
+};
+
+/// Configuration of the synthesis pipeline.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Register-file size `R`.
+    pub registers: u32,
+    /// Functional units for the list scheduler.
+    pub resources: ResourceSet,
+    /// Memory-access period `c` (1 = unrestricted).
+    pub access_period: u32,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Register accounting model.
+    pub register_energy: RegisterEnergyKind,
+    /// Graph construction style.
+    pub style: GraphStyle,
+    /// Data-regeneration pre-pass; `None` disables it.
+    pub regeneration: Option<RegenConfig>,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self {
+            registers: 8,
+            resources: ResourceSet::new(2, 1),
+            access_period: 1,
+            energy: EnergyModel::default_16bit(),
+            register_energy: RegisterEnergyKind::Static,
+            style: GraphStyle::Regions,
+            regeneration: Some(RegenConfig::default()),
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The (possibly regeneration-transformed) blocks actually synthesised.
+    pub blocks: Vec<BasicBlock>,
+    /// Schedule length per block.
+    pub schedule_lengths: Vec<u32>,
+    /// The chained allocation with per-block reports.
+    pub chain: ChainAllocation,
+    /// Second-stage memory re-allocations, one per block.
+    pub reallocations: Vec<MemoryReallocation>,
+    /// Storage instructions (loads/stores/operands), one plan per block.
+    pub plans: Vec<StoragePlan>,
+    /// Values regenerated instead of stored, per block.
+    pub regenerated: Vec<usize>,
+}
+
+impl SynthesisResult {
+    /// Total static energy across the chain.
+    pub fn total_static_energy(&self) -> f64 {
+        self.chain.total_static_energy()
+    }
+
+    /// Total memory accesses across the chain.
+    pub fn total_mem_accesses(&self) -> u32 {
+        self.chain.total_mem_accesses()
+    }
+}
+
+/// Errors of the synthesis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// A block failed validation, scheduling, or lifetime extraction.
+    Ir(IrError),
+    /// Allocation failed.
+    Core(CoreError),
+    /// A boundary link names an unknown variable.
+    UnknownLink {
+        /// Index of the earlier block of the failing link.
+        block: usize,
+        /// The variable name that did not resolve.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Ir(e) => write!(f, "synthesis ir: {e}"),
+            SynthesisError::Core(e) => write!(f, "synthesis allocation: {e}"),
+            SynthesisError::UnknownLink { block, name } => {
+                write!(f, "link at block {block}: no variable named `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Ir(e) => Some(e),
+            SynthesisError::Core(e) => Some(e),
+            SynthesisError::UnknownLink { .. } => None,
+        }
+    }
+}
+
+impl From<IrError> for SynthesisError {
+    fn from(e: IrError) -> Self {
+        SynthesisError::Ir(e)
+    }
+}
+
+impl From<CoreError> for SynthesisError {
+    fn from(e: CoreError) -> Self {
+        SynthesisError::Core(e)
+    }
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{synthesize, SynthesisConfig};
+/// use lemra_ir::{BasicBlock, OpKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bb = BasicBlock::new("axpy");
+/// let a = bb.input("a");
+/// let x = bb.input("x");
+/// let y = bb.input("y");
+/// let ax = bb.op(OpKind::Mul, &[a, x], "ax")?;
+/// let r = bb.op(OpKind::Add, &[ax, y], "r")?;
+/// bb.output(r)?;
+/// let result = synthesize(&[bb], &[], &[], &SynthesisConfig::default())?;
+/// assert_eq!(result.total_mem_accesses(), 0); // fits in 8 registers
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Runs the §5 pipeline over `blocks` executed in order. `links[i]` names
+/// `(producer, consumer)` variable pairs connecting block `i` to block
+/// `i + 1` **by name** (names survive the regeneration transform, variable
+/// ids do not). `activities` supplies the Hamming source per block.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] for invalid blocks, unresolvable links, or
+/// infeasible allocations (e.g. forced segments exceeding `R`).
+pub fn synthesize(
+    blocks: &[BasicBlock],
+    links: &[Vec<(String, String)>],
+    activities: &[ActivitySource],
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthesisError> {
+    // 1. Transformations (data regeneration).
+    let mut transformed = Vec::with_capacity(blocks.len());
+    let mut regenerated = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        match &config.regeneration {
+            Some(cfg) => {
+                let r = regenerate(block, cfg)?;
+                regenerated.push(r.regenerated.len());
+                transformed.push(r.block);
+            }
+            None => {
+                regenerated.push(0);
+                transformed.push(block.clone());
+            }
+        }
+    }
+
+    // 2. Detailed scheduling + lifetime extraction.
+    let mut problems = Vec::with_capacity(transformed.len());
+    let mut schedule_lengths = Vec::with_capacity(transformed.len());
+    for (i, block) in transformed.iter().enumerate() {
+        let schedule = list_schedule(block, config.resources)?;
+        schedule_lengths.push(schedule.length());
+        let table = LifetimeTable::from_schedule(block, &schedule)?;
+        let activity = activities
+            .get(i)
+            .cloned()
+            .unwrap_or(ActivitySource::Uniform { hamming: 8.0 });
+        problems.push(
+            AllocationProblem::new(table, config.registers)
+                .with_energy(config.energy.clone())
+                .with_register_energy(config.register_energy)
+                .with_style(config.style)
+                .with_access_period(config.access_period)
+                .with_activity(activity),
+        );
+    }
+
+    // 3. Resolve name links to variable ids.
+    let var_by_name = |block: &BasicBlock, name: &str| -> Option<VarId> {
+        block.vars().find(|(_, v)| v.name == name).map(|(id, _)| id)
+    };
+    let mut id_links = Vec::with_capacity(links.len());
+    for (i, block_links) in links.iter().enumerate() {
+        let mut resolved = Vec::with_capacity(block_links.len());
+        for (out_name, in_name) in block_links {
+            let out = var_by_name(&transformed[i], out_name).ok_or_else(|| {
+                SynthesisError::UnknownLink {
+                    block: i,
+                    name: out_name.clone(),
+                }
+            })?;
+            let inv = var_by_name(&transformed[i + 1], in_name).ok_or_else(|| {
+                SynthesisError::UnknownLink {
+                    block: i,
+                    name: in_name.clone(),
+                }
+            })?;
+            resolved.push((out, inv));
+        }
+        id_links.push(resolved);
+    }
+
+    // 4. Chained flow allocation with boundary threading.
+    let chain = allocate_chain(&BlockChain {
+        blocks: problems,
+        links: id_links,
+    })?;
+
+    // 5. Second-stage memory re-allocation and 6. instruction mapping.
+    let mut reallocations = Vec::with_capacity(chain.allocations.len());
+    let mut plans = Vec::with_capacity(chain.allocations.len());
+    for (problem, allocation) in chain.problems.iter().zip(&chain.allocations) {
+        reallocations.push(reallocate_memory(problem, allocation)?);
+        plans.push(storage_plan(problem, allocation));
+    }
+
+    Ok(SynthesisResult {
+        blocks: transformed,
+        schedule_lengths,
+        chain,
+        reallocations,
+        plans,
+        regenerated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_ir::OpKind;
+
+    fn producer() -> BasicBlock {
+        let mut bb = BasicBlock::new("producer");
+        let x = bb.input("x");
+        let y = bb.input("y");
+        let sum = bb.op(OpKind::Add, &[x, y], "sum").unwrap();
+        let sq = bb.op(OpKind::Mul, &[sum, sum], "sq").unwrap();
+        bb.output(sum).unwrap();
+        bb.output(sq).unwrap();
+        bb
+    }
+
+    fn consumer() -> BasicBlock {
+        let mut bb = BasicBlock::new("consumer");
+        let sum = bb.input("sum_in");
+        let sq = bb.input("sq_in");
+        let d = bb.op(OpKind::Add, &[sq, sum], "d").unwrap();
+        let out = bb.op(OpKind::Logic, &[d], "out").unwrap();
+        bb.output(out).unwrap();
+        bb
+    }
+
+    fn name_links() -> Vec<Vec<(String, String)>> {
+        vec![vec![
+            ("sum".to_owned(), "sum_in".to_owned()),
+            ("sq".to_owned(), "sq_in".to_owned()),
+        ]]
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let blocks = vec![producer(), consumer()];
+        let r = synthesize(&blocks, &name_links(), &[], &SynthesisConfig::default()).unwrap();
+        assert_eq!(r.chain.allocations.len(), 2);
+        assert_eq!(r.plans.len(), 2);
+        assert_eq!(r.reallocations.len(), 2);
+        assert!(r.schedule_lengths.iter().all(|&l| l >= 2));
+        // Ample registers: no memory traffic anywhere.
+        assert_eq!(r.total_mem_accesses(), 0);
+        // Boundary threading happened.
+        assert_eq!(r.chain.problems[1].carried_in_register.len(), 2);
+    }
+
+    #[test]
+    fn zero_registers_spill_across_the_boundary() {
+        let blocks = vec![producer(), consumer()];
+        let config = SynthesisConfig {
+            registers: 0,
+            ..SynthesisConfig::default()
+        };
+        let r = synthesize(&blocks, &name_links(), &[], &config).unwrap();
+        assert!(r.total_mem_accesses() > 0);
+        assert_eq!(r.chain.problems[1].carried_in_memory.len(), 2);
+        // The storage plans reconcile with the reports in every block.
+        for (plan, report) in r.plans.iter().zip(&r.chain.reports) {
+            assert_eq!(plan.stores() as u32, report.mem_writes);
+            assert_eq!(
+                plan.loads() + plan.memory_operand_reads(),
+                report.mem_reads as usize
+            );
+        }
+    }
+
+    #[test]
+    fn bad_links_are_named() {
+        let blocks = vec![producer(), consumer()];
+        let links = vec![vec![("nope".to_owned(), "sum_in".to_owned())]];
+        let err = synthesize(&blocks, &links, &[], &SynthesisConfig::default()).unwrap_err();
+        assert!(matches!(err, SynthesisError::UnknownLink { .. }));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn regeneration_is_applied_when_enabled() {
+        // A block with a regeneration candidate: cheap value used late.
+        let mut bb = BasicBlock::new("regen");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let sum = bb.op(OpKind::Add, &[a, b], "sum").unwrap();
+        let mut chainv = sum;
+        for i in 0..5 {
+            chainv = bb.op(OpKind::Logic, &[chainv], format!("c{i}")).unwrap();
+        }
+        let late = bb.op(OpKind::Add, &[chainv, sum], "late").unwrap();
+        bb.output(late).unwrap();
+
+        let with = synthesize(&[bb.clone()], &[], &[], &SynthesisConfig::default()).unwrap();
+        assert!(with.regenerated[0] >= 1);
+        let without = synthesize(
+            &[bb],
+            &[],
+            &[],
+            &SynthesisConfig {
+                regeneration: None,
+                ..SynthesisConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(without.regenerated[0], 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Structural validation of solved allocations.
+
+use crate::allocator::{Allocation, Placement};
+use crate::problem::AllocationProblem;
+use crate::CoreError;
+
+/// Checks that `allocation` is a structurally valid solution of `problem`:
+///
+/// * every segment has a placement, and chain membership matches it;
+/// * no more than `R` registers are used;
+/// * each register chain is time-ordered with non-overlapping segments;
+/// * forced segments (§5.2) are in registers;
+/// * memory addresses never hold two variables at once.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidAllocation`] naming the first violation.
+pub fn validate(problem: &AllocationProblem, allocation: &Allocation) -> Result<(), CoreError> {
+    let seg = allocation.segmentation();
+    let placements = allocation.placements();
+    if placements.len() != seg.len() {
+        return Err(bad(format!(
+            "{} placements for {} segments",
+            placements.len(),
+            seg.len()
+        )));
+    }
+    if allocation.registers_used() > problem.registers {
+        return Err(bad(format!(
+            "{} registers used, only {} available",
+            allocation.registers_used(),
+            problem.registers
+        )));
+    }
+
+    // Chains: time-ordered, disjoint, placements consistent.
+    let mut chain_of_segment = vec![None; seg.len()];
+    for (reg, chain) in allocation.chains().iter().enumerate() {
+        let mut prev_end = None;
+        for &sid in chain {
+            if chain_of_segment[sid.index()].replace(reg).is_some() {
+                return Err(bad(format!("{sid} appears in two chains")));
+            }
+            let segment = seg.segment(sid);
+            if let Some(end) = prev_end {
+                if segment.start() <= end {
+                    return Err(bad(format!(
+                        "register {reg}: {sid} starts at {} before previous segment ends at {end}",
+                        segment.start()
+                    )));
+                }
+            }
+            prev_end = Some(segment.end());
+            if placements[sid.index()] != Placement::Register(reg as u32) {
+                return Err(bad(format!(
+                    "{sid} in chain {reg} but placed {:?}",
+                    placements[sid.index()]
+                )));
+            }
+        }
+    }
+    for (i, p) in placements.iter().enumerate() {
+        let in_chain = chain_of_segment[i].is_some();
+        if p.is_register() != in_chain {
+            return Err(bad(format!("segment {i} placement/chain mismatch")));
+        }
+    }
+
+    // Forced segments must be in registers.
+    for (id, segment) in seg.iter() {
+        if segment.forced_register && !placements[id.index()].is_register() {
+            return Err(bad(format!("forced segment {id} placed in memory")));
+        }
+    }
+
+    // Memory addresses: residency intervals sharing an address must not
+    // overlap.
+    let mut per_address: std::collections::HashMap<u32, Vec<(lemra_ir::Tick, lemra_ir::Tick)>> =
+        std::collections::HashMap::new();
+    for v in 0..problem.lifetimes.len() {
+        let var = lemra_ir::VarId(v as u32);
+        match (
+            allocation.memory_address(var),
+            allocation.memory_residency(var),
+        ) {
+            (Some(addr), Some(interval)) => per_address.entry(addr).or_default().push(interval),
+            (None, None) => {}
+            (a, r) => {
+                return Err(bad(format!(
+                    "{var}: address {a:?} inconsistent with residency {r:?}"
+                )))
+            }
+        }
+    }
+    for (addr, mut intervals) in per_address {
+        intervals.sort();
+        for w in intervals.windows(2) {
+            if w[1].0 <= w[0].1 {
+                return Err(bad(format!(
+                    "address {addr} holds two variables at once ({:?} and {:?})",
+                    w[0], w[1]
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bad(reason: String) -> CoreError {
+    CoreError::InvalidAllocation { reason }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate;
+    use lemra_ir::LifetimeTable;
+
+    #[test]
+    fn solver_output_validates() {
+        let t = LifetimeTable::from_intervals(
+            8,
+            vec![
+                (1, vec![3], false),
+                (3, vec![6], false),
+                (1, vec![6, 8], false),
+                (2, vec![], true),
+            ],
+        )
+        .unwrap();
+        for regs in 0..4 {
+            let p = AllocationProblem::new(t.clone(), regs);
+            let a = allocate(&p).unwrap();
+            validate(&p, &a).unwrap();
+        }
+    }
+
+    #[test]
+    fn forced_and_split_solutions_validate() {
+        let t = LifetimeTable::from_intervals(
+            9,
+            vec![
+                (1, vec![4, 9], false),
+                (2, vec![5], false),
+                (3, vec![8], false),
+            ],
+        )
+        .unwrap();
+        for c in [1, 2, 3, 4] {
+            let p = AllocationProblem::new(t.clone(), 3).with_access_period(c);
+            let a = allocate(&p).unwrap();
+            validate(&p, &a).unwrap();
+        }
+    }
+}

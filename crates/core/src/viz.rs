@@ -1,0 +1,222 @@
+//! ASCII rendering of lifetime diagrams and allocations — the textual
+//! equivalent of the paper's Figures 1, 3 and 4.
+//!
+//! One row per variable, one column per control step:
+//!
+//! ```text
+//! step      1 2 3 4 5 6 7 8 +
+//! a    r0   D===r
+//! b    m0   D.....r
+//! c    r0/m0     D===x....r
+//! ```
+//!
+//! * `D` — definition; `r` — genuine read; `x` — split/spill point;
+//! * `=` — the value sits in a register; `.` — it sits in memory;
+//! * the placement column shows the register (`r0`) or address (`m0`) of
+//!   each segment in order, `/`-separated when the variable moves;
+//! * the trailing `+` column is the post-block slot where live-out
+//!   variables are read by the next task.
+
+use crate::allocator::{Allocation, Placement};
+use crate::problem::AllocationProblem;
+use lemra_ir::{LifetimeTable, VarId};
+
+/// Renders the bare lifetimes of `table` (no placements), Figure-1 style.
+///
+/// `names` supplies row labels; missing entries fall back to `v<i>`.
+pub fn render_lifetimes(table: &LifetimeTable, names: &[&str]) -> String {
+    let len = table.block_len();
+    let mut out = header(len);
+    for lt in table.iter() {
+        let label = label_for(lt.var, names);
+        let mut row = vec![' '; (len + 2) as usize];
+        let start = lt.def.0 as usize;
+        let end = lt.end(len).step().0 as usize;
+        for cell in row
+            .iter_mut()
+            .take(end.min(len as usize + 1) + 1)
+            .skip(start)
+        {
+            *cell = '-';
+        }
+        row[start] = 'D';
+        for r in lt.read_steps(len) {
+            row[(r.0 as usize).min(len as usize + 1)] = 'r';
+        }
+        push_row(&mut out, &label, "", &row);
+    }
+    out
+}
+
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate, render_allocation, AllocationProblem};
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lifetimes = LifetimeTable::from_intervals(4, vec![(1, vec![4], false)])?;
+/// let problem = AllocationProblem::new(lifetimes, 1);
+/// let allocation = allocate(&problem)?;
+/// let art = render_allocation(&problem, &allocation, &["acc"]);
+/// assert!(art.contains("acc"));
+/// assert!(art.contains('D')); // the definition marker
+/// # Ok(())
+/// # }
+/// ```
+/// Renders `allocation` over its problem's lifetimes, marking per-step
+/// placements — the annotated counterpart of the paper's bold-line figures.
+pub fn render_allocation(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    names: &[&str],
+) -> String {
+    let table = &problem.lifetimes;
+    let len = table.block_len();
+    let seg = allocation.segmentation();
+    let mut out = header(len);
+    for lt in table.iter() {
+        let label = label_for(lt.var, names);
+        let segments = seg.segments_of(lt.var);
+        let mut row = vec![' '; (len + 2) as usize];
+        let mut places = Vec::new();
+        for (i, s) in segments.iter().enumerate() {
+            let placement = allocation.placement(seg.id_of(lt.var, i));
+            let fill = match placement {
+                Placement::Register(_) => '=',
+                Placement::Memory => '.',
+            };
+            places.push(match placement {
+                Placement::Register(r) => format!("r{r}"),
+                Placement::Memory => format!(
+                    "m{}",
+                    allocation
+                        .memory_address(lt.var)
+                        .expect("memory segments have addresses")
+                ),
+            });
+            let from = s.start_step.0 as usize;
+            let to = (s.end_step.0 as usize).min(len as usize + 1);
+            for cell in row.iter_mut().take(to + 1).skip(from) {
+                if *cell == ' ' {
+                    *cell = fill;
+                }
+            }
+            if i > 0 {
+                row[from] = 'x';
+            }
+        }
+        places.dedup();
+        row[lt.def.0 as usize] = 'D';
+        for r in lt.read_steps(len) {
+            row[(r.0 as usize).min(len as usize + 1)] = 'r';
+        }
+        push_row(&mut out, &label, &places.join("/"), &row);
+    }
+    out
+}
+
+/// Width of the name column plus the placement column.
+const LABEL_WIDTH: usize = 11;
+const PLACES_WIDTH: usize = 10;
+
+fn header(len: u32) -> String {
+    // Two-character columns showing the step's last digit (full numbers
+    // would not fit); the trailing `+` is the post-block live-out slot.
+    let mut s = format!("{:<width$}", "step", width = LABEL_WIDTH + PLACES_WIDTH);
+    for step in 1..=len {
+        s.push_str(&format!("{:<2}", step % 10));
+    }
+    s.push('+');
+    s.push('\n');
+    s
+}
+
+fn label_for(var: VarId, names: &[&str]) -> String {
+    names
+        .get(var.index())
+        .map_or_else(|| var.to_string(), |n| (*n).to_owned())
+}
+
+fn push_row(out: &mut String, label: &str, places: &str, row: &[char]) {
+    out.push_str(&format!(
+        "{label:<lw$}{places:<pw$}",
+        lw = LABEL_WIDTH,
+        pw = PLACES_WIDTH
+    ));
+    for &c in row.iter().skip(1) {
+        out.push(c);
+        out.push(c_extend(c));
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Column filler: lines extend between step columns, point events do not.
+fn c_extend(c: char) -> char {
+    match c {
+        '=' => '=',
+        '.' => '.',
+        '-' => '-',
+        _ => ' ',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate;
+    use lemra_ir::LifetimeTable;
+
+    fn table() -> LifetimeTable {
+        LifetimeTable::from_intervals(
+            6,
+            vec![(1, vec![3], false), (3, vec![6], false), (1, vec![], true)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lifetimes_render_defs_and_reads() {
+        let t = table();
+        let s = render_lifetimes(&t, &["a", "b", "c"]);
+        assert!(s.contains("a    "));
+        assert!(s.lines().count() == 4); // header + 3 vars
+        let a_row = s.lines().nth(1).unwrap();
+        assert!(a_row.contains('D'));
+        assert!(a_row.contains('r'));
+    }
+
+    #[test]
+    fn allocation_render_shows_placements() {
+        let t = table();
+        let p = AllocationProblem::new(t, 1);
+        let a = allocate(&p).unwrap();
+        let s = render_allocation(&p, &a, &["a", "b", "c"]);
+        // One register chain and one memory resident exist, so both fills
+        // and both place labels appear somewhere.
+        assert!(s.contains('='), "register fill missing:\n{s}");
+        assert!(s.contains('.'), "memory fill missing:\n{s}");
+        assert!(s.contains("r0"), "register label missing:\n{s}");
+        assert!(s.contains("m0"), "address label missing:\n{s}");
+    }
+
+    #[test]
+    fn unnamed_variables_fall_back_to_ids() {
+        let t = table();
+        let s = render_lifetimes(&t, &[]);
+        assert!(s.contains("v0"));
+        assert!(s.contains("v2"));
+    }
+
+    #[test]
+    fn split_points_marked() {
+        let t = LifetimeTable::from_intervals(8, vec![(1, vec![4, 8], false)]).unwrap();
+        let p = AllocationProblem::new(t, 1);
+        let a = allocate(&p).unwrap();
+        let s = render_allocation(&p, &a, &["x"]);
+        assert!(s.contains('r'), "reads missing:\n{s}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Property tests over random lifetime tables: every solver output
+//! validates, optimality is monotone in the register count, and the exact
+//! report agrees with the flow objective on the shapes the arc model covers
+//! exactly.
+
+use lemra_core::{
+    allocate, allocate_with_ports, assign_memory_tiers, baseline_energy, partition_memory_modules,
+    reallocate_memory, storage_plan, validate, AllocationProblem, AllocationReport, GraphStyle,
+    OffchipModel, Placement, PortLimits,
+};
+use lemra_energy::{MicroEnergy, RegisterEnergyKind};
+use lemra_ir::{ActivitySource, LifetimeTable};
+use proptest::prelude::*;
+
+/// Raw recipe for a random lifetime table.
+#[derive(Debug, Clone)]
+struct TableRecipe {
+    block_len: u32,
+    vars: Vec<(u32, Vec<u32>, bool)>,
+}
+
+fn recipe(max_reads: usize) -> impl Strategy<Value = TableRecipe> {
+    (4u32..14).prop_flat_map(move |block_len| {
+        let var = (1u32..block_len, 1usize..=max_reads, proptest::bool::ANY).prop_flat_map(
+            move |(def, n_reads, live_out)| {
+                let reads = proptest::collection::btree_set(def + 1..=block_len, 0..=n_reads);
+                (Just(def), reads, Just(live_out))
+            },
+        );
+        proptest::collection::vec(var, 1..10).prop_map(move |raw| TableRecipe {
+            block_len,
+            vars: raw
+                .into_iter()
+                .filter(|(_, reads, live_out)| !reads.is_empty() || *live_out)
+                .map(|(def, reads, live_out)| (def, reads.into_iter().collect(), live_out))
+                .collect(),
+        })
+    })
+}
+
+fn build_table(r: &TableRecipe) -> Option<LifetimeTable> {
+    if r.vars.is_empty() {
+        return None;
+    }
+    LifetimeTable::from_intervals(r.block_len, r.vars.clone()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the instance, the allocation validates structurally.
+    #[test]
+    fn solutions_always_validate(r in recipe(3), regs in 0u32..6) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        for style in [GraphStyle::Regions, GraphStyle::AllPairs] {
+            let p = AllocationProblem::new(table.clone(), regs).with_style(style);
+            let a = allocate(&p).expect("unforced problems are always feasible");
+            validate(&p, &a).unwrap();
+        }
+    }
+
+    /// The flow objective never improves when registers are removed, and is
+    /// never positive (the bypass guarantees the all-memory fallback).
+    #[test]
+    fn objective_monotone_in_registers(r in recipe(3)) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let mut prev = MicroEnergy::ZERO; // cost at R = 0
+        for regs in 0u32..6 {
+            let p = AllocationProblem::new(table.clone(), regs);
+            let a = allocate(&p).unwrap();
+            prop_assert!(a.flow_cost() <= MicroEnergy::ZERO);
+            if regs > 0 {
+                prop_assert!(a.flow_cost() <= prev, "more registers made it worse");
+            }
+            prev = a.flow_cost();
+        }
+    }
+
+    /// For single-read variables (one segment each) the arc model is exact:
+    /// the replayed energy equals baseline + flow cost, under both register
+    /// accounting models.
+    #[test]
+    fn report_matches_flow_cost_on_single_segment_instances(
+        r in recipe(1),
+        regs in 0u32..6,
+    ) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        // Keep only variables with exactly one segment (one read, no
+        // live-out double-read).
+        for kind in [RegisterEnergyKind::Static, RegisterEnergyKind::Activity] {
+            let p = AllocationProblem::new(table.clone(), regs)
+                .with_register_energy(kind)
+                .with_activity(ActivitySource::Uniform { hamming: 6.0 });
+            let single_segment = p
+                .lifetimes
+                .iter()
+                .all(|lt| lt.read_count() == 1);
+            if !single_segment {
+                return Ok(());
+            }
+            let a = allocate(&p).unwrap();
+            let report = AllocationReport::new(&p, &a);
+            let expected = (baseline_energy(&p) + a.flow_cost()).as_units();
+            prop_assert!(
+                (report.energy(kind) - expected).abs() < 1e-6,
+                "{kind:?}: report {} vs flow {expected}",
+                report.energy(kind)
+            );
+        }
+    }
+
+    /// Multi-segment instances: the exact report never exceeds the
+    /// all-memory baseline as long as nothing is forced — the solver only
+    /// moves variables into registers when it pays off, and chained
+    /// register placements are always priced exactly.
+    #[test]
+    fn never_worse_than_all_memory(r in recipe(3), regs in 0u32..6) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p = AllocationProblem::new(table, regs);
+        let a = allocate(&p).unwrap();
+        let report = AllocationReport::new(&p, &a);
+        // Mixed (spilled) variables may be priced approximately; whole-
+        // variable placements are exact. Either way the solution must not
+        // lose to the trivial all-memory one by more than the documented
+        // slack (which is zero when no variable is spilled).
+        let spilled = spilled_vars(&p, &a);
+        if spilled == 0 {
+            prop_assert!(
+                report.static_energy <= baseline_energy(&p).as_units() + 1e-6,
+                "worse than all-memory without any spills"
+            );
+        }
+    }
+
+    /// Restricted access periods keep solutions valid whenever feasible,
+    /// and every forced segment ends up in a register.
+    #[test]
+    fn restricted_access_times_respected(r in recipe(2), c in 2u32..5) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p = AllocationProblem::new(table, 8).with_access_period(c);
+        match allocate(&p) {
+            Ok(a) => {
+                validate(&p, &a).unwrap();
+                for (id, seg) in a.segmentation().iter() {
+                    if seg.forced_register {
+                        prop_assert!(a.placement(id).is_register());
+                    }
+                }
+            }
+            Err(lemra_core::CoreError::TooFewRegisters { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// The region construction never uses more hand-off freedom than
+    /// all-pairs: its optimum cannot beat the all-pairs optimum.
+    #[test]
+    fn all_pairs_objective_at_least_as_good(r in recipe(2), regs in 1u32..5) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p_r = AllocationProblem::new(table.clone(), regs)
+            .with_relief_arcs(false);
+        let p_a = AllocationProblem::new(table, regs)
+            .with_style(GraphStyle::AllPairs)
+            .with_relief_arcs(false);
+        if let (Ok(a_r), Ok(a_a)) = (allocate(&p_r), allocate(&p_a)) {
+            prop_assert!(a_a.flow_cost() <= a_r.flow_cost());
+        }
+    }
+}
+
+/// Number of variables with both register and memory segments.
+fn spilled_vars(p: &AllocationProblem, a: &lemra_core::Allocation) -> usize {
+    let seg = a.segmentation();
+    (0..p.lifetimes.len())
+        .filter(|&v| {
+            let segs = seg.segments_of(lemra_ir::VarId(v as u32));
+            let placements: Vec<Placement> = (0..segs.len())
+                .map(|i| a.placement(seg.id_of(lemra_ir::VarId(v as u32), i)))
+                .collect();
+            placements.iter().any(|p| p.is_register())
+                && placements.iter().any(|p| !p.is_register())
+        })
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Codegen reconciliation: stores equal memory writes, loads plus
+    /// memory-operand reads equal memory reads — on any instance, any
+    /// register count, any access period.
+    #[test]
+    fn codegen_reconciles_with_report(r in recipe(3), regs in 0u32..6, c in 1u32..4) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p = AllocationProblem::new(table, regs).with_access_period(c);
+        match allocate(&p) {
+            Ok(a) => {
+                let report = AllocationReport::new(&p, &a);
+                let plan = storage_plan(&p, &a);
+                prop_assert_eq!(plan.stores() as u32, report.mem_writes);
+                prop_assert_eq!(
+                    plan.loads() + plan.memory_operand_reads(),
+                    report.mem_reads as usize
+                );
+            }
+            Err(lemra_core::CoreError::TooFewRegisters { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected: {e}"),
+        }
+    }
+
+    /// Port-constrained allocation either satisfies the budget or reports a
+    /// typed failure; satisfied solutions always validate.
+    #[test]
+    fn ports_satisfied_or_reported(r in recipe(2), rp in 1u32..4, wp in 1u32..4) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p = AllocationProblem::new(table, 6);
+        let limits = PortLimits { read_ports: rp, write_ports: wp };
+        match allocate_with_ports(&p, limits) {
+            Ok((a, _)) => {
+                validate(&p, &a).unwrap();
+                let report = AllocationReport::new(&p, &a);
+                prop_assert!(report.max_reads_per_step <= rp);
+                prop_assert!(report.max_writes_per_step <= wp);
+            }
+            Err(
+                lemra_core::CoreError::PortsUnsatisfiable { .. }
+                | lemra_core::CoreError::TooFewRegisters { .. },
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected: {e}"),
+        }
+    }
+
+    /// Off-chip tiering: savings are non-negative and the tiered energy is
+    /// bracketed by the all-on-chip and all-off-chip extremes.
+    #[test]
+    fn tiering_brackets(r in recipe(2), regs in 0u32..4, cap in 0u32..6) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p = AllocationProblem::new(table, regs);
+        let a = allocate(&p).expect("feasible");
+        let model = OffchipModel::default();
+        let t = assign_memory_tiers(&p, &a, cap, &model).expect("always feasible");
+        prop_assert!(t.energy_saved() >= -1e-9);
+        prop_assert!(t.onchip_locations <= cap.min(a.storage_locations()));
+        let unconstrained =
+            assign_memory_tiers(&p, &a, a.storage_locations(), &model).expect("feasible");
+        prop_assert!(t.tiered_static_energy + 1e-9 >= unconstrained.tiered_static_energy);
+    }
+
+    /// The sleep partitioning never reports more awake module-steps than
+    /// the monolithic baseline, and every memory resident gets a module.
+    #[test]
+    fn sleep_partition_sound(r in recipe(2), m in 1u32..5) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let p = AllocationProblem::new(table, 1);
+        let a = allocate(&p).expect("feasible");
+        let s = partition_memory_modules(&p, &a, m, 1.0);
+        prop_assert!(s.awake_module_steps <= s.monolithic_awake_steps);
+        prop_assert!(s.idle_energy_saved >= 0.0);
+        let residents = (0..p.lifetimes.len() as u32)
+            .filter(|&v| a.memory_address(lemra_ir::VarId(v)).is_some())
+            .count();
+        prop_assert_eq!(s.module_of.len(), residents);
+    }
+
+    /// The second-stage memory re-allocation never increases switching and
+    /// never changes the location count.
+    #[test]
+    fn realloc_never_regresses(r in recipe(2), regs in 0u32..4) {
+        let Some(table) = build_table(&r) else { return Ok(()); };
+        let n = table.len();
+        let p = AllocationProblem::new(table, regs)
+            .with_activity(lemra_ir::ActivitySource::BitPatterns {
+                patterns: (0..n as u64).map(|i| i.wrapping_mul(0x9E37) & 0xFFFF).collect(),
+                width: 16,
+            });
+        let a = allocate(&p).expect("feasible");
+        let before = AllocationReport::new(&p, &a).memory_switching;
+        let r2 = reallocate_memory(&p, &a).expect("feasible");
+        prop_assert!(r2.switching <= before + 1e-9);
+        prop_assert_eq!(r2.locations, a.storage_locations());
+    }
+}

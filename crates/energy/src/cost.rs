@@ -1,0 +1,155 @@
+//! Fixed-point energy quantities.
+//!
+//! The flow solver works on exact integers — the paper's optimality claim
+//! ("a globally optimal solution can be obtained in polynomial time") relies
+//! on integral capacities and costs. [`MicroEnergy`] quantises energies to
+//! 10⁻⁶ of the base unit (the energy of one 16-bit addition at nominal
+//! voltage, following ref \[14\]).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// Scale factor: one energy unit = 10⁶ micro-units.
+pub const MICRO_SCALE: i64 = 1_000_000;
+
+/// An energy amount in millionths of the base energy unit.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_energy::MicroEnergy;
+///
+/// let read = MicroEnergy::from_units(5.0);
+/// let write = MicroEnergy::from_units(10.0);
+/// assert_eq!((read + write).as_units(), 15.0);
+/// assert_eq!((write - read).raw(), 5_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MicroEnergy(i64);
+
+impl MicroEnergy {
+    /// Zero energy.
+    pub const ZERO: MicroEnergy = MicroEnergy(0);
+
+    /// Quantises a floating-point energy (rounding to nearest micro-unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is not finite or overflows the fixed-point range.
+    pub fn from_units(units: f64) -> Self {
+        assert!(units.is_finite(), "energy must be finite, got {units}");
+        let raw = (units * MICRO_SCALE as f64).round();
+        assert!(
+            raw.abs() < i64::MAX as f64 / 4.0,
+            "energy {units} overflows fixed-point range"
+        );
+        MicroEnergy(raw as i64)
+    }
+
+    /// Constructs from a raw micro-unit count.
+    pub fn from_raw(raw: i64) -> Self {
+        MicroEnergy(raw)
+    }
+
+    /// The raw micro-unit count (suitable as a flow-arc cost).
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Converts back to floating-point units.
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / MICRO_SCALE as f64
+    }
+
+    /// Multiplies by an integer count (e.g. `rlast_v` reads).
+    pub fn scale(self, count: i64) -> Self {
+        MicroEnergy(self.0 * count)
+    }
+}
+
+impl Add for MicroEnergy {
+    type Output = MicroEnergy;
+    fn add(self, rhs: MicroEnergy) -> MicroEnergy {
+        MicroEnergy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MicroEnergy {
+    fn add_assign(&mut self, rhs: MicroEnergy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MicroEnergy {
+    type Output = MicroEnergy;
+    fn sub(self, rhs: MicroEnergy) -> MicroEnergy {
+        MicroEnergy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for MicroEnergy {
+    fn sub_assign(&mut self, rhs: MicroEnergy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for MicroEnergy {
+    type Output = MicroEnergy;
+    fn neg(self) -> MicroEnergy {
+        MicroEnergy(-self.0)
+    }
+}
+
+impl Sum for MicroEnergy {
+    fn sum<I: Iterator<Item = MicroEnergy>>(iter: I) -> MicroEnergy {
+        MicroEnergy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl std::fmt::Display for MicroEnergy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}", self.as_units())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = MicroEnergy::from_units(3.125);
+        assert_eq!(e.raw(), 3_125_000);
+        assert_eq!(e.as_units(), 3.125);
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        assert_eq!(MicroEnergy::from_units(0.000_000_6).raw(), 1);
+        assert_eq!(MicroEnergy::from_units(-0.000_000_6).raw(), -1);
+        assert_eq!(MicroEnergy::from_units(0.000_000_4).raw(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = MicroEnergy::from_units(2.0);
+        let b = MicroEnergy::from_units(0.5);
+        assert_eq!((a + b).as_units(), 2.5);
+        assert_eq!((a - b).as_units(), 1.5);
+        assert_eq!((-b).as_units(), -0.5);
+        assert_eq!(a.scale(3).as_units(), 6.0);
+        let total: MicroEnergy = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_units(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = MicroEnergy::from_units(f64::NAN);
+    }
+
+    #[test]
+    fn display_shows_units() {
+        assert_eq!(MicroEnergy::from_units(1.5).to_string(), "1.500000");
+    }
+}

@@ -1,0 +1,34 @@
+//! Storage energy models for `lemra` (§3 of the paper).
+//!
+//! * [`EnergyModel`] — the static (eq. 1) and activity-based (eq. 2)
+//!   per-access energies with voltage derating;
+//! * [`VoltageSchedule`] — supply scaling for memories run at `f/c`
+//!   (Table 1's 5 V → 2 V sweep);
+//! * [`MicroEnergy`] — exact fixed-point quantities used as flow-arc costs;
+//! * [`SramArray`] — first-principles per-access energies from array
+//!   geometry (derives the register-file-cheaper-than-memory premise).
+//!
+//! # Examples
+//!
+//! ```
+//! use lemra_energy::{EnergyModel, VoltageSchedule};
+//!
+//! // Table 1, row "f/4": memory at a quarter frequency, scaled to 2 V.
+//! let volts = VoltageSchedule::paper().voltage_for(4);
+//! let model = EnergyModel::default_16bit().with_memory_voltage(volts);
+//! let nominal = EnergyModel::default_16bit();
+//! assert!(model.e_mem_write() < nominal.e_mem_write());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod model;
+mod sram;
+mod voltage;
+
+pub use cost::{MicroEnergy, MICRO_SCALE};
+pub use model::{EnergyModel, RegisterEnergyKind, V_NOMINAL};
+pub use sram::SramArray;
+pub use voltage::VoltageSchedule;

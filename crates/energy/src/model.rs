@@ -1,0 +1,181 @@
+//! The storage energy models of §3 (eqs. 1 and 2).
+//!
+//! Both the **static** model (separate read/write energies per component)
+//! and the **activity-based** model (register energy proportional to the
+//! Hamming distance of successive residents) are supported. All quantities
+//! are expressed in multiples of the energy of one 16-bit addition at
+//! nominal 5 V — the normalisation of ref \[14\], under which an on-chip
+//! memory read costs 5 units and a memory write 10.
+//!
+//! The absolute register-file numbers are modelled (the Chandrakasan
+//! capacitance tables the paper used are not reproducible from its text);
+//! they preserve the published *ordering*: register accesses are markedly
+//! cheaper than accesses to the 16× larger memory. See `DESIGN.md` §1,
+//! substitution 2.
+
+use crate::cost::MicroEnergy;
+
+/// Per-access energies and voltages of the storage subsystem.
+///
+/// Effective energies scale with the square of the supply voltage; the
+/// `e_*` accessors below apply the derating. Fields are public — this is a
+/// parameter record meant to be tweaked per experiment.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_energy::EnergyModel;
+///
+/// let nominal = EnergyModel::default_16bit();
+/// let scaled = EnergyModel::default_16bit().with_memory_voltage(2.0);
+/// // 2 V memory: accesses cost (2/5)² = 0.16 of nominal.
+/// assert!(scaled.e_mem_read().as_units() < 0.2 * nominal.e_mem_read().as_units() + 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// On-chip memory read energy at nominal voltage (`E^m_r`).
+    pub mem_read: f64,
+    /// On-chip memory write energy at nominal voltage (`E^m_w`).
+    pub mem_write: f64,
+    /// Register-file read energy at nominal voltage (`E^r_r`).
+    pub reg_read: f64,
+    /// Register-file write energy at nominal voltage (`E^r_w`).
+    pub reg_write: f64,
+    /// Register-file switched capacitance per unit Hamming distance
+    /// (`C^r_rw` of eq. 2), in energy units at nominal voltage.
+    pub c_reg_rw: f64,
+    /// Memory supply voltage (`Vm`).
+    pub v_mem: f64,
+    /// Register-file supply voltage (`Vr`).
+    pub v_reg: f64,
+}
+
+/// Nominal supply voltage of the modelled 1997 process.
+pub const V_NOMINAL: f64 = 5.0;
+
+impl EnergyModel {
+    /// The default 16-bit model: memory read/write 5/10 units (ref \[14\]);
+    /// register read/write 0.5/0.8 units; `C^r_rw` = 0.1 units per switched
+    /// bit (a full 16-bit flip ≈ 2 register writes). Both components at 5 V.
+    pub fn default_16bit() -> Self {
+        Self {
+            mem_read: 5.0,
+            mem_write: 10.0,
+            reg_read: 0.5,
+            reg_write: 0.8,
+            c_reg_rw: 0.1,
+            v_mem: V_NOMINAL,
+            v_reg: V_NOMINAL,
+        }
+    }
+
+    /// Variant for the paper's figure examples, whose Hamming values are
+    /// *fractions* of the word (0.2 = 20% of bits): `C^r_rw` is the energy
+    /// of flipping the whole 16-bit word (16 × 0.1).
+    pub fn figures() -> Self {
+        Self {
+            c_reg_rw: 1.6,
+            ..Self::default_16bit()
+        }
+    }
+
+    /// Returns the model with the memory module scaled to `volts`.
+    pub fn with_memory_voltage(mut self, volts: f64) -> Self {
+        self.v_mem = volts;
+        self
+    }
+
+    /// Returns the model with the register file scaled to `volts`.
+    pub fn with_register_voltage(mut self, volts: f64) -> Self {
+        self.v_reg = volts;
+        self
+    }
+
+    fn mem_factor(&self) -> f64 {
+        (self.v_mem / V_NOMINAL).powi(2)
+    }
+
+    fn reg_factor(&self) -> f64 {
+        (self.v_reg / V_NOMINAL).powi(2)
+    }
+
+    /// Effective memory read energy `E^m_r` (voltage-derated).
+    pub fn e_mem_read(&self) -> MicroEnergy {
+        MicroEnergy::from_units(self.mem_read * self.mem_factor())
+    }
+
+    /// Effective memory write energy `E^m_w`.
+    pub fn e_mem_write(&self) -> MicroEnergy {
+        MicroEnergy::from_units(self.mem_write * self.mem_factor())
+    }
+
+    /// Effective register read energy `E^r_r` (static model).
+    pub fn e_reg_read(&self) -> MicroEnergy {
+        MicroEnergy::from_units(self.reg_read * self.reg_factor())
+    }
+
+    /// Effective register write energy `E^r_w` (static model).
+    pub fn e_reg_write(&self) -> MicroEnergy {
+        MicroEnergy::from_units(self.reg_write * self.reg_factor())
+    }
+
+    /// Activity-model register energy `H(v1, v2) · C^r_rw · Vr²` for one
+    /// register overwrite with Hamming term `hamming`.
+    pub fn e_reg_activity(&self, hamming: f64) -> MicroEnergy {
+        MicroEnergy::from_units(hamming * self.c_reg_rw * self.reg_factor())
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::default_16bit()
+    }
+}
+
+/// Which accounting eq. (1)/(2) uses for the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RegisterEnergyKind {
+    /// Eq. (1): fixed `E^r_w` / `E^r_r` per access.
+    #[default]
+    Static,
+    /// Eq. (2): `H(v1, v2) · C^r_rw · Vr²` per overwrite, reads free.
+    Activity,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preserves_published_ratios() {
+        let m = EnergyModel::default_16bit();
+        // Ref [14]: memory read = 5×, write = 10× a 16-bit add.
+        assert_eq!(m.e_mem_read().as_units(), 5.0);
+        assert_eq!(m.e_mem_write().as_units(), 10.0);
+        // Registers strictly cheaper than memory — the paper's premise.
+        assert!(m.e_reg_read() < m.e_mem_read());
+        assert!(m.e_reg_write() < m.e_mem_write());
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic() {
+        let m = EnergyModel::default_16bit().with_memory_voltage(2.5);
+        assert!((m.e_mem_read().as_units() - 5.0 * 0.25).abs() < 1e-9);
+        // Register file unaffected by memory scaling.
+        assert_eq!(m.e_reg_read().as_units(), 0.5);
+    }
+
+    #[test]
+    fn register_voltage_scales_activity() {
+        let m = EnergyModel::default_16bit().with_register_voltage(2.5);
+        assert!((m.e_reg_activity(8.0).as_units() - 8.0 * 0.1 * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figures_model_full_word_flip() {
+        let m = EnergyModel::figures();
+        // H = 1.0 means all 16 bits flip.
+        assert!((m.e_reg_activity(1.0).as_units() - 1.6).abs() < 1e-9);
+        assert!((m.e_reg_activity(0.5).as_units() - 0.8).abs() < 1e-9);
+    }
+}

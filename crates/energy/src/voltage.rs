@@ -1,0 +1,142 @@
+//! Voltage scaling of memory modules (§5.2, Table 1).
+//!
+//! "For low energy applications, memory modules may be operating at lower
+//! frequencies (and lower supply voltages to save energy)." Energy per
+//! access scales with `V²` (refs \[3, 15\]); the feasible voltage for a given
+//! slowdown follows the classical delay model `delay ∝ V / (V − Vt)²`.
+//!
+//! Table 1 runs the memory at `f`, `f/2` and `f/4` with "scaled supply
+//! voltage ranging from 5 V to 2 V"; [`VoltageSchedule::paper`] reproduces
+//! exactly those operating points, while [`VoltageSchedule::analytic`]
+//! derives the voltage for arbitrary divisors from the delay model.
+
+/// Maps a memory frequency divisor (`c` in Problem 1: one access every `c`
+/// control steps) to a supply voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VoltageSchedule {
+    /// Explicit operating points `(divisor, volts)`; unlisted divisors fall
+    /// back to the nominal voltage of the closest smaller divisor.
+    Table {
+        /// Operating points sorted by divisor.
+        points: Vec<(u32, f64)>,
+    },
+    /// Delay-model-derived: solve `V/(V−Vt)² = divisor · V0/(V0−Vt)²`.
+    Analytic {
+        /// Nominal supply (divisor 1).
+        v_nom: f64,
+        /// Threshold voltage of the process.
+        v_t: f64,
+    },
+}
+
+impl VoltageSchedule {
+    /// The operating points of Table 1: 5 V at `f`, 3.3 V at `f/2`, 2 V at
+    /// `f/4`.
+    pub fn paper() -> Self {
+        VoltageSchedule::Table {
+            points: vec![(1, 5.0), (2, 3.3), (4, 2.0)],
+        }
+    }
+
+    /// An analytic schedule for a 5 V process with the given threshold
+    /// voltage.
+    pub fn analytic(v_t: f64) -> Self {
+        VoltageSchedule::Analytic { v_nom: 5.0, v_t }
+    }
+
+    /// Supply voltage for a memory running every `divisor` control steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn voltage_for(&self, divisor: u32) -> f64 {
+        assert!(divisor >= 1, "frequency divisor must be at least 1");
+        match self {
+            VoltageSchedule::Table { points } => {
+                let mut best = points
+                    .first()
+                    .map(|&(_, v)| v)
+                    .expect("voltage table is non-empty");
+                for &(d, v) in points {
+                    if d <= divisor {
+                        best = v;
+                    }
+                }
+                best
+            }
+            VoltageSchedule::Analytic { v_nom, v_t } => {
+                let nominal_delay = delay(*v_nom, *v_t);
+                let target = nominal_delay * f64::from(divisor);
+                // delay(V) is decreasing in V above Vt: bisect.
+                let (mut lo, mut hi) = (*v_t + 1e-6, *v_nom);
+                for _ in 0..200 {
+                    let mid = 0.5 * (lo + hi);
+                    if delay(mid, *v_t) > target {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            }
+        }
+    }
+
+    /// The `V²` energy derating factor relative to 5 V nominal.
+    pub fn energy_factor(&self, divisor: u32) -> f64 {
+        let v = self.voltage_for(divisor);
+        (v / 5.0).powi(2)
+    }
+}
+
+fn delay(v: f64, v_t: f64) -> f64 {
+    v / (v - v_t).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_points() {
+        let s = VoltageSchedule::paper();
+        assert_eq!(s.voltage_for(1), 5.0);
+        assert_eq!(s.voltage_for(2), 3.3);
+        assert_eq!(s.voltage_for(4), 2.0);
+        // In-between divisor keeps the last feasible point.
+        assert_eq!(s.voltage_for(3), 3.3);
+        assert_eq!(s.voltage_for(8), 2.0);
+    }
+
+    #[test]
+    fn paper_energy_factors_are_quadratic() {
+        let s = VoltageSchedule::paper();
+        assert!((s.energy_factor(1) - 1.0).abs() < 1e-12);
+        assert!((s.energy_factor(4) - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_is_monotone_decreasing() {
+        let s = VoltageSchedule::analytic(1.0);
+        let v1 = s.voltage_for(1);
+        let v2 = s.voltage_for(2);
+        let v4 = s.voltage_for(4);
+        assert!((v1 - 5.0).abs() < 1e-6);
+        assert!(v2 < v1 && v4 < v2);
+        assert!(v4 > 1.0, "stays above threshold");
+    }
+
+    #[test]
+    fn analytic_solves_the_delay_equation() {
+        let s = VoltageSchedule::analytic(1.0);
+        let v2 = s.voltage_for(2);
+        let ratio = delay(v2, 1.0) / delay(5.0, 1.0);
+        assert!((ratio - 2.0).abs() < 1e-3, "delay ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor")]
+    fn zero_divisor_panics() {
+        let _ = VoltageSchedule::paper().voltage_for(0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Switching-activity sources for the activity-based energy model (eq. 2).
+//!
+//! The activity model charges `H(v1, v2) · C^r_rw · Vr²` whenever `v2`
+//! overwrites `v1` in the same register, where `H` is the Hamming distance
+//! between representative values of the variables. The paper's figures give
+//! `H` directly as a pairwise table ("number of bits which change over total
+//! number of bits"); real workloads carry representative bit patterns.
+
+use crate::var::VarId;
+use std::collections::HashMap;
+
+/// Provides the Hamming-distance term `H(v1, v2)` of eq. (2) and (5).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ActivitySource {
+    /// Representative bit patterns; `H` is the popcount of the XOR.
+    BitPatterns {
+        /// Pattern per variable, indexed by [`VarId`].
+        patterns: Vec<u64>,
+        /// Data-path width in bits (patterns are masked to it).
+        width: u32,
+    },
+    /// Explicit pairwise table, as printed next to Figures 3 and 4. Lookups
+    /// are symmetric; missing pairs fall back to `default`.
+    PairTable {
+        /// `H` per ordered pair (looked up both ways).
+        table: HashMap<(VarId, VarId), f64>,
+        /// Value for pairs absent from the table.
+        default: f64,
+        /// Switching when a variable is first written into a register — the
+        /// paper "assume(s) that 0.5 of the bits change at time 0".
+        initial: f64,
+    },
+    /// Constant `H` for every transition (useful bound in tests).
+    Uniform {
+        /// The constant Hamming value.
+        hamming: f64,
+    },
+}
+
+impl ActivitySource {
+    /// Builds a pairwise table source from `(v1, v2, hamming)` triples with
+    /// the paper's defaults (missing pairs 0.5, initial write 0.5).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, VarId, f64)>) -> Self {
+        ActivitySource::PairTable {
+            table: pairs.into_iter().map(|(a, b, h)| ((a, b), h)).collect(),
+            default: 0.5,
+            initial: 0.5,
+        }
+    }
+
+    /// The Hamming term for `v2` overwriting `v1` in a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ActivitySource::BitPatterns`] source does not cover
+    /// both variables.
+    pub fn hamming(&self, v1: VarId, v2: VarId) -> f64 {
+        match self {
+            ActivitySource::BitPatterns { patterns, width } => {
+                let mask = mask(*width);
+                let x = patterns[v1.index()] & mask;
+                let y = patterns[v2.index()] & mask;
+                (x ^ y).count_ones() as f64
+            }
+            ActivitySource::PairTable { table, default, .. } => table
+                .get(&(v1, v2))
+                .or_else(|| table.get(&(v2, v1)))
+                .copied()
+                .unwrap_or(*default),
+            ActivitySource::Uniform { hamming } => *hamming,
+        }
+    }
+
+    /// The Hamming term for the *first* write of `v` into a previously
+    /// unused register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ActivitySource::BitPatterns`] source does not cover
+    /// `v`.
+    pub fn initial(&self, v: VarId) -> f64 {
+        match self {
+            ActivitySource::BitPatterns { patterns, width } => {
+                (patterns[v.index()] & mask(*width)).count_ones() as f64
+            }
+            ActivitySource::PairTable { initial, .. } => *initial,
+            ActivitySource::Uniform { hamming } => *hamming,
+        }
+    }
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_patterns_xor_popcount() {
+        let src = ActivitySource::BitPatterns {
+            patterns: vec![0b1010, 0b0110],
+            width: 4,
+        };
+        assert_eq!(src.hamming(VarId(0), VarId(1)), 2.0);
+        assert_eq!(src.hamming(VarId(1), VarId(0)), 2.0);
+        assert_eq!(src.initial(VarId(0)), 2.0);
+    }
+
+    #[test]
+    fn width_masks_high_bits() {
+        let src = ActivitySource::BitPatterns {
+            patterns: vec![0xFF0F, 0x000F],
+            width: 8,
+        };
+        assert_eq!(src.hamming(VarId(0), VarId(1)), 0.0);
+    }
+
+    #[test]
+    fn pair_table_symmetric_with_default() {
+        let src = ActivitySource::from_pairs([(VarId(0), VarId(1), 0.2)]);
+        assert_eq!(src.hamming(VarId(0), VarId(1)), 0.2);
+        assert_eq!(src.hamming(VarId(1), VarId(0)), 0.2);
+        assert_eq!(src.hamming(VarId(0), VarId(2)), 0.5);
+        assert_eq!(src.initial(VarId(0)), 0.5);
+    }
+
+    #[test]
+    fn uniform_is_constant() {
+        let src = ActivitySource::Uniform { hamming: 8.0 };
+        assert_eq!(src.hamming(VarId(3), VarId(9)), 8.0);
+        assert_eq!(src.initial(VarId(3)), 8.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Basic blocks: ordered operation lists over single-assignment variables.
+//!
+//! The paper's Problem 1 starts from "an initial schedule of operations,
+//! represented by an ordered list of operations" inside a basic block.
+//! [`BasicBlock`] is that list plus the variable table; the
+//! [schedulers](crate::schedule) assign control steps, and
+//! [`LifetimeTable`](crate::lifetime::LifetimeTable) derives lifetimes.
+
+use crate::op::{OpId, OpKind, Operation};
+use crate::var::{Var, VarId};
+use crate::IrError;
+use std::collections::HashMap;
+
+/// A basic block: variables plus operations in program order.
+///
+/// Variables are single-assignment: each is defined by exactly one operation
+/// (or is a block *input*) and may be read many times. Use
+/// [`BasicBlock::validate`] to check this after manual construction, or build
+/// through the typed helpers which maintain it.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_ir::{BasicBlock, OpKind};
+///
+/// # fn main() -> Result<(), lemra_ir::IrError> {
+/// let mut bb = BasicBlock::new("fir_tap");
+/// let x = bb.input("x");
+/// let c = bb.input("c");
+/// let p = bb.op(OpKind::Mul, &[x, c], "p")?;
+/// bb.output(p)?;
+/// bb.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BasicBlock {
+    name: String,
+    vars: Vec<Var>,
+    ops: Vec<Operation>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            vars: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The block's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a fresh variable without defining it (rarely needed; prefer
+    /// [`BasicBlock::input`] or [`BasicBlock::op`]).
+    pub fn fresh_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(Var::new(name));
+        id
+    }
+
+    /// Adds an `Input` operation defining a fresh variable.
+    pub fn input(&mut self, name: impl Into<String>) -> VarId {
+        let v = self.fresh_var(name);
+        self.ops.push(Operation {
+            kind: OpKind::Input,
+            args: Vec::new(),
+            result: Some(v),
+        });
+        v
+    }
+
+    /// Adds an operation reading `args` and defining a fresh variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownVar`] if an argument was not declared in
+    /// this block.
+    pub fn op(
+        &mut self,
+        kind: OpKind,
+        args: &[VarId],
+        result_name: impl Into<String>,
+    ) -> Result<VarId, IrError> {
+        for &a in args {
+            if a.index() >= self.vars.len() {
+                return Err(IrError::UnknownVar { var: a });
+            }
+        }
+        let v = self.fresh_var(result_name);
+        self.ops.push(Operation {
+            kind,
+            args: args.to_vec(),
+            result: Some(v),
+        });
+        Ok(v)
+    }
+
+    /// Marks `v` as a block output (read by a later task; its lifetime
+    /// extends past the end of the block, like variables `c` and `d` in
+    /// Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownVar`] if `v` was not declared in this block.
+    pub fn output(&mut self, v: VarId) -> Result<(), IrError> {
+        if v.index() >= self.vars.len() {
+            return Err(IrError::UnknownVar { var: v });
+        }
+        self.ops.push(Operation {
+            kind: OpKind::Output,
+            args: vec![v],
+            result: None,
+        });
+        Ok(())
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The variable table entry for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this block.
+    pub fn var(&self, v: VarId) -> &Var {
+        &self.vars[v.index()]
+    }
+
+    /// Mutable access to a variable's metadata (e.g. to set widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this block.
+    pub fn var_mut(&mut self, v: VarId) -> &mut Var {
+        &mut self.vars[v.index()]
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this block.
+    pub fn operation(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Iterates over `(id, operation)` in program order.
+    pub fn operations(&self) -> impl Iterator<Item = (OpId, &Operation)> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (OpId(i as u32), op))
+    }
+
+    /// Iterates over `(id, var)` pairs.
+    pub fn vars(&self) -> impl Iterator<Item = (VarId, &Var)> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// The operation defining each variable.
+    pub fn def_sites(&self) -> HashMap<VarId, OpId> {
+        let mut map = HashMap::new();
+        for (id, op) in self.operations() {
+            if let Some(r) = op.result {
+                map.insert(r, id);
+            }
+        }
+        map
+    }
+
+    /// Variables marked as block outputs.
+    pub fn live_outs(&self) -> Vec<VarId> {
+        self.operations()
+            .filter(|(_, op)| op.kind == OpKind::Output)
+            .flat_map(|(_, op)| op.args.iter().copied())
+            .collect()
+    }
+
+    /// Checks single assignment and def-before-use in program order.
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::Redefined`] if a variable has two defining operations.
+    /// * [`IrError::UseBeforeDef`] if an argument is read before (or
+    ///   without) its definition.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let mut defined = vec![false; self.vars.len()];
+        for (id, op) in self.operations() {
+            for &a in &op.args {
+                if !defined[a.index()] {
+                    return Err(IrError::UseBeforeDef { var: a, op: id });
+                }
+            }
+            if let Some(r) = op.result {
+                if defined[r.index()] {
+                    return Err(IrError::Redefined { var: r, op: id });
+                }
+                defined[r.index()] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate() {
+        let mut bb = BasicBlock::new("t");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let c = bb.op(OpKind::Add, &[a, b], "c").unwrap();
+        bb.output(c).unwrap();
+        bb.validate().unwrap();
+        assert_eq!(bb.var_count(), 3);
+        assert_eq!(bb.op_count(), 4);
+        assert_eq!(bb.live_outs(), vec![c]);
+        assert_eq!(bb.var(c).name, "c");
+    }
+
+    #[test]
+    fn def_sites_cover_all_defined_vars() {
+        let mut bb = BasicBlock::new("t");
+        let a = bb.input("a");
+        let b = bb.op(OpKind::Logic, &[a], "b").unwrap();
+        let sites = bb.def_sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(bb.operation(sites[&b]).result, Some(b));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut bb = BasicBlock::new("t");
+        let ghost = bb.fresh_var("ghost");
+        let r = bb.op(OpKind::Add, &[ghost], "r");
+        assert!(r.is_ok()); // structurally fine...
+        let err = bb.validate().unwrap_err(); // ...but semantically invalid
+        assert!(matches!(err, IrError::UseBeforeDef { .. }));
+    }
+
+    #[test]
+    fn unknown_arg_rejected_eagerly() {
+        let mut bb = BasicBlock::new("t");
+        let foreign = VarId(42);
+        assert!(matches!(
+            bb.op(OpKind::Add, &[foreign], "r"),
+            Err(IrError::UnknownVar { .. })
+        ));
+        assert!(bb.output(foreign).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Lifetime-density analysis: maximum-density regions and the gaps between
+//! them (§5.1 of the paper).
+//!
+//! "Regions of maximum lifetime density, or sections of time where a maximum
+//! number of data variable's lifetimes intersect, are identified … Inbetween
+//! adjacent regions of maximum lifetime density, several data variable
+//! lifetimes may end and other lifetimes may begin. A complete bipartite
+//! graph is formed between these nodes."
+//!
+//! [`DensityProfile`] counts, for every tick of the half-tick timeline, how
+//! many lifetimes cover it; [`DensityProfile::max_regions`] returns the
+//! maximal runs of ticks at peak density, and
+//! [`DensityProfile::gaps`] the intervals before, between and after those
+//! runs — the places where the §5.1 construction adds bipartite arcs.
+
+use crate::lifetime::LifetimeTable;
+use crate::time::{Step, Tick};
+
+/// An inclusive interval of ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TickRange {
+    /// First tick of the interval.
+    pub start: Tick,
+    /// Last tick of the interval (inclusive).
+    pub end: Tick,
+}
+
+impl TickRange {
+    /// True if `t` falls inside the interval.
+    pub fn contains(&self, t: Tick) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// True for intervals with `start > end` (an empty gap between two
+    /// adjacent regions).
+    pub fn is_empty(&self) -> bool {
+        self.start > self.end
+    }
+}
+
+impl std::fmt::Display for TickRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// Per-tick lifetime counts of one [`LifetimeTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensityProfile {
+    counts: Vec<u32>,
+}
+
+impl DensityProfile {
+    /// Computes the profile of `table` over ticks `0 ..= read_tick(x + 1)`,
+    /// where `x` is the block length (the sink's tick, so live-out lifetimes
+    /// are fully covered).
+    pub fn new(table: &LifetimeTable) -> Self {
+        Self::from_intervals(
+            table.block_len(),
+            table
+                .iter()
+                .map(|lt| (lt.start(), lt.end(table.block_len()))),
+        )
+    }
+
+    /// Computes the profile of arbitrary tick intervals (used for split
+    /// lifetimes, whose segments are sub-intervals).
+    pub fn from_intervals(
+        block_len: u32,
+        intervals: impl IntoIterator<Item = (Tick, Tick)>,
+    ) -> Self {
+        let last = Step(block_len + 1).read_tick().0 as usize;
+        let mut delta = vec![0i64; last + 2];
+        for (start, end) in intervals {
+            debug_assert!(start <= end, "interval start after end");
+            let s = (start.0 as usize).min(last);
+            let e = (end.0 as usize).min(last);
+            delta[s] += 1;
+            delta[e + 1] -= 1;
+        }
+        let mut counts = Vec::with_capacity(last + 1);
+        let mut acc = 0i64;
+        for d in delta.iter().take(last + 1) {
+            acc += d;
+            counts.push(u32::try_from(acc).expect("density never negative"));
+        }
+        Self { counts }
+    }
+
+    /// Density at tick `t` (0 past the profile's end).
+    pub fn at(&self, t: Tick) -> u32 {
+        self.counts.get(t.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Peak density — the minimum register-file size that would hold every
+    /// variable simultaneously.
+    pub fn max(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximal runs of ticks whose density equals [`DensityProfile::max`].
+    ///
+    /// Returns an empty vector for an empty table.
+    pub fn max_regions(&self) -> Vec<TickRange> {
+        let peak = self.max();
+        if peak == 0 {
+            return Vec::new();
+        }
+        let mut regions = Vec::new();
+        let mut run_start: Option<u32> = None;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == peak {
+                run_start.get_or_insert(i as u32);
+            } else if let Some(s) = run_start.take() {
+                regions.push(TickRange {
+                    start: Tick(s),
+                    end: Tick(i as u32 - 1),
+                });
+            }
+        }
+        if let Some(s) = run_start {
+            regions.push(TickRange {
+                start: Tick(s),
+                end: Tick(self.counts.len() as u32 - 1),
+            });
+        }
+        regions
+    }
+
+    /// The intervals before the first, between adjacent, and after the last
+    /// maximum-density region. Empty between-gaps (adjacent regions) are
+    /// omitted; the leading gap starts at tick 0 and the trailing gap ends
+    /// at the last profiled tick.
+    pub fn gaps(&self) -> Vec<TickRange> {
+        let regions = self.max_regions();
+        if regions.is_empty() {
+            return vec![TickRange {
+                start: Tick(0),
+                end: Tick(self.counts.len().saturating_sub(1) as u32),
+            }];
+        }
+        let mut gaps = Vec::with_capacity(regions.len() + 1);
+        gaps.push(TickRange {
+            start: Tick(0),
+            end: Tick(regions[0].start.0.saturating_sub(1)),
+        });
+        for w in regions.windows(2) {
+            let g = TickRange {
+                start: Tick(w[0].end.0 + 1),
+                end: Tick(w[1].start.0 - 1),
+            };
+            if !g.is_empty() {
+                gaps.push(g);
+            }
+        }
+        gaps.push(TickRange {
+            start: Tick(regions.last().expect("non-empty").end.0 + 1),
+            end: Tick(self.counts.len() as u32 - 1),
+        });
+        gaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    fn figure1() -> LifetimeTable {
+        LifetimeTable::from_intervals(
+            7,
+            vec![
+                (1, vec![3], false), // a
+                (2, vec![3], false), // b
+                (2, vec![], true),   // c
+                (3, vec![], true),   // d
+                (5, vec![7], false), // e
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_density_peak_is_three() {
+        let p = DensityProfile::new(&figure1());
+        assert_eq!(p.max(), 3);
+        // a, b, c alive between b's def (t2w) and the reads at step 3 (t3r).
+        assert_eq!(p.at(Step(2).write_tick()), 3);
+        assert_eq!(p.at(Step(3).read_tick()), 3);
+        // After the step-3 reads only c and d survive.
+        assert_eq!(p.at(Step(4).read_tick()), 2);
+        // c, d, e alive from e's def.
+        assert_eq!(p.at(Step(5).write_tick()), 3);
+    }
+
+    #[test]
+    fn figure1_regions_match_paper() {
+        // Paper: "a region of maximum lifetime density is from time 2 to
+        // time 3 and another region is from time 5 to time 6" (e is read at
+        // 7, so on the half-tick line the second region runs to t7r).
+        let p = DensityProfile::new(&figure1());
+        let regions = p.max_regions();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].start, Step(2).write_tick());
+        assert_eq!(regions[0].end, Step(3).read_tick());
+        assert_eq!(regions[1].start, Step(5).write_tick());
+        assert_eq!(regions[1].end, Step(7).read_tick());
+    }
+
+    #[test]
+    fn figure1_gaps_surround_regions() {
+        let p = DensityProfile::new(&figure1());
+        let gaps = p.gaps();
+        assert_eq!(gaps.len(), 3);
+        assert_eq!(gaps[0].start, Tick(0));
+        assert_eq!(gaps[0].end.0, Step(2).write_tick().0 - 1);
+        // The middle gap covers step 3's write tick through step 5's read
+        // tick: where a, b end and d, e begin.
+        assert!(gaps[1].contains(Step(3).write_tick()));
+        assert!(gaps[1].contains(Step(4).read_tick()));
+        assert!(gaps[2].contains(Step(8).read_tick()));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LifetimeTable::from_intervals(3, vec![]).unwrap();
+        let p = DensityProfile::new(&t);
+        assert_eq!(p.max(), 0);
+        assert!(p.max_regions().is_empty());
+        assert_eq!(p.gaps().len(), 1);
+    }
+
+    #[test]
+    fn uniform_density_single_region() {
+        let t = LifetimeTable::from_intervals(4, vec![(1, vec![4], false)]).unwrap();
+        let p = DensityProfile::new(&t);
+        let regions = p.max_regions();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].start, Step(1).write_tick());
+        assert_eq!(regions[0].end, Step(4).read_tick());
+    }
+}

@@ -1,0 +1,144 @@
+//! Scheduled basic-block IR for `lemra`.
+//!
+//! The paper (Gebotys, DAC 1997) assumes "an initial schedule of operations,
+//! represented by an ordered list of operations" from which every data
+//! variable gets a *lifetime* (§2, Problem 1). This crate provides that
+//! substrate:
+//!
+//! * [`BasicBlock`] — ordered operations over single-assignment variables;
+//! * [`asap`] / [`alap`] / [`list_schedule`] — the schedulers the
+//!   methodology (§5) relies on;
+//! * [`LifetimeTable`] — lifetimes with multiple reads and live-outs, on the
+//!   [half-tick timeline](Tick);
+//! * [`DensityProfile`] — maximum-density regions and gaps (§5.1);
+//! * [`ActivitySource`] — the Hamming-distance term of the activity-based
+//!   energy model (eq. 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use lemra_ir::{asap, BasicBlock, DensityProfile, LifetimeTable, OpKind};
+//!
+//! # fn main() -> Result<(), lemra_ir::IrError> {
+//! let mut bb = BasicBlock::new("dot2");
+//! let x0 = bb.input("x0");
+//! let c0 = bb.input("c0");
+//! let p0 = bb.op(OpKind::Mul, &[x0, c0], "p0")?;
+//! let x1 = bb.input("x1");
+//! let c1 = bb.input("c1");
+//! let p1 = bb.op(OpKind::Mul, &[x1, c1], "p1")?;
+//! let acc = bb.op(OpKind::Add, &[p0, p1], "acc")?;
+//! bb.output(acc)?;
+//!
+//! let schedule = asap(&bb)?;
+//! let lifetimes = LifetimeTable::from_schedule(&bb, &schedule)?;
+//! let density = DensityProfile::new(&lifetimes);
+//! assert!(density.max() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod block;
+mod density;
+mod lifetime;
+mod op;
+mod schedule;
+mod textfmt;
+mod time;
+mod transform;
+mod var;
+
+pub use activity::ActivitySource;
+pub use block::BasicBlock;
+pub use density::{DensityProfile, TickRange};
+pub use lifetime::{Lifetime, LifetimeTable};
+pub use op::{OpId, OpKind, Operation, Resource};
+pub use schedule::{alap, asap, list_schedule, ResourceSet, Schedule};
+pub use textfmt::{format_block_spec, parse_block_spec, BlockSpec, ParseSpecError};
+pub use time::{Step, Tick};
+pub use transform::{op_energy, regenerate, RegenConfig, Regeneration};
+pub use var::{Var, VarId};
+
+/// Errors produced while building blocks, scheduling, or deriving lifetimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An operation referenced a variable not declared in its block.
+    UnknownVar {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A variable was read before (or without) being defined.
+    UseBeforeDef {
+        /// The variable read too early.
+        var: VarId,
+        /// The reading operation.
+        op: OpId,
+    },
+    /// A variable was defined twice.
+    Redefined {
+        /// The doubly-defined variable.
+        var: VarId,
+        /// The second defining operation.
+        op: OpId,
+    },
+    /// A schedule violates dependencies or a deadline.
+    BadSchedule {
+        /// The operation at fault.
+        op: OpId,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A variable is never read and never live-out.
+    DeadVar {
+        /// The dead variable.
+        var: VarId,
+    },
+    /// A hand-constructed lifetime is malformed.
+    BadLifetime {
+        /// The malformed lifetime's variable.
+        var: VarId,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UnknownVar { var } => write!(f, "unknown variable {var}"),
+            IrError::UseBeforeDef { var, op } => {
+                write!(f, "{op} reads {var} before its definition")
+            }
+            IrError::Redefined { var, op } => write!(f, "{op} redefines {var}"),
+            IrError::BadSchedule { op, reason } => write!(f, "bad schedule at {op}: {reason}"),
+            IrError::DeadVar { var } => write!(f, "variable {var} is never read"),
+            IrError::BadLifetime { var, reason } => {
+                write!(f, "bad lifetime for {var}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_err<T: std::error::Error + Send + Sync>() {}
+        assert_err::<IrError>();
+    }
+
+    #[test]
+    fn error_messages_name_the_culprit() {
+        let e = IrError::DeadVar { var: VarId(7) };
+        assert!(e.to_string().contains("v7"));
+    }
+}

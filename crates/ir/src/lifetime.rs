@@ -1,0 +1,333 @@
+//! Variable lifetimes derived from a schedule.
+//!
+//! Each data variable is "represented by a lifetime which is an interval of
+//! time" (§2): it starts at the write tick of the step that defines it and
+//! ends at the read tick of its last use. Variables read by later tasks
+//! (Figure 1's `c` and `d`, "read after time 7 by another task") are
+//! *live-out*: their lifetime extends to the read tick of step `x + 1`,
+//! where `x` is the schedule length.
+
+use crate::block::BasicBlock;
+use crate::op::OpKind;
+use crate::schedule::Schedule;
+use crate::time::{Step, Tick};
+use crate::var::VarId;
+use crate::IrError;
+
+/// The lifetime of one data variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Lifetime {
+    /// The variable this lifetime belongs to.
+    pub var: VarId,
+    /// Step whose write tick defines the variable.
+    pub def: Step,
+    /// Steps at which the variable is read, sorted ascending. May be empty
+    /// only for live-out variables.
+    pub reads: Vec<Step>,
+    /// True if a later task reads the variable after the block ends.
+    pub live_out: bool,
+}
+
+impl Lifetime {
+    /// First tick at which the variable occupies storage.
+    pub fn start(&self) -> Tick {
+        self.def.write_tick()
+    }
+
+    /// Last tick at which the variable occupies storage; live-out variables
+    /// survive to the read tick of step `block_len + 1`.
+    pub fn end(&self, block_len: u32) -> Tick {
+        if self.live_out {
+            Step(block_len + 1).read_tick()
+        } else {
+            self.reads
+                .last()
+                .expect("non-live-out lifetime has at least one read")
+                .read_tick()
+        }
+    }
+
+    /// All read steps including, for live-out variables, the external read
+    /// at step `block_len + 1` (the paper's `rlast_v` counts it: the value
+    /// must still be fetched by the consuming task).
+    pub fn read_steps(&self, block_len: u32) -> Vec<Step> {
+        let mut reads = self.reads.clone();
+        if self.live_out {
+            reads.push(Step(block_len + 1));
+        }
+        reads
+    }
+
+    /// Number of reads (`rlast_v` in the paper's objective). The external
+    /// read of a live-out variable counts: the consuming task still fetches
+    /// the value.
+    pub fn read_count(&self) -> usize {
+        self.reads.len() + usize::from(self.live_out)
+    }
+
+    /// True if this lifetime overlaps `other` anywhere on the tick line.
+    pub fn overlaps(&self, other: &Lifetime, block_len: u32) -> bool {
+        self.start() <= other.end(block_len) && other.start() <= self.end(block_len)
+    }
+}
+
+/// All lifetimes of one scheduled basic block, indexed by [`VarId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LifetimeTable {
+    block_len: u32,
+    lifetimes: Vec<Lifetime>,
+}
+
+impl LifetimeTable {
+    /// Derives lifetimes from a block and one of its schedules.
+    ///
+    /// # Errors
+    ///
+    /// * Any error of [`Schedule::validate`].
+    /// * [`IrError::DeadVar`] if a variable is never read and not live-out —
+    ///   dead code the allocator refuses to place.
+    pub fn from_schedule(block: &BasicBlock, schedule: &Schedule) -> Result<Self, IrError> {
+        schedule.validate(block)?;
+        let defs = block.def_sites();
+        let mut lifetimes: Vec<Lifetime> = block
+            .vars()
+            .map(|(v, _)| Lifetime {
+                var: v,
+                def: Step(0),
+                reads: Vec::new(),
+                live_out: false,
+            })
+            .collect();
+        for (v, lt) in lifetimes.iter_mut().enumerate() {
+            let op = defs[&VarId(v as u32)];
+            lt.def = schedule.completion_of(op, block.operation(op).kind);
+        }
+        for (id, op) in block.operations() {
+            if op.kind == OpKind::Output {
+                for &a in &op.args {
+                    lifetimes[a.index()].live_out = true;
+                }
+            } else {
+                for &a in &op.args {
+                    lifetimes[a.index()].reads.push(schedule.issue_of(id));
+                }
+            }
+        }
+        let block_len = schedule.length();
+        for lt in &mut lifetimes {
+            lt.reads.sort_unstable();
+            lt.reads.dedup();
+            if lt.reads.is_empty() && !lt.live_out {
+                return Err(IrError::DeadVar { var: lt.var });
+            }
+        }
+        Ok(Self {
+            block_len,
+            lifetimes,
+        })
+    }
+
+    /// Builds a table directly from `(def_step, read_steps, live_out)`
+    /// triples — used for the paper's hand-drawn figures.
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::BadLifetime`] if a read does not come strictly after the
+    ///   definition, reads are unsorted, or a lifetime extends past
+    ///   `block_len` without being marked live-out.
+    /// * [`IrError::DeadVar`] for lifetimes with no reads and no live-out.
+    pub fn from_intervals(
+        block_len: u32,
+        intervals: Vec<(u32, Vec<u32>, bool)>,
+    ) -> Result<Self, IrError> {
+        let mut lifetimes = Vec::with_capacity(intervals.len());
+        for (i, (def, reads, live_out)) in intervals.into_iter().enumerate() {
+            let var = VarId(i as u32);
+            if reads.is_empty() && !live_out {
+                return Err(IrError::DeadVar { var });
+            }
+            if reads.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(IrError::BadLifetime {
+                    var,
+                    reason: "reads must be strictly increasing".to_owned(),
+                });
+            }
+            if reads.first().is_some_and(|&r| r <= def) {
+                return Err(IrError::BadLifetime {
+                    var,
+                    reason: format!("read at step {} not after def at step {def}", reads[0]),
+                });
+            }
+            if reads.last().is_some_and(|&r| r > block_len) {
+                return Err(IrError::BadLifetime {
+                    var,
+                    reason: format!("read past block length {block_len}"),
+                });
+            }
+            if def > block_len {
+                return Err(IrError::BadLifetime {
+                    var,
+                    reason: format!("def at step {def} past block length {block_len}"),
+                });
+            }
+            lifetimes.push(Lifetime {
+                var,
+                def: Step(def),
+                reads: reads.into_iter().map(Step).collect(),
+                live_out,
+            });
+        }
+        Ok(Self {
+            block_len,
+            lifetimes,
+        })
+    }
+
+    /// Schedule length in control steps (the paper's `x`).
+    pub fn block_len(&self) -> u32 {
+        self.block_len
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.lifetimes.len()
+    }
+
+    /// True if the table holds no lifetimes.
+    pub fn is_empty(&self) -> bool {
+        self.lifetimes.is_empty()
+    }
+
+    /// The lifetime of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn lifetime(&self, v: VarId) -> &Lifetime {
+        &self.lifetimes[v.index()]
+    }
+
+    /// Iterates over all lifetimes in [`VarId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = &Lifetime> + '_ {
+        self.lifetimes.iter()
+    }
+
+    /// End tick of `v`'s lifetime (convenience for [`Lifetime::end`]).
+    pub fn end_of(&self, v: VarId) -> Tick {
+        self.lifetime(v).end(self.block_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::asap;
+
+    #[test]
+    fn from_schedule_tracks_defs_and_reads() {
+        let mut bb = BasicBlock::new("t");
+        let a = bb.input("a");
+        let b = bb.op(OpKind::Add, &[a], "b").unwrap();
+        let c = bb.op(OpKind::Add, &[a, b], "c").unwrap();
+        bb.output(c).unwrap();
+        let s = asap(&bb).unwrap();
+        let table = LifetimeTable::from_schedule(&bb, &s).unwrap();
+        let la = table.lifetime(a);
+        assert_eq!(la.def, Step(1));
+        assert_eq!(la.reads, vec![Step(2), Step(3)]);
+        assert!(!la.live_out);
+        let lc = table.lifetime(c);
+        assert!(lc.live_out);
+        assert_eq!(lc.end(table.block_len()), Step(4).read_tick());
+    }
+
+    #[test]
+    fn dead_variable_rejected() {
+        let mut bb = BasicBlock::new("t");
+        let _unused = bb.input("unused");
+        let s = asap(&bb).unwrap();
+        assert!(matches!(
+            LifetimeTable::from_schedule(&bb, &s),
+            Err(IrError::DeadVar { .. })
+        ));
+    }
+
+    #[test]
+    fn figure1_intervals() {
+        // Reconstruction of Figure 1: a, b, c, d, e over 7 control steps;
+        // c and d are read after step 7 by another task.
+        let table = LifetimeTable::from_intervals(
+            7,
+            vec![
+                (1, vec![3], false), // a
+                (2, vec![3], false), // b
+                (2, vec![], true),   // c (live-out)
+                (3, vec![], true),   // d (live-out)
+                (5, vec![7], false), // e
+            ],
+        )
+        .unwrap();
+        assert_eq!(table.len(), 5);
+        let c = table.lifetime(VarId(2));
+        assert_eq!(c.end(7), Step(8).read_tick());
+        assert_eq!(c.read_count(), 1);
+        // a and b overlap; a and e do not.
+        let a = table.lifetime(VarId(0));
+        let b = table.lifetime(VarId(1));
+        let e = table.lifetime(VarId(4));
+        assert!(a.overlaps(b, 7));
+        assert!(!a.overlaps(e, 7));
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(matches!(
+            LifetimeTable::from_intervals(5, vec![(3, vec![2], false)]),
+            Err(IrError::BadLifetime { .. })
+        ));
+        assert!(matches!(
+            LifetimeTable::from_intervals(5, vec![(1, vec![], false)]),
+            Err(IrError::DeadVar { .. })
+        ));
+        assert!(matches!(
+            LifetimeTable::from_intervals(5, vec![(1, vec![3, 3], false)]),
+            Err(IrError::BadLifetime { .. })
+        ));
+        assert!(matches!(
+            LifetimeTable::from_intervals(5, vec![(1, vec![9], false)]),
+            Err(IrError::BadLifetime { .. })
+        ));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_round_trips_tables() {
+        let table = figure1_like();
+        let json = serde_json::to_string(&table).unwrap();
+        let back: LifetimeTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[cfg(feature = "serde")]
+    fn figure1_like() -> LifetimeTable {
+        LifetimeTable::from_intervals(
+            7,
+            vec![(1, vec![3], false), (2, vec![], true), (5, vec![7], false)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_step_handoff_is_not_overlap() {
+        // v1 read at step 3, v2 written at step 3: no overlap (read tick
+        // precedes write tick) — exactly the Figure 1 hand-off semantics.
+        let table =
+            LifetimeTable::from_intervals(5, vec![(1, vec![3], false), (3, vec![5], false)])
+                .unwrap();
+        let v1 = table.lifetime(VarId(0));
+        let v2 = table.lifetime(VarId(1));
+        assert!(!v1.overlaps(v2, 5));
+    }
+}

@@ -1,0 +1,107 @@
+//! Operations of the scheduled basic-block IR.
+
+use crate::var::VarId;
+
+/// The kind of a data-path operation.
+///
+/// The set follows the paper's cost discussion (§2, ref \[14\]): a 16-bit
+/// multiplication, on-chip memory read, memory write and off-chip transfer
+/// dissipate 4, 5, 10 and 11 times the energy of a 16-bit addition. Loads
+/// and stores are *not* operations here — they are the allocator's output —
+/// but constant/input materialisation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// Addition / subtraction class (1 energy unit, 1 cycle).
+    Add,
+    /// Multiplication class (4 energy units, typically the critical resource).
+    Mul,
+    /// Bit-level ops: shifts, and/or/xor, negation.
+    Logic,
+    /// Comparison / select.
+    Cmp,
+    /// Reads an external input or immediate into a fresh variable.
+    Input,
+    /// Marks a variable as an external output (consumed after the block).
+    Output,
+}
+
+impl OpKind {
+    /// Default latency in control steps used by the schedulers.
+    pub fn latency(self) -> u32 {
+        match self {
+            OpKind::Mul => 2,
+            _ => 1,
+        }
+    }
+
+    /// The resource class consumed while the operation executes.
+    pub fn resource(self) -> Resource {
+        match self {
+            OpKind::Add => Resource::Alu,
+            OpKind::Mul => Resource::Multiplier,
+            OpKind::Logic | OpKind::Cmp => Resource::Alu,
+            OpKind::Input | OpKind::Output => Resource::Io,
+        }
+    }
+}
+
+/// A functional-unit class for resource-constrained list scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Resource {
+    /// Adders / ALUs.
+    Alu,
+    /// Multipliers.
+    Multiplier,
+    /// I/O ports for block inputs and outputs.
+    Io,
+}
+
+/// One operation: `result <- kind(args...)`.
+///
+/// `Output` operations have no result; `Input` operations have no arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    /// What the operation computes.
+    pub kind: OpKind,
+    /// Variables read by the operation.
+    pub args: Vec<VarId>,
+    /// Variable defined by the operation, if any.
+    pub result: Option<VarId>,
+}
+
+/// Identifier of an operation within one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Position of the operation in program order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies() {
+        assert_eq!(OpKind::Add.latency(), 1);
+        assert_eq!(OpKind::Mul.latency(), 2);
+    }
+
+    #[test]
+    fn resources() {
+        assert_eq!(OpKind::Mul.resource(), Resource::Multiplier);
+        assert_eq!(OpKind::Add.resource(), Resource::Alu);
+        assert_eq!(OpKind::Input.resource(), Resource::Io);
+    }
+}

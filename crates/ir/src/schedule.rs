@@ -1,0 +1,396 @@
+//! Schedulers assigning control steps to operations.
+//!
+//! The paper assumes "an initial schedule of operations" (§2, Problem 1); its
+//! methodology (§5) obtains one by list scheduling each task. This module
+//! provides ASAP, ALAP and resource-constrained list scheduling over
+//! [`BasicBlock`]s.
+//!
+//! Timing model: an operation issued at step `s` reads its arguments at the
+//! read tick of `s` and writes its result at the write tick of
+//! `s + latency - 1`. Functional units are not pipelined: a unit stays busy
+//! for the operation's full latency.
+
+use crate::block::BasicBlock;
+use crate::op::{OpId, OpKind, Resource};
+use crate::time::Step;
+use crate::IrError;
+use std::collections::HashMap;
+
+/// Available functional units per [`Resource`] class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSet {
+    /// Number of ALUs (adders, logic, comparators).
+    pub alu: usize,
+    /// Number of multipliers.
+    pub mul: usize,
+    /// Number of I/O ports for block inputs/outputs.
+    pub io: usize,
+}
+
+impl ResourceSet {
+    /// No resource constraints (ASAP-equivalent list schedule).
+    pub fn unlimited() -> Self {
+        Self {
+            alu: usize::MAX,
+            mul: usize::MAX,
+            io: usize::MAX,
+        }
+    }
+
+    /// A data path with the given ALU and multiplier counts and two I/O
+    /// ports (a typical embedded DSP configuration).
+    pub fn new(alu: usize, mul: usize) -> Self {
+        Self { alu, mul, io: 2 }
+    }
+
+    fn count(&self, r: Resource) -> usize {
+        match r {
+            Resource::Alu => self.alu,
+            Resource::Multiplier => self.mul,
+            Resource::Io => self.io,
+        }
+    }
+}
+
+impl Default for ResourceSet {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// A schedule: the issue step of every operation of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    issue: Vec<Step>,
+    length: u32,
+}
+
+impl Schedule {
+    /// The issue step of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to the scheduled block.
+    pub fn issue_of(&self, op: OpId) -> Step {
+        self.issue[op.index()]
+    }
+
+    /// The step at which `op` (with the given kind) writes its result.
+    pub fn completion_of(&self, op: OpId, kind: OpKind) -> Step {
+        Step(self.issue[op.index()].0 + kind.latency() - 1)
+    }
+
+    /// Total schedule length in control steps (the paper's `x`).
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// Checks that every operation issues only after all its producers have
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::BadSchedule`] naming the violating operation.
+    pub fn validate(&self, block: &BasicBlock) -> Result<(), IrError> {
+        let defs = block.def_sites();
+        for (id, op) in block.operations() {
+            for &a in &op.args {
+                let producer = defs[&a];
+                let ready = self.completion_of(producer, block.operation(producer).kind);
+                if self.issue_of(id) <= ready && !(op.kind == OpKind::Output) {
+                    return Err(IrError::BadSchedule {
+                        op: id,
+                        reason: format!(
+                            "issues at {} but {a} completes at {ready}",
+                            self.issue_of(id)
+                        ),
+                    });
+                }
+                if op.kind == OpKind::Output && self.issue_of(id) < ready {
+                    return Err(IrError::BadSchedule {
+                        op: id,
+                        reason: format!("output of {a} precedes its completion at {ready}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// As-soon-as-possible schedule (unlimited resources).
+///
+/// # Errors
+///
+/// Returns [`IrError`] if the block fails [`BasicBlock::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use lemra_ir::{asap, BasicBlock, OpKind};
+///
+/// # fn main() -> Result<(), lemra_ir::IrError> {
+/// let mut bb = BasicBlock::new("b");
+/// let a = bb.input("a");
+/// let b = bb.op(OpKind::Add, &[a], "b")?;
+/// let _ = bb.op(OpKind::Add, &[b], "c")?;
+/// let s = asap(&bb)?;
+/// assert_eq!(s.length(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn asap(block: &BasicBlock) -> Result<Schedule, IrError> {
+    block.validate()?;
+    let defs = block.def_sites();
+    let mut issue = Vec::with_capacity(block.op_count());
+    let mut completion: HashMap<OpId, u32> = HashMap::new();
+    let mut length = 0;
+    for (id, op) in block.operations() {
+        let earliest = op
+            .args
+            .iter()
+            .map(|a| {
+                let ready = completion[&defs[a]];
+                // Outputs read at the producer's completion step; real ops
+                // issue the step after.
+                if op.kind == OpKind::Output {
+                    ready
+                } else {
+                    ready + 1
+                }
+            })
+            .max()
+            .unwrap_or(1);
+        issue.push(Step(earliest));
+        let done = earliest + op.kind.latency() - 1;
+        completion.insert(id, done);
+        length = length.max(done);
+    }
+    Ok(Schedule { issue, length })
+}
+
+/// As-late-as-possible schedule for a target `length` (unlimited resources).
+///
+/// # Errors
+///
+/// Returns [`IrError::BadSchedule`] if `length` is shorter than the critical
+/// path, or any block validation error.
+pub fn alap(block: &BasicBlock, length: u32) -> Result<Schedule, IrError> {
+    block.validate()?;
+    let defs = block.def_sites();
+    // Latest issue, walked in reverse program order.
+    let mut latest: Vec<u32> = block
+        .operations()
+        .map(|(_, op)| {
+            if op.kind == OpKind::Output {
+                length
+            } else {
+                length + 1 - op.kind.latency()
+            }
+        })
+        .collect();
+    let ops: Vec<_> = block
+        .operations()
+        .map(|(id, op)| (id, op.clone()))
+        .collect();
+    for (id, op) in ops.iter().rev() {
+        for &a in &op.args {
+            let producer = defs[&a];
+            let pk = block.operation(producer).kind;
+            // The producer must complete strictly before our issue step —
+            // or at it, for Output markers, which read without computing.
+            let slack = if op.kind == OpKind::Output { 0 } else { 1 };
+            // issue_p + latency_p - 1 <= issue_self - slack
+            let max_issue = latest[id.index()]
+                .checked_sub(slack + pk.latency() - 1)
+                .ok_or_else(|| IrError::BadSchedule {
+                    op: *id,
+                    reason: format!("length {length} below critical path"),
+                })?;
+            latest[producer.index()] = latest[producer.index()].min(max_issue);
+        }
+    }
+    if latest.iter().any(|&s| s < 1) {
+        return Err(IrError::BadSchedule {
+            op: OpId(0),
+            reason: format!("length {length} below critical path"),
+        });
+    }
+    Ok(Schedule {
+        issue: latest.into_iter().map(Step).collect(),
+        length,
+    })
+}
+
+/// Resource-constrained list scheduling with ALAP-slack priority.
+///
+/// Operations ready at a step are issued in increasing ALAP order (least
+/// slack first) while units of their resource class remain free; multi-cycle
+/// operations hold their unit until completion.
+///
+/// # Errors
+///
+/// Returns [`IrError`] if the block fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_ir::{list_schedule, BasicBlock, OpKind, ResourceSet};
+///
+/// # fn main() -> Result<(), lemra_ir::IrError> {
+/// let mut bb = BasicBlock::new("b");
+/// let a = bb.input("a");
+/// let b = bb.input("b");
+/// let p = bb.op(OpKind::Mul, &[a, b], "p")?;
+/// let q = bb.op(OpKind::Mul, &[a, b], "q")?;
+/// let _ = bb.op(OpKind::Add, &[p, q], "r")?;
+/// // One multiplier: p and q must serialise.
+/// let s = list_schedule(&bb, ResourceSet::new(1, 1))?;
+/// assert!(s.length() >= 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn list_schedule(block: &BasicBlock, resources: ResourceSet) -> Result<Schedule, IrError> {
+    block.validate()?;
+    let defs = block.def_sites();
+    let critical = asap(block)?.length();
+    let priority = alap(block, critical)?;
+
+    let n = block.op_count();
+    let mut issue = vec![Step(0); n];
+    let mut done_step = vec![0u32; n];
+    let mut scheduled = vec![false; n];
+    let mut remaining = n;
+    // Units busy until (exclusive) step, per resource class.
+    let mut busy: HashMap<Resource, Vec<u32>> = HashMap::new();
+    let mut step = 1u32;
+    let mut length = 0u32;
+    while remaining > 0 {
+        // Output markers become ready the moment their producer completes,
+        // which can be within this very step — iterate to a fixpoint.
+        let mut progressed = true;
+        while progressed && remaining > 0 {
+            progressed = false;
+            // Ready ops, least ALAP slack first, program order as tiebreak.
+            let mut ready: Vec<OpId> = block
+                .operations()
+                .filter(|(id, op)| {
+                    !scheduled[id.index()]
+                        && op.args.iter().all(|a| {
+                            let p = defs[a];
+                            scheduled[p.index()]
+                                && if op.kind == OpKind::Output {
+                                    done_step[p.index()] <= step
+                                } else {
+                                    done_step[p.index()] < step
+                                }
+                        })
+                })
+                .map(|(id, _)| id)
+                .collect();
+            ready.sort_by_key(|id| (priority.issue_of(*id), *id));
+            for id in ready {
+                let kind = block.operation(id).kind;
+                let res = kind.resource();
+                let pool = busy.entry(res).or_default();
+                let capacity = resources.count(res);
+                pool.retain(|&until| until > step);
+                if pool.len() >= capacity {
+                    continue;
+                }
+                if capacity != usize::MAX {
+                    pool.push(step + kind.latency());
+                }
+                issue[id.index()] = Step(step);
+                done_step[id.index()] = step + kind.latency() - 1;
+                scheduled[id.index()] = true;
+                length = length.max(done_step[id.index()]);
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        step += 1;
+        if step > 4 * (critical + n as u32) + 8 {
+            return Err(IrError::BadSchedule {
+                op: OpId(0),
+                reason: "list scheduler failed to converge".to_owned(),
+            });
+        }
+    }
+    Ok(Schedule { issue, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> BasicBlock {
+        let mut bb = BasicBlock::new("chain");
+        let a = bb.input("a");
+        let b = bb.op(OpKind::Add, &[a], "b").unwrap();
+        let c = bb.op(OpKind::Mul, &[b], "c").unwrap();
+        let d = bb.op(OpKind::Add, &[c], "d").unwrap();
+        bb.output(d).unwrap();
+        bb
+    }
+
+    #[test]
+    fn asap_follows_dependencies() {
+        let bb = chain();
+        let s = asap(&bb).unwrap();
+        s.validate(&bb).unwrap();
+        assert_eq!(s.issue_of(OpId(0)).0, 1); // input
+        assert_eq!(s.issue_of(OpId(1)).0, 2); // add
+        assert_eq!(s.issue_of(OpId(2)).0, 3); // mul (2 cycles, done at 4)
+        assert_eq!(s.issue_of(OpId(3)).0, 5); // add
+        assert_eq!(s.length(), 5);
+    }
+
+    #[test]
+    fn alap_meets_deadline() {
+        let bb = chain();
+        let crit = asap(&bb).unwrap().length();
+        let s = alap(&bb, crit + 2).unwrap();
+        s.validate(&bb).unwrap();
+        assert!(s.issue_of(OpId(0)).0 >= 1);
+        // Everything slides right by exactly the slack on a pure chain.
+        assert_eq!(s.issue_of(OpId(3)).0, crit + 2);
+    }
+
+    #[test]
+    fn alap_rejects_impossible_deadline() {
+        let bb = chain();
+        assert!(alap(&bb, 2).is_err());
+    }
+
+    #[test]
+    fn list_schedule_respects_resources() {
+        let mut bb = BasicBlock::new("par");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let mut prods = Vec::new();
+        for i in 0..4 {
+            prods.push(bb.op(OpKind::Mul, &[a, b], format!("p{i}")).unwrap());
+        }
+        let s = list_schedule(&bb, ResourceSet::new(4, 1)).unwrap();
+        s.validate(&bb).unwrap();
+        // One 2-cycle multiplier, 4 multiplies: at least 8 steps of mul work.
+        let mut issues: Vec<u32> = prods
+            .iter()
+            .enumerate()
+            .map(|(i, _)| s.issue_of(OpId(2 + i as u32)).0)
+            .collect();
+        issues.sort_unstable();
+        for w in issues.windows(2) {
+            assert!(w[1] - w[0] >= 2, "multiplier double-booked: {issues:?}");
+        }
+    }
+
+    #[test]
+    fn unlimited_list_matches_asap_length() {
+        let bb = chain();
+        let s = list_schedule(&bb, ResourceSet::unlimited()).unwrap();
+        s.validate(&bb).unwrap();
+        assert_eq!(s.length(), asap(&bb).unwrap().length());
+    }
+}

@@ -1,0 +1,235 @@
+//! A small text format for lifetime tables, so instances can be written by
+//! hand, checked into test suites, and fed to the `lemra` CLI.
+//!
+//! ```text
+//! # Figure 1 of the paper
+//! block 7
+//! var a def=1 reads=3
+//! var b def=1 reads=3
+//! var c def=2 liveout
+//! var d def=3 liveout
+//! var e def=5 reads=7
+//! ```
+//!
+//! One `block <steps>` line, then one `var` line per variable with a
+//! mandatory `def=<step>`, an optional comma-separated `reads=` list and an
+//! optional `liveout` flag. `#` starts a comment; blank lines are ignored.
+
+use crate::lifetime::LifetimeTable;
+use crate::IrError;
+
+/// A parsed instance: the lifetimes plus the variable names, in id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Variable names in [`VarId`](crate::VarId) order.
+    pub names: Vec<String>,
+    /// The lifetimes.
+    pub table: LifetimeTable,
+}
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// Parses the text format described in the module documentation.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] naming the offending line for any syntax
+/// problem, duplicate name, or semantically invalid lifetime.
+pub fn parse_block_spec(input: &str) -> Result<BlockSpec, ParseSpecError> {
+    let mut steps: Option<u32> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut intervals: Vec<(u32, Vec<u32>, bool)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |reason: String| ParseSpecError {
+            line: line_no,
+            reason,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("block") => {
+                if steps.is_some() {
+                    return Err(err("duplicate `block` line".to_owned()));
+                }
+                let n = words
+                    .next()
+                    .ok_or_else(|| err("`block` needs a step count".to_owned()))?;
+                steps = Some(
+                    n.parse()
+                        .map_err(|_| err(format!("invalid step count `{n}`")))?,
+                );
+                if let Some(extra) = words.next() {
+                    return Err(err(format!("unexpected `{extra}` after step count")));
+                }
+            }
+            Some("var") => {
+                if steps.is_none() {
+                    return Err(err("`var` before `block`".to_owned()));
+                }
+                let name = words
+                    .next()
+                    .ok_or_else(|| err("`var` needs a name".to_owned()))?;
+                if names.iter().any(|n| n == name) {
+                    return Err(err(format!("duplicate variable `{name}`")));
+                }
+                let mut def: Option<u32> = None;
+                let mut reads: Vec<u32> = Vec::new();
+                let mut live_out = false;
+                for word in words {
+                    if let Some(v) = word.strip_prefix("def=") {
+                        def = Some(
+                            v.parse()
+                                .map_err(|_| err(format!("invalid def step `{v}`")))?,
+                        );
+                    } else if let Some(list) = word.strip_prefix("reads=") {
+                        for r in list.split(',').filter(|r| !r.is_empty()) {
+                            reads.push(
+                                r.parse()
+                                    .map_err(|_| err(format!("invalid read step `{r}`")))?,
+                            );
+                        }
+                    } else if word == "liveout" {
+                        live_out = true;
+                    } else {
+                        return Err(err(format!("unknown attribute `{word}`")));
+                    }
+                }
+                let def = def.ok_or_else(|| err(format!("`{name}` is missing def=")))?;
+                names.push(name.to_owned());
+                intervals.push((def, reads, live_out));
+            }
+            Some(other) => {
+                return Err(err(format!("unknown directive `{other}`")));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+
+    let steps = steps.ok_or(ParseSpecError {
+        line: input.lines().count().max(1),
+        reason: "missing `block <steps>` line".to_owned(),
+    })?;
+    let table =
+        LifetimeTable::from_intervals(steps, intervals).map_err(|e: IrError| ParseSpecError {
+            line: input.lines().count(),
+            reason: format!("invalid lifetimes: {e}"),
+        })?;
+    Ok(BlockSpec { names, table })
+}
+
+/// Formats a table back into the text format (round-trips through
+/// [`parse_block_spec`]).
+pub fn format_block_spec(table: &LifetimeTable, names: &[&str]) -> String {
+    let mut out = format!("block {}\n", table.block_len());
+    for lt in table.iter() {
+        let name = names
+            .get(lt.var.index())
+            .map_or_else(|| lt.var.to_string(), |n| (*n).to_owned());
+        out.push_str(&format!("var {name} def={}", lt.def.0));
+        if !lt.reads.is_empty() {
+            let reads: Vec<String> = lt.reads.iter().map(|r| r.0.to_string()).collect();
+            out.push_str(&format!(" reads={}", reads.join(",")));
+        }
+        if lt.live_out {
+            out.push_str(" liveout");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Step, VarId};
+
+    const FIGURE1: &str = "\
+# Figure 1 of the paper
+block 7
+var a def=1 reads=3
+var b def=1 reads=3
+var c def=2 liveout
+var d def=3 liveout
+var e def=5 reads=7
+";
+
+    #[test]
+    fn parses_figure1() {
+        let spec = parse_block_spec(FIGURE1).unwrap();
+        assert_eq!(spec.names, vec!["a", "b", "c", "d", "e"]);
+        assert_eq!(spec.table.block_len(), 7);
+        assert!(spec.table.lifetime(VarId(2)).live_out);
+        assert_eq!(spec.table.lifetime(VarId(4)).reads, vec![Step(7)]);
+    }
+
+    #[test]
+    fn round_trips() {
+        let spec = parse_block_spec(FIGURE1).unwrap();
+        let names: Vec<&str> = spec.names.iter().map(String::as_str).collect();
+        let formatted = format_block_spec(&spec.table, &names);
+        let reparsed = parse_block_spec(&formatted).unwrap();
+        assert_eq!(reparsed.table, spec.table);
+        assert_eq!(reparsed.names, spec.names);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("var a def=1 reads=2", "before `block`"),
+            ("block 5\nvar a reads=2", "missing def="),
+            ("block 5\nblock 6", "duplicate `block`"),
+            (
+                "block 5\nvar a def=1 reads=2\nvar a def=2 reads=3",
+                "duplicate variable",
+            ),
+            ("block 5\nvar a def=1 wat", "unknown attribute"),
+            ("block 5\nfoo bar", "unknown directive"),
+            ("block x", "invalid step count"),
+            ("block 5\nvar a def=9 reads=10", "invalid lifetimes"),
+            ("", "missing `block"),
+        ];
+        for (input, expect) in cases {
+            let e = parse_block_spec(input).unwrap_err();
+            assert!(
+                e.reason.contains(expect),
+                "input {input:?}: got {:?}, wanted {expect:?}",
+                e.reason
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec =
+            parse_block_spec("\n# hi\nblock 3  # trailing\n\nvar a def=1 reads=3\n").unwrap();
+        assert_eq!(spec.names, vec!["a"]);
+    }
+
+    #[test]
+    fn multiple_reads_parse() {
+        let spec = parse_block_spec("block 9\nvar x def=1 reads=3,5,9 liveout\n").unwrap();
+        let lt = spec.table.lifetime(VarId(0));
+        assert_eq!(lt.reads.len(), 3);
+        assert!(lt.live_out);
+    }
+}

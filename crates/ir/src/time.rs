@@ -1,0 +1,101 @@
+//! The half-tick timeline.
+//!
+//! Figure 1 of the paper draws every control step as **two** dashed lines:
+//! variables read during a step end at the *top* line, variables written
+//! during the step begin at the *bottom* line. A register freed by a read at
+//! step `k` may therefore host a variable written at the same step `k`.
+//!
+//! We make this precise by expanding each control step into two *ticks*:
+//! a read tick followed by a write tick. Control steps are 1-based, as in the
+//! paper; tick 0 and the tick after the last step are reserved for the flow
+//! source `s` (time 0) and sink `t` (time `x + 1`).
+
+/// A 1-based control step (one machine cycle of the initial schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Step(pub u32);
+
+impl Step {
+    /// The read tick (top dashed line) of this step.
+    pub fn read_tick(self) -> Tick {
+        Tick(2 * self.0)
+    }
+
+    /// The write tick (bottom dashed line) of this step.
+    pub fn write_tick(self) -> Tick {
+        Tick(2 * self.0 + 1)
+    }
+
+    /// The following control step.
+    pub fn next(self) -> Step {
+        Step(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {}", self.0)
+    }
+}
+
+/// A point on the half-tick timeline; see the module documentation.
+///
+/// Even ticks are read half-steps, odd ticks are write half-steps; `Tick(2k)`
+/// and `Tick(2k + 1)` belong to control step `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tick(pub u32);
+
+impl Tick {
+    /// The control step this tick belongs to.
+    pub fn step(self) -> Step {
+        Step(self.0 / 2)
+    }
+
+    /// True for read half-steps (top dashed line).
+    pub fn is_read(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// True for write half-steps (bottom dashed line).
+    pub fn is_write(self) -> bool {
+        !self.is_read()
+    }
+}
+
+impl std::fmt::Display for Tick {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let half = if self.is_read() { "r" } else { "w" };
+        write!(f, "t{}{half}", self.step().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_precedes_write_within_a_step() {
+        let s = Step(3);
+        assert!(s.read_tick() < s.write_tick());
+        assert!(s.write_tick() < s.next().read_tick());
+    }
+
+    #[test]
+    fn tick_roundtrip() {
+        for k in 0..10 {
+            let s = Step(k);
+            assert_eq!(s.read_tick().step(), s);
+            assert_eq!(s.write_tick().step(), s);
+            assert!(s.read_tick().is_read());
+            assert!(s.write_tick().is_write());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Step(2).to_string(), "step 2");
+        assert_eq!(Step(2).read_tick().to_string(), "t2r");
+        assert_eq!(Step(2).write_tick().to_string(), "t2w");
+    }
+}

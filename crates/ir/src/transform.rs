@@ -1,0 +1,251 @@
+//! Data-regeneration transformation (§5 methodology: "Transformations are
+//! performed within each task such as data regeneration \[20, 21\], loop
+//! tiling, precomputation, etc. to reduce energy dissipation").
+//!
+//! Regeneration (rematerialisation) trades storage for computation: instead
+//! of keeping a value alive across a long stretch just to read it again, the
+//! value is *recomputed* right before the late consumer — profitable when
+//! the producing operation is cheap relative to a memory round trip (refs
+//! \[20, 21\] optimise exactly this trade-off; ref \[14\]'s ratios make an
+//! addition 15× cheaper than a memory write + read).
+//!
+//! [`regenerate`] applies the transformation to every qualifying late read:
+//! the producing operation is cheap enough and the consumer is far enough
+//! from the previous use that the value would otherwise occupy storage for
+//! `min_gap`+ operations.
+
+use crate::block::BasicBlock;
+use crate::op::OpKind;
+use crate::var::VarId;
+use crate::IrError;
+use std::collections::HashMap;
+
+/// Heuristic thresholds for [`regenerate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegenConfig {
+    /// Maximum energy (units of one 16-bit add) of an operation worth
+    /// duplicating. The default admits adds/logic but not multiplies.
+    pub max_op_energy: f64,
+    /// Minimum distance, in list positions, between a read and the previous
+    /// use for the read to qualify (a proxy for storage occupancy before
+    /// scheduling).
+    pub min_gap: usize,
+}
+
+impl Default for RegenConfig {
+    fn default() -> Self {
+        Self {
+            max_op_energy: 1.5,
+            min_gap: 4,
+        }
+    }
+}
+
+/// Energy of executing one operation, in units of a 16-bit addition
+/// (ref \[14\]: a multiply costs 4 adds).
+pub fn op_energy(kind: OpKind) -> f64 {
+    match kind {
+        OpKind::Add | OpKind::Cmp | OpKind::Logic => 1.0,
+        OpKind::Mul => 4.0,
+        OpKind::Input => 1.0,
+        OpKind::Output => 0.0,
+    }
+}
+
+/// Result of [`regenerate`].
+#[derive(Debug, Clone)]
+pub struct Regeneration {
+    /// The transformed block.
+    pub block: BasicBlock,
+    /// Variables whose late reads were replaced by recomputation, one entry
+    /// per inserted duplicate.
+    pub regenerated: Vec<VarId>,
+    /// Added computation energy (Σ duplicated operation energies).
+    pub added_op_energy: f64,
+}
+
+/// Applies data regeneration to `block`.
+///
+/// Every read that (a) is not the variable's first use, (b) lies at least
+/// `min_gap` operations after the variable's previous use, and (c) whose
+/// producing operation costs at most `max_op_energy`, is rewritten to use a
+/// freshly recomputed copy. The original variable's lifetime then ends at
+/// its previous use.
+///
+/// # Errors
+///
+/// Returns [`IrError`] if `block` fails validation.
+pub fn regenerate(block: &BasicBlock, config: &RegenConfig) -> Result<Regeneration, IrError> {
+    block.validate()?;
+    let defs = block.def_sites();
+    // Most recent use position (initially the definition) per variable,
+    // updated as we scan.
+    let mut position: HashMap<VarId, usize> = block
+        .operations()
+        .filter_map(|(id, op)| op.result.map(|r| (r, id.index())))
+        .collect();
+
+    let mut out = BasicBlock::new(format!("{}_regen", block.name()));
+    // Maps original variables to their ids in the rebuilt block.
+    let mut remap: HashMap<VarId, VarId> = HashMap::new();
+    let mut regenerated = Vec::new();
+    let mut added_op_energy = 0.0;
+
+    for (id, op) in block.operations() {
+        let mut args: Vec<VarId> = Vec::with_capacity(op.args.len());
+        for &arg in &op.args {
+            let producer = defs[&arg];
+            let producer_op = block.operation(producer);
+            let gap = id.index().saturating_sub(position[&arg]);
+            // A read qualifies when it is not the first use of the value
+            // (the first use defines the minimal lifetime), the value would
+            // otherwise sit in storage for `min_gap`+ operations, and
+            // recomputation is cheap enough.
+            let first_use = position[&arg] == producer.index();
+            if op.kind != OpKind::Output
+                && !first_use
+                && gap >= config.min_gap
+                && op_energy(producer_op.kind) <= config.max_op_energy
+            {
+                // Recompute the value here from the producer's (remapped)
+                // arguments.
+                let name = format!("{}_regen{}", block.var(arg).name, regenerated.len());
+                let copy = if producer_op.kind == OpKind::Input {
+                    // Re-read the input port.
+                    out.input(name)
+                } else {
+                    let dup_args: Vec<VarId> = producer_op.args.iter().map(|a| remap[a]).collect();
+                    // The duplicate is a fresh use of the producer's
+                    // arguments.
+                    for a in &producer_op.args {
+                        position.insert(*a, id.index());
+                    }
+                    out.op(producer_op.kind, &dup_args, name)?
+                };
+                added_op_energy += op_energy(producer_op.kind);
+                regenerated.push(arg);
+                args.push(copy);
+            } else {
+                args.push(remap[&arg]);
+                position.insert(arg, id.index());
+            }
+        }
+        match op.kind {
+            OpKind::Output => {
+                for a in args {
+                    out.output(a)?;
+                }
+            }
+            kind => {
+                let result = op.result.expect("non-output ops define a result");
+                let new = if op.args.is_empty() {
+                    out.input(block.var(result).name.clone())
+                } else {
+                    out.op(kind, &args, block.var(result).name.clone())?
+                };
+                remap.insert(result, new);
+                position.insert(result, id.index());
+            }
+        }
+    }
+    out.validate()?;
+    Ok(Regeneration {
+        block: out,
+        regenerated,
+        added_op_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+    use crate::schedule::asap;
+
+    /// `sum` is produced early, used immediately, then used again much
+    /// later — the classic regeneration candidate.
+    fn candidate_block() -> BasicBlock {
+        let mut bb = BasicBlock::new("t");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let sum = bb.op(OpKind::Add, &[a, b], "sum").unwrap();
+        let c = bb.op(OpKind::Logic, &[sum], "c").unwrap();
+        let d = bb.op(OpKind::Logic, &[c], "d").unwrap();
+        let e = bb.op(OpKind::Logic, &[d], "e").unwrap();
+        let f = bb.op(OpKind::Logic, &[e], "f").unwrap();
+        let late = bb.op(OpKind::Add, &[f, sum], "late").unwrap();
+        bb.output(late).unwrap();
+        bb
+    }
+
+    #[test]
+    fn regenerates_the_late_cheap_read() {
+        let bb = candidate_block();
+        let r = regenerate(&bb, &RegenConfig::default()).unwrap();
+        assert_eq!(r.regenerated.len(), 1);
+        assert!((r.added_op_energy - 1.0).abs() < 1e-9);
+        r.block.validate().unwrap();
+        // One extra operation (the duplicated add).
+        assert_eq!(r.block.op_count(), bb.op_count() + 1);
+    }
+
+    #[test]
+    fn shortens_the_regenerated_lifetime() {
+        let bb = candidate_block();
+        let r = regenerate(&bb, &RegenConfig::default()).unwrap();
+        let before = LifetimeTable::from_schedule(&bb, &asap(&bb).unwrap()).unwrap();
+        let after = LifetimeTable::from_schedule(&r.block, &asap(&r.block).unwrap()).unwrap();
+        // `sum` is v2 in both blocks; its lifetime must shrink.
+        let len_before = {
+            let lt = before.lifetime(crate::VarId(2));
+            lt.end(before.block_len()).0 - lt.start().0
+        };
+        let len_after = {
+            let lt = after.lifetime(crate::VarId(2));
+            lt.end(after.block_len()).0 - lt.start().0
+        };
+        assert!(
+            len_after < len_before,
+            "lifetime {len_after} not shorter than {len_before}"
+        );
+    }
+
+    #[test]
+    fn expensive_producers_are_left_alone() {
+        let mut bb = BasicBlock::new("t");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let prod = bb.op(OpKind::Mul, &[a, b], "prod").unwrap();
+        let c = bb.op(OpKind::Logic, &[prod], "c").unwrap();
+        let d = bb.op(OpKind::Logic, &[c], "d").unwrap();
+        let e = bb.op(OpKind::Logic, &[d], "e").unwrap();
+        let f = bb.op(OpKind::Logic, &[e], "f").unwrap();
+        let late = bb.op(OpKind::Add, &[f, prod], "late").unwrap();
+        bb.output(late).unwrap();
+        let r = regenerate(&bb, &RegenConfig::default()).unwrap();
+        assert!(r.regenerated.is_empty(), "multiplies are too hot to clone");
+        assert_eq!(r.block.op_count(), bb.op_count());
+    }
+
+    #[test]
+    fn close_reads_are_left_alone() {
+        let mut bb = BasicBlock::new("t");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let sum = bb.op(OpKind::Add, &[a, b], "sum").unwrap();
+        let c = bb.op(OpKind::Logic, &[sum], "c").unwrap();
+        let late = bb.op(OpKind::Add, &[c, sum], "late").unwrap();
+        bb.output(late).unwrap();
+        let r = regenerate(&bb, &RegenConfig::default()).unwrap();
+        assert!(r.regenerated.is_empty());
+    }
+
+    #[test]
+    fn transformed_blocks_still_schedule_and_validate() {
+        let bb = candidate_block();
+        let r = regenerate(&bb, &RegenConfig::default()).unwrap();
+        let s = asap(&r.block).unwrap();
+        s.validate(&r.block).unwrap();
+        LifetimeTable::from_schedule(&r.block, &s).unwrap();
+    }
+}

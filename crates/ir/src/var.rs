@@ -1,0 +1,64 @@
+//! Data variables.
+
+/// Identifier of a data variable within one basic block / lifetime table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Position of the variable in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Metadata of a data variable: a debug name and its bit width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Var {
+    /// Human-readable name (paper figures use `a`, `b`, `c`, …).
+    pub name: String,
+    /// Width in bits; the paper's examples use 16-bit data paths.
+    pub width: u32,
+}
+
+impl Var {
+    /// Creates a 16-bit variable (the paper's default data-path width).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            width: 16,
+        }
+    }
+
+    /// Creates a variable with an explicit bit width.
+    pub fn with_width(name: impl Into<String>, width: u32) -> Self {
+        Self {
+            name: name.into(),
+            width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_width_is_16() {
+        assert_eq!(Var::new("a").width, 16);
+        assert_eq!(Var::with_width("b", 32).width, 32);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(VarId(3).index(), 3);
+    }
+}

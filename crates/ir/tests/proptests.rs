@@ -1,0 +1,155 @@
+//! Property tests for the IR substrate: scheduler invariants, lifetime
+//! consistency, density bounds, the text format, and the regeneration
+//! transform.
+
+use lemra_ir::{
+    alap, asap, format_block_spec, list_schedule, parse_block_spec, regenerate, BasicBlock,
+    DensityProfile, LifetimeTable, OpKind, RegenConfig, ResourceSet,
+};
+use proptest::prelude::*;
+
+/// A recipe for a random (valid) basic block: each op consumes 1-2 of the
+/// previously defined values.
+#[derive(Debug, Clone)]
+struct BlockRecipe {
+    ops: Vec<(u8, u8, u8)>, // (kind selector, arg1 back-ref, arg2 back-ref)
+    outputs: u8,
+}
+
+fn recipe() -> impl Strategy<Value = BlockRecipe> {
+    (
+        proptest::collection::vec((0u8..4, any::<u8>(), any::<u8>()), 3..24),
+        any::<u8>(),
+    )
+        .prop_map(|(ops, outputs)| BlockRecipe { ops, outputs })
+}
+
+fn build(recipe: &BlockRecipe) -> BasicBlock {
+    let mut bb = BasicBlock::new("random");
+    let mut defined = Vec::new();
+    // Seed inputs so every op has operands available.
+    for i in 0..2 {
+        defined.push(bb.input(format!("in{i}")));
+    }
+    for (i, &(kind, a1, a2)) in recipe.ops.iter().enumerate() {
+        let kind = match kind {
+            0 => OpKind::Add,
+            1 => OpKind::Mul,
+            2 => OpKind::Logic,
+            _ => OpKind::Cmp,
+        };
+        let x = defined[a1 as usize % defined.len()];
+        let y = defined[a2 as usize % defined.len()];
+        let args = if kind == OpKind::Logic {
+            vec![x]
+        } else {
+            vec![x, y]
+        };
+        defined.push(bb.op(kind, &args, format!("t{i}")).expect("valid"));
+    }
+    // Mark the last few values as outputs so nothing is dead.
+    let n_out = 1 + (recipe.outputs as usize % 3);
+    let mut used: std::collections::HashSet<_> = std::collections::HashSet::new();
+    for (_, op) in bb.operations() {
+        used.extend(op.args.iter().copied());
+    }
+    let dead: Vec<_> = defined
+        .iter()
+        .copied()
+        .filter(|v| !used.contains(v))
+        .collect();
+    for v in dead {
+        bb.output(v).expect("valid");
+    }
+    for &v in defined.iter().rev().take(n_out) {
+        bb.output(v).expect("valid");
+    }
+    bb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every scheduler output validates; ALAP at the critical path matches
+    /// ASAP length; resource constraints only stretch schedules.
+    #[test]
+    fn scheduler_invariants(r in recipe()) {
+        let bb = build(&r);
+        let fast = asap(&bb).expect("schedulable");
+        fast.validate(&bb).unwrap();
+        let late = alap(&bb, fast.length()).expect("critical path fits");
+        late.validate(&bb).unwrap();
+        prop_assert_eq!(late.length(), fast.length());
+        let tight = list_schedule(&bb, ResourceSet::new(1, 1)).expect("schedulable");
+        tight.validate(&bb).unwrap();
+        prop_assert!(tight.length() >= fast.length());
+        let loose = list_schedule(&bb, ResourceSet::unlimited()).expect("schedulable");
+        prop_assert_eq!(loose.length(), fast.length());
+    }
+
+    /// Lifetimes derive cleanly from any schedule, and serialising the
+    /// density bound holds: density never exceeds the variable count.
+    #[test]
+    fn lifetimes_and_density(r in recipe()) {
+        let bb = build(&r);
+        let s = list_schedule(&bb, ResourceSet::new(2, 1)).expect("schedulable");
+        let table = LifetimeTable::from_schedule(&bb, &s).expect("valid lifetimes");
+        let d = DensityProfile::new(&table);
+        prop_assert!(d.max() as usize <= table.len());
+        // Regions are disjoint and at peak density.
+        let regions = d.max_regions();
+        for w in regions.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        for reg in &regions {
+            prop_assert_eq!(d.at(reg.start), d.max());
+            prop_assert_eq!(d.at(reg.end), d.max());
+        }
+    }
+
+    /// The text format round-trips every valid table.
+    #[test]
+    fn textfmt_round_trips(r in recipe()) {
+        let bb = build(&r);
+        let s = asap(&bb).expect("schedulable");
+        let table = LifetimeTable::from_schedule(&bb, &s).expect("valid");
+        let names: Vec<String> = (0..table.len()).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let text = format_block_spec(&table, &refs);
+        let parsed = parse_block_spec(&text).expect("own output parses");
+        prop_assert_eq!(parsed.table, table);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse_block_spec(&input);
+    }
+
+    /// Parser handles structured-ish garbage without panicking too.
+    #[test]
+    fn parser_handles_structured_garbage(
+        steps in 0u32..99,
+        lines in proptest::collection::vec("(var|block|def|reads)[ a-z0-9=,]{0,20}", 0..6),
+    ) {
+        let mut input = format!("block {steps}\n");
+        input.push_str(&lines.join("\n"));
+        let _ = parse_block_spec(&input);
+    }
+
+    /// Regeneration preserves block validity and only ever adds operations.
+    #[test]
+    fn regeneration_preserves_validity(r in recipe(), gap in 1usize..8) {
+        let bb = build(&r);
+        let config = RegenConfig { max_op_energy: 1.5, min_gap: gap };
+        let out = regenerate(&bb, &config).expect("valid input");
+        out.block.validate().unwrap();
+        prop_assert!(out.block.op_count() >= bb.op_count());
+        prop_assert_eq!(
+            out.block.op_count() - bb.op_count(),
+            out.regenerated.len()
+        );
+        // And the result still schedules.
+        asap(&out.block).expect("schedulable");
+    }
+}

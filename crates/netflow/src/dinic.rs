@@ -1,0 +1,207 @@
+//! Dinic's max-flow algorithm.
+//!
+//! Used directly for maximum-flow queries (e.g. feasibility probes and the
+//! Chang–Pedram baseline in `lemra-baselines`) and as the feasible-flow
+//! bootstrap of the cycle-cancelling min-cost solver.
+
+use crate::graph::{FlowNetwork, NodeId};
+use crate::residual::{idx, Residual};
+use crate::ssp::{check_endpoints, solution_from_residual};
+use crate::{FlowSolution, NetflowError};
+use std::collections::VecDeque;
+
+/// Computes a maximum flow from `s` to `t`, ignoring arc costs.
+///
+/// Arc lower bounds are honoured: the returned flow satisfies every
+/// `lower_bound <= flow <= capacity` constraint and maximises the `s`→`t`
+/// value among such flows.
+///
+/// # Errors
+///
+/// * [`NetflowError::Infeasible`] if the lower bounds admit no feasible flow
+///   at all.
+/// * [`NetflowError::InvalidArc`] if `s` or `t` are out of range or equal.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_netflow::{FlowNetwork, max_flow};
+///
+/// # fn main() -> Result<(), lemra_netflow::NetflowError> {
+/// let mut net = FlowNetwork::new();
+/// let (s, a, t) = (net.add_node(), net.add_node(), net.add_node());
+/// net.add_arc(s, a, 3, 0)?;
+/// net.add_arc(a, t, 2, 0)?;
+/// assert_eq!(max_flow(&net, s, t)?.value, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_flow(net: &FlowNetwork, s: NodeId, t: NodeId) -> Result<FlowSolution, NetflowError> {
+    check_endpoints(net, s, t, 0)?;
+    let n = net.node_count();
+
+    if !net.has_lower_bounds() {
+        let mut res = Residual::from_network(net, 0);
+        let value = dinic(&mut res, idx(s), idx(t));
+        return Ok(solution_from_residual(net, &res, value));
+    }
+
+    // Feasibility phase: satisfy lower bounds with a super-source/super-sink
+    // flow while a t -> s return edge lets value circulate freely.
+    let mut res = Residual::from_network(net, 2);
+    let super_s = n;
+    let super_t = n + 1;
+    let mut excess = vec![0i64; n];
+    for (_, arc) in net.arcs() {
+        excess[idx(arc.to)] += arc.lower_bound;
+        excess[idx(arc.from)] -= arc.lower_bound;
+    }
+    let return_edge = res.add_edge(idx(t), idx(s), i64::MAX / 8, 0);
+    let mut required = 0i64;
+    for (v, &e) in excess.iter().enumerate() {
+        if e > 0 {
+            res.add_edge(super_s, v, e, 0);
+            required += e;
+        } else if e < 0 {
+            res.add_edge(v, super_t, -e, 0);
+        }
+    }
+    let satisfied = dinic(&mut res, super_s, super_t);
+    if satisfied < required {
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: satisfied,
+        });
+    }
+    // Remove the return edge (freeze its flow as baseline value) and grow
+    // s -> t flow on top.
+    let base_value = res.flow_on(return_edge);
+    res.edges[return_edge as usize].cap = 0;
+    res.edges[(return_edge ^ 1) as usize].cap = 0;
+    let extra = dinic(&mut res, idx(s), idx(t));
+    Ok(solution_from_residual(net, &res, base_value + extra))
+}
+
+/// Core Dinic loop: BFS level graph + DFS blocking flow.
+pub(crate) fn dinic(res: &mut Residual, s: usize, t: usize) -> i64 {
+    let n = res.node_count();
+    let mut total = 0i64;
+    loop {
+        // BFS levels.
+        let mut level = vec![u32::MAX; n];
+        level[s] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &e in &res.adj[u] {
+                let edge = res.edges[e as usize];
+                let v = edge.to as usize;
+                if edge.cap > 0 && level[v] == u32::MAX {
+                    level[v] = level[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if level[t] == u32::MAX {
+            return total;
+        }
+        let mut iter = vec![0usize; n];
+        loop {
+            let pushed = dfs(res, &level, &mut iter, s, t, i64::MAX / 8);
+            if pushed == 0 {
+                break;
+            }
+            total += pushed;
+        }
+    }
+}
+
+fn dfs(
+    res: &mut Residual,
+    level: &[u32],
+    iter: &mut [usize],
+    u: usize,
+    t: usize,
+    limit: i64,
+) -> i64 {
+    if u == t {
+        return limit;
+    }
+    while iter[u] < res.adj[u].len() {
+        let e = res.adj[u][iter[u]];
+        let edge = res.edges[e as usize];
+        let v = edge.to as usize;
+        if edge.cap > 0 && level[v] == level[u] + 1 {
+            let pushed = dfs(res, level, iter, v, t, limit.min(edge.cap));
+            if pushed > 0 {
+                res.push(e, pushed);
+                return pushed;
+            }
+        }
+        iter[u] += 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_bipartite() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let l: Vec<_> = (0..3).map(|_| net.add_node()).collect();
+        let r: Vec<_> = (0..3).map(|_| net.add_node()).collect();
+        let t = net.add_node();
+        for &u in &l {
+            net.add_arc(s, u, 1, 0).unwrap();
+        }
+        for &v in &r {
+            net.add_arc(v, t, 1, 0).unwrap();
+        }
+        // Perfect matching exists.
+        net.add_arc(l[0], r[0], 1, 0).unwrap();
+        net.add_arc(l[0], r[1], 1, 0).unwrap();
+        net.add_arc(l[1], r[0], 1, 0).unwrap();
+        net.add_arc(l[2], r[2], 1, 0).unwrap();
+        let sol = max_flow(&net, s, t).unwrap();
+        assert_eq!(sol.value, 3);
+    }
+
+    #[test]
+    fn respects_lower_bounds() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_arc_bounded(s, a, 2, 5, 0).unwrap();
+        net.add_arc(a, t, 3, 0).unwrap();
+        let sol = max_flow(&net, s, t).unwrap();
+        assert_eq!(sol.value, 3);
+        assert!(sol.flows[0] >= 2);
+    }
+
+    #[test]
+    fn infeasible_lower_bound() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_arc_bounded(s, a, 4, 5, 0).unwrap();
+        net.add_arc(a, t, 3, 0).unwrap(); // can't drain 4 units
+        assert!(matches!(
+            max_flow(&net, s, t),
+            Err(NetflowError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        let sol = max_flow(&net, s, t).unwrap();
+        assert_eq!(sol.value, 0);
+    }
+}

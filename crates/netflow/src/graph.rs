@@ -1,0 +1,318 @@
+//! Directed flow networks with integer capacities, arc lower bounds and
+//! (possibly negative) integer costs.
+//!
+//! A [`FlowNetwork`] is an arena of nodes and arcs. Nodes are created with
+//! [`FlowNetwork::add_node`] and referenced by [`NodeId`]; arcs are created
+//! with [`FlowNetwork::add_arc`] / [`FlowNetwork::add_arc_bounded`] and
+//! referenced by [`ArcId`]. The network itself is pure data — solvers such as
+//! [`min_cost_flow`](crate::min_cost_flow) borrow it immutably.
+//!
+//! # Examples
+//!
+//! ```
+//! use lemra_netflow::{FlowNetwork, min_cost_flow};
+//!
+//! # fn main() -> Result<(), lemra_netflow::NetflowError> {
+//! let mut net = FlowNetwork::new();
+//! let s = net.add_node();
+//! let a = net.add_node();
+//! let t = net.add_node();
+//! net.add_arc(s, a, 2, 1)?;
+//! net.add_arc(a, t, 2, -3)?;
+//! let sol = min_cost_flow(&net, s, t, 2)?;
+//! assert_eq!(sol.cost, 2 * (1 - 3));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::NetflowError;
+
+/// Identifier of a node inside one [`FlowNetwork`].
+///
+/// `NodeId`s are only meaningful for the network that created them; using a
+/// `NodeId` from another network is a logic error that the solvers detect as
+/// an out-of-range node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Position of the node in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an arc inside one [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(pub(crate) u32);
+
+impl ArcId {
+    /// Position of the arc in creation order; also the index of the arc's
+    /// flow in [`FlowSolution::flows`](crate::FlowSolution::flows).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ArcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A directed arc with integer bounds and cost.
+///
+/// Flow `x` on the arc must satisfy `lower_bound <= x <= capacity`; each unit
+/// of flow contributes `cost` to the objective. Costs may be negative — the
+/// allocation networks built by `lemra-core` rely on this (placing a variable
+/// in a register *saves* memory energy, eq. (4) of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// Tail node (flow leaves here).
+    pub from: NodeId,
+    /// Head node (flow arrives here).
+    pub to: NodeId,
+    /// Minimum flow the arc must carry.
+    pub lower_bound: i64,
+    /// Maximum flow the arc may carry.
+    pub capacity: i64,
+    /// Cost per unit of flow; negative values model energy savings.
+    pub cost: i64,
+}
+
+/// A directed flow network: an arena of nodes and [`Arc`]s.
+///
+/// See the module documentation for an example.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    node_count: usize,
+    arcs: Vec<Arc>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty network with capacity reserved for `nodes` nodes and
+    /// `arcs` arcs.
+    pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
+        let _ = nodes;
+        Self {
+            node_count: 0,
+            arcs: Vec::with_capacity(arcs),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(u32::try_from(self.node_count).expect("more than u32::MAX nodes"));
+        self.node_count += 1;
+        id
+    }
+
+    /// Adds `n` nodes at once and returns their ids in creation order.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an arc with lower bound 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetflowError::InvalidArc`] if `capacity` is negative or an
+    /// endpoint does not belong to this network.
+    pub fn add_arc(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity: i64,
+        cost: i64,
+    ) -> Result<ArcId, NetflowError> {
+        self.add_arc_bounded(from, to, 0, capacity, cost)
+    }
+
+    /// Adds an arc whose flow is constrained to `lower_bound ..= capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetflowError::InvalidArc`] if `lower_bound` is negative,
+    /// `lower_bound > capacity`, or an endpoint does not belong to this
+    /// network.
+    pub fn add_arc_bounded(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        lower_bound: i64,
+        capacity: i64,
+        cost: i64,
+    ) -> Result<ArcId, NetflowError> {
+        if from.index() >= self.node_count || to.index() >= self.node_count {
+            return Err(NetflowError::InvalidArc {
+                reason: format!(
+                    "endpoint out of range ({from} or {to} >= {} nodes)",
+                    self.node_count
+                ),
+            });
+        }
+        if lower_bound < 0 {
+            return Err(NetflowError::InvalidArc {
+                reason: format!("negative lower bound {lower_bound}"),
+            });
+        }
+        if capacity < lower_bound {
+            return Err(NetflowError::InvalidArc {
+                reason: format!("capacity {capacity} below lower bound {lower_bound}"),
+            });
+        }
+        let id = ArcId(u32::try_from(self.arcs.len()).expect("more than u32::MAX arcs"));
+        self.arcs.push(Arc {
+            from,
+            to,
+            lower_bound,
+            capacity,
+            cost,
+        });
+        Ok(id)
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of arcs in the network.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id.index()]
+    }
+
+    /// Iterates over `(id, arc)` pairs in creation order.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, &Arc)> + '_ {
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ArcId(i as u32), a))
+    }
+
+    /// True if any arc has a non-zero lower bound.
+    pub fn has_lower_bounds(&self) -> bool {
+        self.arcs.iter().any(|a| a.lower_bound > 0)
+    }
+
+    /// Returns whether `node` belongs to this network.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count
+    }
+
+    /// Sum of all positive arc costs times capacities — a safe upper bound on
+    /// the magnitude of any feasible flow cost, used for overflow auditing.
+    pub fn cost_bound(&self) -> i64 {
+        self.arcs
+            .iter()
+            .map(|a| {
+                a.cost
+                    .unsigned_abs()
+                    .saturating_mul(a.capacity.unsigned_abs())
+            })
+            .fold(0u64, u64::saturating_add)
+            .min(i64::MAX as u64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_are_sequential() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut net = FlowNetwork::new();
+        let ids = net.add_nodes(5);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[4].index(), 4);
+        assert_eq!(net.node_count(), 5);
+    }
+
+    #[test]
+    fn arc_fields_roundtrip() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let id = net.add_arc_bounded(a, b, 1, 3, -7).unwrap();
+        let arc = net.arc(id);
+        assert_eq!(arc.from, a);
+        assert_eq!(arc.to, b);
+        assert_eq!(arc.lower_bound, 1);
+        assert_eq!(arc.capacity, 3);
+        assert_eq!(arc.cost, -7);
+        assert!(net.has_lower_bounds());
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        assert!(net.add_arc_bounded(a, b, -1, 3, 0).is_err());
+        assert!(net.add_arc_bounded(a, b, 4, 3, 0).is_err());
+        assert!(net.add_arc(a, b, -1, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_nodes() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let mut other = FlowNetwork::new();
+        let x = other.add_node();
+        let y = other.add_node();
+        assert!(net.contains_node(a));
+        assert!(!net.contains_node(y));
+        assert!(net.add_arc(x, y, 1, 0).is_err());
+    }
+
+    #[test]
+    fn arcs_iterator_order() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let i0 = net.add_arc(a, b, 1, 5).unwrap();
+        let i1 = net.add_arc(b, a, 2, 6).unwrap();
+        let collected: Vec<_> = net.arcs().map(|(id, arc)| (id, arc.cost)).collect();
+        assert_eq!(collected, vec![(i0, 5), (i1, 6)]);
+    }
+
+    #[test]
+    fn display_ids() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let e = net.add_arc(a, b, 1, 0).unwrap();
+        assert_eq!(a.to_string(), "n0");
+        assert_eq!(e.to_string(), "a0");
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimum-cost network flow for `lemra`.
+//!
+//! This crate implements the flow machinery that the paper (Gebotys,
+//! *Low Energy Memory and Register Allocation Using Network Flow*, DAC 1997)
+//! takes from Nemhauser & Wolsey: minimum-cost flows of a fixed value `F`
+//! over directed networks with integer capacities, **arc lower bounds** (the
+//! paper's "forced register" arcs of §5.2) and possibly **negative** costs
+//! (a register placement *saves* memory energy, eq. (4)).
+//!
+//! Two independent solvers are provided:
+//!
+//! * [`min_cost_flow`] — successive shortest paths with node potentials; the
+//!   production solver, polynomial time, requires the network to be free of
+//!   negative-cost cycles (allocation networks are DAGs, so this holds).
+//! * [`min_cost_flow_cycle_canceling`] — a slower negative-cycle-cancelling
+//!   solver used as a cross-check and for cyclic networks.
+//! * [`min_cost_flow_scaling`] — a capacity-scaling variant for networks
+//!   with large capacities; a third independent implementation.
+//! * [`min_cost_flow_network_simplex`] — the classical network simplex,
+//!   handling negative-cost cycles; a fourth independent implementation.
+//!
+//! Plus [`max_flow`] (Dinic), [`validate`] for auditing any solution, and
+//! [`FlowSolution::decompose_paths`] to extract the register chains.
+//!
+//! # Examples
+//!
+//! ```
+//! use lemra_netflow::{FlowNetwork, min_cost_flow, validate};
+//!
+//! # fn main() -> Result<(), lemra_netflow::NetflowError> {
+//! let mut net = FlowNetwork::new();
+//! let s = net.add_node();
+//! let v = net.add_node();
+//! let t = net.add_node();
+//! net.add_arc(s, v, 1, 0)?;
+//! net.add_arc(v, t, 1, -5)?; // keeping v in a register saves energy
+//! net.add_arc(s, t, 3, 0)?;  // bypass for unused registers
+//! let sol = min_cost_flow(&net, s, t, 4)?;
+//! validate(&net, s, t, &sol)?;
+//! assert_eq!(sol.cost, -5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle_cancel;
+mod dinic;
+mod dot;
+mod graph;
+mod residual;
+mod scaling;
+mod simplex;
+mod solution;
+mod ssp;
+
+pub use cycle_cancel::min_cost_flow_cycle_canceling;
+pub use dinic::max_flow;
+pub use dot::to_dot;
+pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
+pub use scaling::min_cost_flow_scaling;
+pub use simplex::min_cost_flow_network_simplex;
+pub use solution::{validate, FlowSolution};
+pub use ssp::min_cost_flow;
+
+/// Errors produced by network construction and the solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetflowError {
+    /// An arc or query referenced invalid nodes or bounds.
+    InvalidArc {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// No feasible flow of the requested value exists.
+    Infeasible {
+        /// Units that had to be routed (flow target plus lower-bound supply).
+        required: i64,
+        /// Units the network could actually route.
+        achieved: i64,
+    },
+    /// A negative-cost cycle was found; use
+    /// [`min_cost_flow_cycle_canceling`] instead.
+    NegativeCycle,
+    /// A flow decomposition found circulating flow not routable from the
+    /// source.
+    CyclicFlow {
+        /// Node at which the path walk could not continue.
+        stuck_at: NodeId,
+    },
+    /// A solution failed validation.
+    InvalidSolution {
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for NetflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetflowError::InvalidArc { reason } => write!(f, "invalid arc: {reason}"),
+            NetflowError::Infeasible { required, achieved } => write!(
+                f,
+                "infeasible flow: required {required} units, achieved {achieved}"
+            ),
+            NetflowError::NegativeCycle => {
+                write!(f, "network contains a negative-cost cycle")
+            }
+            NetflowError::CyclicFlow { stuck_at } => {
+                write!(f, "flow decomposition stuck at {stuck_at}")
+            }
+            NetflowError::InvalidSolution { reason } => {
+                write!(f, "invalid solution: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NetflowError::Infeasible {
+            required: 4,
+            achieved: 2,
+        };
+        assert!(e.to_string().contains("required 4"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetflowError>();
+        assert_send_sync::<FlowNetwork>();
+        assert_send_sync::<FlowSolution>();
+    }
+}

@@ -1,0 +1,131 @@
+//! Internal residual-graph representation shared by the solvers.
+//!
+//! Every original arc becomes a forward edge (residual capacity = capacity)
+//! paired with a backward edge (residual capacity = 0, cost negated). Edges
+//! are stored in one flat vector where edge `e` and `e ^ 1` are partners, the
+//! classic pairing trick.
+
+use crate::graph::{FlowNetwork, NodeId};
+
+/// One directed edge of the residual graph.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResEdge {
+    /// Head node index.
+    pub to: u32,
+    /// Remaining residual capacity.
+    pub cap: i64,
+    /// Cost per unit (negated on backward edges).
+    pub cost: i64,
+}
+
+/// Residual graph over `n` nodes with adjacency lists of edge indices.
+#[derive(Debug, Clone)]
+pub(crate) struct Residual {
+    pub edges: Vec<ResEdge>,
+    pub adj: Vec<Vec<u32>>,
+    /// For original arc `i`, `edge_of_arc[i]` is its forward edge index
+    /// (`None` for synthetic edges added by transformations).
+    pub edge_of_arc: Vec<u32>,
+}
+
+impl Residual {
+    /// Builds a residual graph over `extra` additional nodes beyond the
+    /// network's own (used by the lower-bound transformation to append a
+    /// super-source and super-sink).
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); node_count],
+            edge_of_arc: Vec::new(),
+        }
+    }
+
+    /// Builds the residual graph of `net` ignoring lower bounds (callers
+    /// handle those via [`Residual::add_edge`] and supply adjustments).
+    pub fn from_network(net: &FlowNetwork, extra_nodes: usize) -> Self {
+        let mut r = Self::new(net.node_count() + extra_nodes);
+        for (_, arc) in net.arcs() {
+            let e = r.add_edge(
+                arc.from.index(),
+                arc.to.index(),
+                arc.capacity - arc.lower_bound,
+                arc.cost,
+            );
+            r.edge_of_arc.push(e);
+        }
+        r
+    }
+
+    /// Adds a forward/backward edge pair; returns the forward edge index.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> u32 {
+        let e = self.edges.len() as u32;
+        self.edges.push(ResEdge {
+            to: to as u32,
+            cap,
+            cost,
+        });
+        self.edges.push(ResEdge {
+            to: from as u32,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(e);
+        self.adj[to].push(e + 1);
+        e
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Flow currently carried by forward edge `e` (the residual capacity of
+    /// its backward partner).
+    pub fn flow_on(&self, e: u32) -> i64 {
+        self.edges[(e ^ 1) as usize].cap
+    }
+
+    /// Pushes `amount` units through edge `e`.
+    pub fn push(&mut self, e: u32, amount: i64) {
+        self.edges[e as usize].cap -= amount;
+        self.edges[(e ^ 1) as usize].cap += amount;
+    }
+
+    /// Flows on the original arcs, **excluding** their lower bounds (callers
+    /// add those back).
+    pub fn arc_flows(&self) -> Vec<i64> {
+        self.edge_of_arc.iter().map(|&e| self.flow_on(e)).collect()
+    }
+}
+
+/// Convenience: node index of a [`NodeId`].
+pub(crate) fn idx(n: NodeId) -> usize {
+    n.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowNetwork;
+
+    #[test]
+    fn pairing_and_push() {
+        let mut r = Residual::new(2);
+        let e = r.add_edge(0, 1, 5, 3);
+        assert_eq!(r.flow_on(e), 0);
+        r.push(e, 2);
+        assert_eq!(r.flow_on(e), 2);
+        assert_eq!(r.edges[e as usize].cap, 3);
+        r.push(e ^ 1, 1); // cancel one unit
+        assert_eq!(r.flow_on(e), 1);
+    }
+
+    #[test]
+    fn from_network_subtracts_lower_bounds() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_arc_bounded(a, b, 2, 5, 1).unwrap();
+        let r = Residual::from_network(&net, 0);
+        assert_eq!(r.edges[r.edge_of_arc[0] as usize].cap, 3);
+    }
+}

@@ -1,0 +1,420 @@
+//! Network simplex — the classical algorithm for minimum-cost flows (the
+//! Nemhauser–Wolsey \[17\] era's workhorse, and still the fastest solver in
+//! practice on many network families).
+//!
+//! A bounded-variable primal simplex specialised to networks: the basis is
+//! a spanning tree (rooted at an artificial node), non-tree arcs sit at
+//! their lower or upper bound, and a pivot pushes flow around the unique
+//! cycle an entering arc closes. Bland's smallest-index rule for both the
+//! entering and the leaving arc guarantees termination without the usual
+//! strongly-feasible-tree machinery (at some cost in pivots — acceptable
+//! for the problem sizes `lemra` produces; the production solver remains
+//! [`min_cost_flow`](crate::min_cost_flow)).
+
+use crate::graph::{FlowNetwork, NodeId};
+use crate::ssp::check_endpoints;
+use crate::{FlowSolution, NetflowError};
+
+/// Solves for a minimum-cost flow of exactly `target` units from `s` to
+/// `t` with the network simplex method, honouring arc lower bounds.
+///
+/// Unlike [`min_cost_flow`](crate::min_cost_flow), negative-cost *cycles*
+/// are handled correctly (the optimal basis saturates them), so this solver
+/// doubles as a second reference for cyclic networks alongside
+/// [`min_cost_flow_cycle_canceling`](crate::min_cost_flow_cycle_canceling).
+///
+/// # Errors
+///
+/// * [`NetflowError::Infeasible`] if no feasible flow of value `target`
+///   satisfying all lower bounds exists.
+/// * [`NetflowError::InvalidArc`] for invalid endpoints or target.
+/// * [`NetflowError::InvalidSolution`] if the pivot budget
+///   (`64·arcs·nodes`) is exhausted — Bland's rule guarantees termination
+///   but not speed; on large networks prefer
+///   [`min_cost_flow`](crate::min_cost_flow).
+///
+/// # Examples
+///
+/// ```
+/// use lemra_netflow::{min_cost_flow_network_simplex, FlowNetwork};
+///
+/// # fn main() -> Result<(), lemra_netflow::NetflowError> {
+/// let mut net = FlowNetwork::new();
+/// let (s, a, t) = (net.add_node(), net.add_node(), net.add_node());
+/// net.add_arc(s, a, 2, 3)?;
+/// net.add_arc(a, t, 2, -1)?;
+/// let sol = min_cost_flow_network_simplex(&net, s, t, 2)?;
+/// assert_eq!(sol.cost, 2 * (3 - 1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_cost_flow_network_simplex(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+) -> Result<FlowSolution, NetflowError> {
+    check_endpoints(net, s, t, target)?;
+
+    // Reduce lower bounds and the fixed s->t requirement to node supplies.
+    let n = net.node_count();
+    let mut supply = vec![0i64; n];
+    for (_, arc) in net.arcs() {
+        supply[arc.to.index()] += arc.lower_bound;
+        supply[arc.from.index()] -= arc.lower_bound;
+    }
+    supply[s.index()] += target;
+    supply[t.index()] -= target;
+
+    // Working arc arrays (capacities already reduced by lower bounds),
+    // plus one artificial arc per node to the root (index n).
+    let real = net.arc_count();
+    let mut from = Vec::with_capacity(real + n);
+    let mut to = Vec::with_capacity(real + n);
+    let mut cap = Vec::with_capacity(real + n);
+    let mut cost = Vec::with_capacity(real + n);
+    let mut max_abs_cost = 1i64;
+    for (_, arc) in net.arcs() {
+        from.push(arc.from.index());
+        to.push(arc.to.index());
+        cap.push(arc.capacity - arc.lower_bound);
+        cost.push(arc.cost);
+        max_abs_cost = max_abs_cost.max(arc.cost.abs());
+    }
+    let total_supply: i64 = supply.iter().filter(|&&b| b > 0).sum();
+    let big = max_abs_cost
+        .saturating_mul((n as i64) + 1)
+        .saturating_add(1);
+    let root = n;
+    // Artificial arcs carry each node's initial imbalance to/from the root.
+    for (v, &b) in supply.iter().enumerate() {
+        if b >= 0 {
+            from.push(v);
+            to.push(root);
+        } else {
+            from.push(root);
+            to.push(v);
+        }
+        cap.push(total_supply.max(b.abs()).max(1));
+        cost.push(big);
+    }
+
+    let m = from.len();
+    let mut flow = vec![0i64; m];
+    // Initial basis: the artificial star, carrying the supplies.
+    let mut in_tree = vec![false; m];
+    let mut parent = vec![usize::MAX; n + 1];
+    let mut parent_edge = vec![usize::MAX; n + 1];
+    let mut depth = vec![0u32; n + 1];
+    let mut potential = vec![0i64; n + 1];
+    for (v, &b) in supply.iter().enumerate() {
+        let e = real + v;
+        in_tree[e] = true;
+        parent[v] = root;
+        parent_edge[v] = e;
+        depth[v] = 1;
+        flow[e] = b.abs();
+        potential[v] = if b >= 0 { -big } else { big };
+    }
+
+    // Pivot until no violating non-tree arc remains (Bland's rule).
+    let max_pivots = 64usize.saturating_mul(m).saturating_mul(n + 1).max(10_000);
+    let mut pivots = 0usize;
+    loop {
+        pivots += 1;
+        if pivots > max_pivots {
+            return Err(NetflowError::InvalidSolution {
+                reason: "network simplex exceeded its pivot budget".to_owned(),
+            });
+        }
+        // Entering arc: smallest index violating optimality.
+        let mut entering = None;
+        for e in 0..m {
+            if in_tree[e] {
+                continue;
+            }
+            let rc = cost[e] + potential[from[e]] - potential[to[e]];
+            // Arcs with zero working capacity (lower bound == capacity)
+            // are frozen: they sit at both bounds and can never improve.
+            let at_lower = flow[e] == 0 && cap[e] > 0;
+            let at_upper = flow[e] == cap[e] && flow[e] > 0;
+            if (at_lower && rc < 0) || (at_upper && rc > 0) {
+                entering = Some(e);
+                break;
+            }
+        }
+        let Some(e) = entering else { break };
+        // Direction: at lower bound push forward, at upper bound backward.
+        let forward = flow[e] == 0;
+        let (u, v) = if forward {
+            (from[e], to[e])
+        } else {
+            (to[e], from[e])
+        };
+        // Max push around the cycle (u -> ... -> lca <- ... <- v plus e).
+        let mut delta = cap[e];
+        let mut leaving = e;
+        let mut leaving_on_u_side = true;
+        // Walk both endpoints to the LCA, measuring residuals.
+        let (orig_u, orig_v) = (u, v);
+        {
+            let (mut uu, mut vv) = (u, v);
+            while uu != vv {
+                if depth[uu] >= depth[vv] {
+                    let pe = parent_edge[uu];
+                    // Flow travels from u towards the LCA: with the push
+                    // direction u -> v through e reversed, the cycle sends
+                    // flow *into* u, i.e. along uu's parent edge towards uu
+                    // when the edge points down, away when it points up.
+                    let headroom = if to[pe] == uu {
+                        cap[pe] - flow[pe] // edge points down into uu: increase
+                    } else {
+                        flow[pe] // edge points up out of uu: decrease
+                    };
+                    // Bland: strictly smaller headroom, or equal headroom
+                    // with a smaller arc index (prevents degenerate cycling).
+                    if headroom < delta || (headroom == delta && pe < leaving) {
+                        delta = headroom;
+                        leaving = pe;
+                        leaving_on_u_side = true;
+                    }
+                    uu = parent[uu];
+                } else {
+                    let pe = parent_edge[vv];
+                    let headroom = if from[pe] == vv {
+                        cap[pe] - flow[pe] // edge points up out of vv: increase
+                    } else {
+                        flow[pe] // edge points down into vv: decrease
+                    };
+                    if headroom < delta || (headroom == delta && pe < leaving) {
+                        delta = headroom;
+                        leaving_on_u_side = false;
+                        leaving = pe;
+                    }
+                    vv = parent[vv];
+                }
+            }
+        }
+        // Apply the push.
+        if forward {
+            flow[e] += delta;
+        } else {
+            flow[e] -= delta;
+        }
+        {
+            let (mut uu, mut vv) = (orig_u, orig_v);
+            while uu != vv {
+                if depth[uu] >= depth[vv] {
+                    let pe = parent_edge[uu];
+                    if to[pe] == uu {
+                        flow[pe] += delta;
+                    } else {
+                        flow[pe] -= delta;
+                    }
+                    uu = parent[uu];
+                } else {
+                    let pe = parent_edge[vv];
+                    if from[pe] == vv {
+                        flow[pe] += delta;
+                    } else {
+                        flow[pe] -= delta;
+                    }
+                    vv = parent[vv];
+                }
+            }
+        }
+        if leaving == e {
+            // The entering arc itself hit its opposite bound: basis
+            // unchanged.
+            continue;
+        }
+        // Swap basis: e enters, `leaving` leaves. Re-root the subtree that
+        // hangs off the leaving edge so the tree stays consistent.
+        in_tree[e] = true;
+        in_tree[leaving] = false;
+        // The subtree cut off lies below `leaving` on whichever side it was
+        // found; reattach it through e by reversing parent pointers from
+        // the entering arc's endpoint in that subtree.
+        let (attach_child, attach_parent) = if leaving_on_u_side {
+            (orig_u, orig_v)
+        } else {
+            (orig_v, orig_u)
+        };
+        // Reverse the path attach_child -> ... -> (child end of leaving).
+        let mut prev_node = attach_parent;
+        let mut prev_edge = e;
+        let mut cur = attach_child;
+        loop {
+            let next = parent[cur];
+            let next_edge = parent_edge[cur];
+            parent[cur] = prev_node;
+            parent_edge[cur] = prev_edge;
+            let reached_cut = next_edge == leaving;
+            prev_node = cur;
+            prev_edge = next_edge;
+            cur = next;
+            if reached_cut {
+                break;
+            }
+        }
+        // Recompute depths and potentials from scratch (O(n) per pivot,
+        // fine at these sizes; tree is valid again).
+        recompute(
+            &parent,
+            &parent_edge,
+            &from,
+            &cost,
+            root,
+            &mut depth,
+            &mut potential,
+        );
+    }
+
+    // Any residual artificial flow means the supplies cannot be routed.
+    let leftover: i64 = (real..m).map(|e| flow[e]).sum();
+    if leftover > 0 {
+        let required: i64 = supply.iter().filter(|&&b| b > 0).sum();
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: required - leftover,
+        });
+    }
+
+    let mut flows = Vec::with_capacity(real);
+    let mut total = 0i64;
+    for (i, (_, arc)) in net.arcs().enumerate() {
+        let f = flow[i] + arc.lower_bound;
+        total += arc.cost * f;
+        flows.push(f);
+    }
+    Ok(FlowSolution {
+        flows,
+        value: target,
+        cost: total,
+    })
+}
+
+/// Rebuilds depths and potentials by walking the tree from the root.
+fn recompute(
+    parent: &[usize],
+    parent_edge: &[usize],
+    from: &[usize],
+    cost: &[i64],
+    root: usize,
+    depth: &mut [u32],
+    potential: &mut [i64],
+) {
+    let n = parent.len();
+    depth[root] = 0;
+    potential[root] = 0;
+    let mut done = vec![false; n];
+    done[root] = true;
+    for start in 0..n {
+        if done[start] || start == root {
+            continue;
+        }
+        // Walk up to a finished node, then unwind.
+        let mut stack = Vec::new();
+        let mut cur = start;
+        while !done[cur] {
+            stack.push(cur);
+            cur = parent[cur];
+        }
+        while let Some(v) = stack.pop() {
+            let p = parent[v];
+            let e = parent_edge[v];
+            depth[v] = depth[p] + 1;
+            // Reduced cost of tree arcs is zero: pot[from] + cost = pot[to].
+            potential[v] = if from[e] == v {
+                potential[p] - cost[e]
+            } else {
+                potential[p] + cost[e]
+            };
+            done[v] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{min_cost_flow, min_cost_flow_cycle_canceling, validate};
+
+    #[test]
+    fn matches_ssp_on_a_diamond() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 2, 1).unwrap();
+        net.add_arc(s, b, 2, 4).unwrap();
+        net.add_arc(a, b, 1, -2).unwrap();
+        net.add_arc(a, t, 1, 6).unwrap();
+        net.add_arc(b, t, 3, 1).unwrap();
+        for f in 0..=3 {
+            let ssp = min_cost_flow(&net, s, t, f).unwrap();
+            let nsx = min_cost_flow_network_simplex(&net, s, t, f).unwrap();
+            validate(&net, s, t, &nsx).unwrap();
+            assert_eq!(ssp.cost, nsx.cost, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn saturates_negative_cycles() {
+        // Same cyclic instance the cycle-cancelling tests use.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 0).unwrap();
+        net.add_arc(a, b, 2, -3).unwrap();
+        net.add_arc(b, a, 2, 1).unwrap();
+        net.add_arc(b, t, 1, 0).unwrap();
+        let nsx = min_cost_flow_network_simplex(&net, s, t, 1).unwrap();
+        let cc = min_cost_flow_cycle_canceling(&net, s, t, 1).unwrap();
+        validate(&net, s, t, &nsx).unwrap();
+        assert_eq!(nsx.cost, cc.cost);
+        assert_eq!(nsx.cost, -5);
+    }
+
+    #[test]
+    fn lower_bounds_respected() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc_bounded(s, a, 1, 1, 100).unwrap();
+        net.add_arc(a, t, 1, 0).unwrap();
+        net.add_arc(s, b, 1, 0).unwrap();
+        net.add_arc(b, t, 1, 0).unwrap();
+        let sol = min_cost_flow_network_simplex(&net, s, t, 1).unwrap();
+        validate(&net, s, t, &sol).unwrap();
+        assert_eq!(sol.cost, 100);
+        assert_eq!(sol.flows[0], 1);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 2, 1).unwrap();
+        assert!(matches!(
+            min_cost_flow_network_simplex(&net, s, t, 3),
+            Err(NetflowError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_target() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 2, 1).unwrap();
+        let sol = min_cost_flow_network_simplex(&net, s, t, 0).unwrap();
+        assert_eq!(sol.cost, 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Successive-shortest-path min-cost flow with node potentials.
+//!
+//! The first shortest-path tree is computed with Bellman–Ford (the allocation
+//! networks of `lemra-core` contain negative arc costs), after which reduced
+//! costs are non-negative and Dijkstra with a binary heap takes over.
+//!
+//! Arc lower bounds and the fixed flow requirement are reduced to a plain
+//! min-cost max-flow between a synthetic super-source and super-sink using
+//! the standard excess/deficit transformation; see
+//! [`min_cost_flow`] for the contract.
+
+use crate::graph::{FlowNetwork, NodeId};
+use crate::residual::{idx, Residual};
+use crate::{FlowSolution, NetflowError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const INF: i64 = i64::MAX / 4;
+
+/// Solves for a minimum-cost flow of **exactly** `target` units from `s` to
+/// `t`, honouring arc lower bounds.
+///
+/// The network may contain negative arc costs but must not contain a
+/// directed cycle of negative total cost with positive capacity (the
+/// networks produced by `lemra-core` are DAGs, so this always holds there).
+///
+/// # Errors
+///
+/// * [`NetflowError::Infeasible`] if no feasible flow of value `target`
+///   satisfying all lower bounds exists.
+/// * [`NetflowError::NegativeCycle`] if a negative-cost cycle reachable from
+///   the source is detected; use
+///   [`min_cost_flow_cycle_canceling`](crate::min_cost_flow_cycle_canceling)
+///   for such networks.
+/// * [`NetflowError::InvalidArc`] if `s` or `t` are out of range or equal.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_netflow::{FlowNetwork, min_cost_flow};
+///
+/// # fn main() -> Result<(), lemra_netflow::NetflowError> {
+/// let mut net = FlowNetwork::new();
+/// let (s, a, b, t) = (net.add_node(), net.add_node(), net.add_node(), net.add_node());
+/// net.add_arc(s, a, 1, 0)?;
+/// net.add_arc(s, b, 1, 0)?;
+/// net.add_arc(a, t, 1, 5)?;
+/// net.add_arc(b, t, 1, -2)?;
+/// let sol = min_cost_flow(&net, s, t, 1)?;
+/// assert_eq!(sol.cost, -2); // prefers the negative-cost route
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_cost_flow(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+) -> Result<FlowSolution, NetflowError> {
+    check_endpoints(net, s, t, target)?;
+
+    // Excess/deficit transformation: every lower bound l on arc (u, v)
+    // pre-routes l units, leaving v with excess +l and u with deficit -l.
+    // The requirement "exactly `target` units from s to t" is a virtual arc
+    // t -> s with lower bound = capacity = target.
+    let n = net.node_count();
+    let mut res = Residual::from_network(net, 2);
+    let super_s = n;
+    let super_t = n + 1;
+
+    let mut excess = vec![0i64; n];
+    for (_, arc) in net.arcs() {
+        excess[idx(arc.to)] += arc.lower_bound;
+        excess[idx(arc.from)] -= arc.lower_bound;
+    }
+    excess[idx(s)] += target;
+    excess[idx(t)] -= target;
+
+    let mut required = 0i64;
+    for (v, &e) in excess.iter().enumerate() {
+        if e > 0 {
+            res.add_edge(super_s, v, e, 0);
+            required += e;
+        } else if e < 0 {
+            res.add_edge(v, super_t, -e, 0);
+        }
+    }
+
+    let pushed = ssp_run(&mut res, super_s, super_t, required)?;
+    if pushed < required {
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: pushed,
+        });
+    }
+
+    Ok(solution_from_residual(net, &res, target))
+}
+
+/// Reconstructs a [`FlowSolution`] (adding back lower bounds) from a solved
+/// residual graph.
+pub(crate) fn solution_from_residual(
+    net: &FlowNetwork,
+    res: &Residual,
+    value: i64,
+) -> FlowSolution {
+    let base = res.arc_flows();
+    let mut flows = Vec::with_capacity(net.arc_count());
+    let mut cost = 0i64;
+    for (i, (_, arc)) in net.arcs().enumerate() {
+        let f = base[i] + arc.lower_bound;
+        cost += arc.cost * f;
+        flows.push(f);
+    }
+    FlowSolution { flows, value, cost }
+}
+
+pub(crate) fn check_endpoints(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+) -> Result<(), NetflowError> {
+    if !net.contains_node(s) || !net.contains_node(t) {
+        return Err(NetflowError::InvalidArc {
+            reason: format!("source {s} or sink {t} out of range"),
+        });
+    }
+    if s == t {
+        return Err(NetflowError::InvalidArc {
+            reason: "source and sink must differ".to_owned(),
+        });
+    }
+    if target < 0 {
+        return Err(NetflowError::InvalidArc {
+            reason: format!("negative flow target {target}"),
+        });
+    }
+    Ok(())
+}
+
+/// Runs successive shortest paths on `res` until `target` units have moved
+/// from `s` to `t` or `t` becomes unreachable. Returns the units moved.
+fn ssp_run(res: &mut Residual, s: usize, t: usize, target: i64) -> Result<i64, NetflowError> {
+    let n = res.node_count();
+    let mut potential = bellman_ford(res, s)?;
+    let mut flow = 0i64;
+
+    while flow < target {
+        // Dijkstra on reduced costs.
+        let mut dist = vec![INF; n];
+        let mut parent_edge = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+        dist[s] = 0;
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &e in &res.adj[u] {
+                let edge = res.edges[e as usize];
+                if edge.cap <= 0 {
+                    continue;
+                }
+                let v = edge.to as usize;
+                if potential[u] >= INF || potential[v] >= INF {
+                    // Unreachable in the Bellman-Ford phase: reachable now
+                    // only through new residual edges, whose reduced cost we
+                    // cannot trust; Bellman-Ford already proved no flow can
+                    // reach t through such nodes initially, and residual
+                    // edges only appear along augmented (reachable) paths.
+                    continue;
+                }
+                let nd = d + edge.cost + potential[u] - potential[v];
+                debug_assert!(
+                    edge.cost + potential[u] - potential[v] >= 0,
+                    "negative reduced cost"
+                );
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent_edge[v] = e;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[t] >= INF {
+            break;
+        }
+        for (v, p) in potential.iter_mut().enumerate() {
+            if dist[v] < INF && *p < INF {
+                *p += dist[v];
+            }
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = target - flow;
+        let mut v = t;
+        while v != s {
+            let e = parent_edge[v];
+            bottleneck = bottleneck.min(res.edges[e as usize].cap);
+            v = res.edges[(e ^ 1) as usize].to as usize;
+        }
+        let mut v = t;
+        while v != s {
+            let e = parent_edge[v];
+            res.push(e, bottleneck);
+            v = res.edges[(e ^ 1) as usize].to as usize;
+        }
+        flow += bottleneck;
+    }
+    Ok(flow)
+}
+
+/// Bellman–Ford from `s`; returns shortest distances usable as initial
+/// potentials, or an error if a negative cycle is reachable from `s`.
+fn bellman_ford(res: &Residual, s: usize) -> Result<Vec<i64>, NetflowError> {
+    let n = res.node_count();
+    let mut dist = vec![INF; n];
+    dist[s] = 0;
+    for round in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if dist[u] >= INF {
+                continue;
+            }
+            for &e in &res.adj[u] {
+                let edge = res.edges[e as usize];
+                if edge.cap <= 0 {
+                    continue;
+                }
+                let v = edge.to as usize;
+                if dist[u] + edge.cost < dist[v] {
+                    dist[v] = dist[u] + edge.cost;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(dist);
+        }
+        if round == n - 1 {
+            return Err(NetflowError::NegativeCycle);
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (FlowNetwork, NodeId, NodeId) {
+        // s -> a -> t (cost 1+1), s -> b -> t (cost 3+3), caps 1 each
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 1).unwrap();
+        net.add_arc(a, t, 1, 1).unwrap();
+        net.add_arc(s, b, 1, 3).unwrap();
+        net.add_arc(b, t, 1, 3).unwrap();
+        (net, s, t)
+    }
+
+    #[test]
+    fn picks_cheaper_path_first() {
+        let (net, s, t) = diamond();
+        let sol = min_cost_flow(&net, s, t, 1).unwrap();
+        assert_eq!(sol.cost, 2);
+        assert_eq!(sol.value, 1);
+        let sol2 = min_cost_flow(&net, s, t, 2).unwrap();
+        assert_eq!(sol2.cost, 8);
+    }
+
+    #[test]
+    fn infeasible_when_target_exceeds_capacity() {
+        let (net, s, t) = diamond();
+        let err = min_cost_flow(&net, s, t, 3).unwrap_err();
+        assert!(matches!(err, NetflowError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn zero_target_is_trivially_feasible() {
+        let (net, s, t) = diamond();
+        let sol = min_cost_flow(&net, s, t, 0).unwrap();
+        assert_eq!(sol.cost, 0);
+        assert!(sol.flows.iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn negative_costs_on_dag() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 2).unwrap();
+        net.add_arc(a, t, 1, -10).unwrap();
+        net.add_arc(s, b, 1, 0).unwrap();
+        net.add_arc(b, t, 1, 0).unwrap();
+        let sol = min_cost_flow(&net, s, t, 2).unwrap();
+        assert_eq!(sol.cost, -8);
+    }
+
+    #[test]
+    fn lower_bound_forces_expensive_arc() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc_bounded(s, a, 1, 1, 100).unwrap();
+        net.add_arc(a, t, 1, 0).unwrap();
+        net.add_arc(s, b, 1, 0).unwrap();
+        net.add_arc(b, t, 1, 0).unwrap();
+        // Without the lower bound a single unit would route via b (cost 0).
+        let sol = min_cost_flow(&net, s, t, 1).unwrap();
+        assert_eq!(sol.cost, 100);
+        assert_eq!(sol.flows[0], 1);
+        assert_eq!(sol.value, 1);
+    }
+
+    #[test]
+    fn lower_bound_infeasible_without_connecting_flow() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        // Arc a->b demands a unit but nothing feeds node a.
+        net.add_arc_bounded(a, b, 1, 1, 0).unwrap();
+        net.add_arc(s, t, 1, 0).unwrap();
+        let err = min_cost_flow(&net, s, t, 1).unwrap_err();
+        assert!(matches!(err, NetflowError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 0).unwrap();
+        net.add_arc(a, b, 1, -5).unwrap();
+        net.add_arc(b, a, 1, -5).unwrap();
+        net.add_arc(a, t, 1, 0).unwrap();
+        let err = min_cost_flow(&net, s, t, 1).unwrap_err();
+        assert!(matches!(err, NetflowError::NegativeCycle));
+    }
+
+    #[test]
+    fn rejects_equal_endpoints() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        assert!(min_cost_flow(&net, s, s, 1).is_err());
+    }
+
+    #[test]
+    fn bypass_arc_absorbs_excess_flow() {
+        // Mirrors the allocator's s->t bypass: target larger than the useful
+        // network, excess routed at cost 0.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 0).unwrap();
+        net.add_arc(a, t, 1, -4).unwrap();
+        net.add_arc(s, t, 10, 0).unwrap();
+        let sol = min_cost_flow(&net, s, t, 8).unwrap();
+        assert_eq!(sol.cost, -4);
+        assert_eq!(sol.flows[2], 7);
+    }
+}

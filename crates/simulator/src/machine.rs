@@ -1,0 +1,210 @@
+//! The simulated storage hardware: a register file and a memory module.
+//!
+//! Both components count accesses and accumulate *actual* bit-level
+//! switching (Hamming distance between the old and new contents of the
+//! written cell, plus address/data bus toggles for the memory), which is
+//! what the analytic activity model of `lemra-energy` estimates.
+
+use std::collections::HashMap;
+
+/// A simulated register file.
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    cells: Vec<Option<u64>>,
+    width_mask: u64,
+    /// Completed read accesses.
+    pub reads: u32,
+    /// Completed write accesses.
+    pub writes: u32,
+    /// Total bits flipped by writes (cells start at 0).
+    pub switching_bits: u64,
+}
+
+impl RegisterFile {
+    /// A register file with `registers` entries of `width` bits.
+    pub fn new(registers: usize, width: u32) -> Self {
+        Self {
+            cells: vec![None; registers],
+            width_mask: mask(width),
+            reads: 0,
+            writes: 0,
+            switching_bits: 0,
+        }
+    }
+
+    /// Writes `value` into register `r`, counting flipped bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn write(&mut self, r: u32, value: u64) {
+        let value = value & self.width_mask;
+        let old = self.cells[r as usize].unwrap_or(0);
+        self.switching_bits += u64::from((old ^ value).count_ones());
+        self.cells[r as usize] = Some(value);
+        self.writes += 1;
+    }
+
+    /// Reads register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or was never written (a use of an
+    /// undefined value — an allocator bug the simulator exists to catch).
+    pub fn read(&mut self, r: u32) -> u64 {
+        self.reads += 1;
+        self.cells[r as usize].unwrap_or_else(|| panic!("register r{r} read before any write"))
+    }
+
+    /// Current content of register `r`, if any (no access counted).
+    pub fn peek(&self, r: u32) -> Option<u64> {
+        self.cells.get(r as usize).copied().flatten()
+    }
+
+    /// Sets register `r` without counting an access or switching — models a
+    /// value carried in from the previous block (multi-block allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn preload(&mut self, r: u32, value: u64) {
+        self.cells[r as usize] = Some(value & self.width_mask);
+    }
+}
+
+/// A simulated memory module with address- and data-bus switching counters.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    cells: HashMap<u32, u64>,
+    last_address: Option<u32>,
+    last_data: Option<u64>,
+    /// Completed read accesses.
+    pub reads: u32,
+    /// Completed write accesses.
+    pub writes: u32,
+    /// Bits flipped in storage cells by writes.
+    pub cell_switching_bits: u64,
+    /// Bits toggled on the address bus between consecutive accesses — the
+    /// quantity the paper's §7 address-circuitry discussion targets.
+    pub address_bus_switching_bits: u64,
+    /// Bits toggled on the data bus between consecutive accesses.
+    pub data_bus_switching_bits: u64,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `value` at `address`.
+    pub fn write(&mut self, address: u32, value: u64) {
+        self.touch_buses(address, value);
+        let old = self.cells.insert(address, value).unwrap_or(0);
+        self.cell_switching_bits += u64::from((old ^ value).count_ones());
+        self.writes += 1;
+    }
+
+    /// Reads the value at `address`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address was never written (a dangling load — an
+    /// allocator or code-generation bug).
+    pub fn read(&mut self, address: u32) -> u64 {
+        let value = *self
+            .cells
+            .get(&address)
+            .unwrap_or_else(|| panic!("memory address {address} read before any write"));
+        self.touch_buses(address, value);
+        self.reads += 1;
+        value
+    }
+
+    /// Current value at `address`, if any (no access counted).
+    pub fn peek(&self, address: u32) -> Option<u64> {
+        self.cells.get(&address).copied()
+    }
+
+    /// Sets `address` without counting an access or bus activity — models a
+    /// value already stored when the block begins.
+    pub fn preload(&mut self, address: u32, value: u64) {
+        self.cells.insert(address, value);
+    }
+
+    /// Number of distinct addresses ever written.
+    pub fn footprint(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn touch_buses(&mut self, address: u32, data: u64) {
+        if let Some(prev) = self.last_address {
+            self.address_bus_switching_bits += u64::from((prev ^ address).count_ones());
+        }
+        if let Some(prev) = self.last_data {
+            self.data_bus_switching_bits += u64::from((prev ^ data).count_ones());
+        }
+        self.last_address = Some(address);
+        self.last_data = Some(data);
+    }
+}
+
+pub(crate) fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_switching_counts_flipped_bits() {
+        let mut rf = RegisterFile::new(2, 8);
+        rf.write(0, 0b1111_0000);
+        assert_eq!(rf.switching_bits, 4);
+        rf.write(0, 0b0000_1111);
+        assert_eq!(rf.switching_bits, 12);
+        assert_eq!(rf.read(0), 0b0000_1111);
+        assert_eq!(rf.reads, 1);
+        assert_eq!(rf.writes, 2);
+    }
+
+    #[test]
+    fn register_width_masks_values() {
+        let mut rf = RegisterFile::new(1, 4);
+        rf.write(0, 0xFF);
+        assert_eq!(rf.read(0), 0xF);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before any write")]
+    fn undefined_register_read_panics() {
+        let mut rf = RegisterFile::new(1, 16);
+        let _ = rf.read(0);
+    }
+
+    #[test]
+    fn memory_counts_bus_switching() {
+        let mut m = Memory::new();
+        m.write(0b0001, 0xFF);
+        m.write(0b0010, 0xFF);
+        // Address 1 -> 2 toggles 2 bits; data constant.
+        assert_eq!(m.address_bus_switching_bits, 2);
+        assert_eq!(m.data_bus_switching_bits, 0);
+        assert_eq!(m.read(0b0001), 0xFF);
+        assert_eq!(m.reads, 1);
+        assert_eq!(m.writes, 2);
+        assert_eq!(m.footprint(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before any write")]
+    fn dangling_load_panics() {
+        let mut m = Memory::new();
+        let _ = m.read(7);
+    }
+}

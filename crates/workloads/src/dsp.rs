@@ -1,0 +1,369 @@
+//! Classic DSP kernels as data-flow graphs — the workload family the
+//! paper's introduction motivates ("audio and video algorithms which
+//! process large amounts of data, performing computations in real time").
+//!
+//! Each builder returns a [`BasicBlock`]; pair it with a scheduler from
+//! [`lemra_ir`] and [`LifetimeTable::from_schedule`] to obtain an
+//! allocation problem.
+//!
+//! [`LifetimeTable::from_schedule`]: lemra_ir::LifetimeTable::from_schedule
+
+use lemra_ir::{BasicBlock, IrError, OpKind, VarId};
+
+/// `taps`-tap FIR filter: `y = Σ c_i · x_i` with a balanced adder tree.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction (cannot happen for
+/// `taps >= 1`).
+///
+/// # Panics
+///
+/// Panics if `taps` is zero.
+pub fn fir(taps: usize) -> Result<BasicBlock, IrError> {
+    assert!(taps >= 1, "FIR filter needs at least one tap");
+    let mut bb = BasicBlock::new(format!("fir{taps}"));
+    let mut products = Vec::with_capacity(taps);
+    for i in 0..taps {
+        let x = bb.input(format!("x{i}"));
+        let c = bb.input(format!("c{i}"));
+        products.push(bb.op(OpKind::Mul, &[x, c], format!("p{i}"))?);
+    }
+    let y = adder_tree(&mut bb, &products, "acc")?;
+    bb.output(y)?;
+    Ok(bb)
+}
+
+/// Direct-form-II IIR biquad cascade with `sections` second-order sections.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+///
+/// # Panics
+///
+/// Panics if `sections` is zero.
+pub fn iir_biquad(sections: usize) -> Result<BasicBlock, IrError> {
+    assert!(sections >= 1, "IIR cascade needs at least one section");
+    let mut bb = BasicBlock::new(format!("iir{sections}"));
+    let mut x = bb.input("x");
+    for s in 0..sections {
+        let z1 = bb.input(format!("s{s}_z1"));
+        let z2 = bb.input(format!("s{s}_z2"));
+        let a1 = bb.input(format!("s{s}_a1"));
+        let a2 = bb.input(format!("s{s}_a2"));
+        let b0 = bb.input(format!("s{s}_b0"));
+        let b1 = bb.input(format!("s{s}_b1"));
+        let b2 = bb.input(format!("s{s}_b2"));
+        // w = x - a1*z1 - a2*z2
+        let t1 = bb.op(OpKind::Mul, &[a1, z1], format!("s{s}_t1"))?;
+        let t2 = bb.op(OpKind::Mul, &[a2, z2], format!("s{s}_t2"))?;
+        let u = bb.op(OpKind::Add, &[x, t1], format!("s{s}_u"))?;
+        let w = bb.op(OpKind::Add, &[u, t2], format!("s{s}_w"))?;
+        // y = b0*w + b1*z1 + b2*z2
+        let m0 = bb.op(OpKind::Mul, &[b0, w], format!("s{s}_m0"))?;
+        let m1 = bb.op(OpKind::Mul, &[b1, z1], format!("s{s}_m1"))?;
+        let m2 = bb.op(OpKind::Mul, &[b2, z2], format!("s{s}_m2"))?;
+        let v = bb.op(OpKind::Add, &[m0, m1], format!("s{s}_v"))?;
+        let y = bb.op(OpKind::Add, &[v, m2], format!("s{s}_y"))?;
+        // New delay-line state flows out of the block.
+        bb.output(w)?;
+        bb.output(z1)?;
+        x = y;
+    }
+    bb.output(x)?;
+    Ok(bb)
+}
+
+/// One radix-2 FFT stage over `points` complex points (butterflies with
+/// twiddle multiplication; real/imag carried as separate variables).
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+///
+/// # Panics
+///
+/// Panics if `points` is not an even number ≥ 2.
+pub fn fft_stage(points: usize) -> Result<BasicBlock, IrError> {
+    assert!(points >= 2 && points % 2 == 0, "FFT stage needs 2k points");
+    let mut bb = BasicBlock::new(format!("fft{points}"));
+    let half = points / 2;
+    for k in 0..half {
+        let ar = bb.input(format!("a{k}_re"));
+        let ai = bb.input(format!("a{k}_im"));
+        let br = bb.input(format!("b{k}_re"));
+        let bi = bb.input(format!("b{k}_im"));
+        let wr = bb.input(format!("w{k}_re"));
+        let wi = bb.input(format!("w{k}_im"));
+        // t = w * b (complex)
+        let p0 = bb.op(OpKind::Mul, &[wr, br], format!("bf{k}_p0"))?;
+        let p1 = bb.op(OpKind::Mul, &[wi, bi], format!("bf{k}_p1"))?;
+        let p2 = bb.op(OpKind::Mul, &[wr, bi], format!("bf{k}_p2"))?;
+        let p3 = bb.op(OpKind::Mul, &[wi, br], format!("bf{k}_p3"))?;
+        let tr = bb.op(OpKind::Add, &[p0, p1], format!("bf{k}_tr"))?;
+        let ti = bb.op(OpKind::Add, &[p2, p3], format!("bf{k}_ti"))?;
+        // out0 = a + t, out1 = a - t
+        let o0r = bb.op(OpKind::Add, &[ar, tr], format!("bf{k}_o0r"))?;
+        let o0i = bb.op(OpKind::Add, &[ai, ti], format!("bf{k}_o0i"))?;
+        let o1r = bb.op(OpKind::Add, &[ar, tr], format!("bf{k}_o1r"))?;
+        let o1i = bb.op(OpKind::Add, &[ai, ti], format!("bf{k}_o1i"))?;
+        for v in [o0r, o0i, o1r, o1i] {
+            bb.output(v)?;
+        }
+    }
+    Ok(bb)
+}
+
+/// `stages`-stage normalised lattice filter.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero.
+pub fn lattice(stages: usize) -> Result<BasicBlock, IrError> {
+    assert!(stages >= 1, "lattice filter needs at least one stage");
+    let mut bb = BasicBlock::new(format!("lattice{stages}"));
+    let mut f = bb.input("f0");
+    let mut g = bb.input("g0");
+    for s in 0..stages {
+        let k = bb.input(format!("k{s}"));
+        let kf = bb.op(OpKind::Mul, &[k, f], format!("st{s}_kf"))?;
+        let kg = bb.op(OpKind::Mul, &[k, g], format!("st{s}_kg"))?;
+        let nf = bb.op(OpKind::Add, &[f, kg], format!("st{s}_f"))?;
+        let ng = bb.op(OpKind::Add, &[g, kf], format!("st{s}_g"))?;
+        bb.output(ng)?;
+        f = nf;
+        g = ng;
+    }
+    bb.output(f)?;
+    Ok(bb)
+}
+
+/// Fifth-order elliptic-wave-filter-like cascade (the shape of the classic
+/// HLS benchmark: long add chains with a few multiplies and rich value
+/// reuse).
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+pub fn elliptic_cascade() -> Result<BasicBlock, IrError> {
+    let mut bb = BasicBlock::new("elliptic");
+    let x = bb.input("x");
+    let s: Vec<VarId> = (0..7).map(|i| bb.input(format!("state{i}"))).collect();
+    let c0 = bb.input("c0");
+    let c1 = bb.input("c1");
+
+    let a1 = bb.op(OpKind::Add, &[x, s[0]], "a1")?;
+    let a2 = bb.op(OpKind::Add, &[a1, s[1]], "a2")?;
+    let m1 = bb.op(OpKind::Mul, &[a2, c0], "m1")?;
+    let a3 = bb.op(OpKind::Add, &[m1, s[2]], "a3")?;
+    let a4 = bb.op(OpKind::Add, &[a3, s[3]], "a4")?;
+    let m2 = bb.op(OpKind::Mul, &[a4, c1], "m2")?;
+    let a5 = bb.op(OpKind::Add, &[m2, a1], "a5")?;
+    let a6 = bb.op(OpKind::Add, &[a5, s[4]], "a6")?;
+    let a7 = bb.op(OpKind::Add, &[a6, a3], "a7")?;
+    let a8 = bb.op(OpKind::Add, &[a7, s[5]], "a8")?;
+    let m3 = bb.op(OpKind::Mul, &[a8, c0], "m3")?;
+    let a9 = bb.op(OpKind::Add, &[m3, s[6]], "a9")?;
+    let a10 = bb.op(OpKind::Add, &[a9, a5], "a10")?;
+    // Updated states flow out.
+    for v in [a2, a4, a6, a8, a10] {
+        bb.output(v)?;
+    }
+    Ok(bb)
+}
+
+/// 2×2 matrix multiply `C = A · B` (8 multiplies, 4 adds) — a dense kernel
+/// with high multiplier pressure.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+pub fn matmul2() -> Result<BasicBlock, IrError> {
+    let mut bb = BasicBlock::new("matmul2");
+    let a: Vec<VarId> = (0..4).map(|i| bb.input(format!("a{i}"))).collect();
+    let b: Vec<VarId> = (0..4).map(|i| bb.input(format!("b{i}"))).collect();
+    for row in 0..2 {
+        for col in 0..2 {
+            let p = bb.op(OpKind::Mul, &[a[2 * row], b[col]], format!("p{row}{col}a"))?;
+            let q = bb.op(
+                OpKind::Mul,
+                &[a[2 * row + 1], b[2 + col]],
+                format!("p{row}{col}b"),
+            )?;
+            let c = bb.op(OpKind::Add, &[p, q], format!("c{row}{col}"))?;
+            bb.output(c)?;
+        }
+    }
+    Ok(bb)
+}
+
+/// `lags`-lag autocorrelation of an `n`-sample window:
+/// `r[k] = Σ x[i]·x[i+k]` — every sample is read many times, exercising
+/// split lifetimes heavily.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+///
+/// # Panics
+///
+/// Panics unless `0 < lags < n`.
+pub fn autocorrelation(n: usize, lags: usize) -> Result<BasicBlock, IrError> {
+    assert!(lags > 0 && lags < n, "need 0 < lags < n");
+    let mut bb = BasicBlock::new(format!("autocorr{n}x{lags}"));
+    let x: Vec<VarId> = (0..n).map(|i| bb.input(format!("x{i}"))).collect();
+    for k in 0..lags {
+        let mut products = Vec::new();
+        for i in 0..n - k {
+            products.push(bb.op(OpKind::Mul, &[x[i], x[i + k]], format!("m{k}_{i}"))?);
+        }
+        let r = adder_tree(&mut bb, &products, &format!("r{k}"))?;
+        bb.output(r)?;
+    }
+    Ok(bb)
+}
+
+/// An 8-point DCT-II-shaped butterfly network (three stages of add/sub
+/// butterflies followed by coefficient multiplies).
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from block construction.
+pub fn dct8() -> Result<BasicBlock, IrError> {
+    let mut bb = BasicBlock::new("dct8");
+    let x: Vec<VarId> = (0..8).map(|i| bb.input(format!("x{i}"))).collect();
+    // Stage 1: mirror butterflies.
+    let mut s1 = Vec::with_capacity(8);
+    for i in 0..4 {
+        s1.push(bb.op(OpKind::Add, &[x[i], x[7 - i]], format!("s1a{i}"))?);
+    }
+    for i in 0..4 {
+        s1.push(bb.op(OpKind::Add, &[x[i], x[7 - i]], format!("s1b{i}"))?);
+    }
+    // Stage 2: half-size butterflies on each half.
+    let mut s2 = Vec::with_capacity(8);
+    for i in 0..2 {
+        s2.push(bb.op(OpKind::Add, &[s1[i], s1[3 - i]], format!("s2a{i}"))?);
+        s2.push(bb.op(OpKind::Add, &[s1[i], s1[3 - i]], format!("s2b{i}"))?);
+    }
+    for (i, &s1i) in s1.iter().enumerate().skip(4) {
+        let c = bb.input(format!("c{i}"));
+        s2.push(bb.op(OpKind::Mul, &[s1i, c], format!("s2m{i}"))?);
+    }
+    // Stage 3: outputs.
+    for (i, pair) in s2.chunks(2).enumerate() {
+        let y = if pair.len() == 2 {
+            bb.op(OpKind::Add, &[pair[0], pair[1]], format!("y{i}"))?
+        } else {
+            pair[0]
+        };
+        bb.output(y)?;
+    }
+    Ok(bb)
+}
+
+/// Balanced binary adder tree reducing `leaves` to one value.
+fn adder_tree(bb: &mut BasicBlock, leaves: &[VarId], prefix: &str) -> Result<VarId, IrError> {
+    let mut level: Vec<VarId> = leaves.to_vec();
+    let mut depth = 0;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for (i, pair) in level.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(bb.op(
+                    OpKind::Add,
+                    &[pair[0], pair[1]],
+                    format!("{prefix}_{depth}_{i}"),
+                )?);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+        depth += 1;
+    }
+    Ok(level[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_ir::{asap, list_schedule, DensityProfile, LifetimeTable, ResourceSet};
+
+    fn density_of(bb: &BasicBlock) -> u32 {
+        let s = asap(bb).unwrap();
+        let t = LifetimeTable::from_schedule(bb, &s).unwrap();
+        DensityProfile::new(&t).max()
+    }
+
+    #[test]
+    fn fir_builds_and_schedules() {
+        for taps in [1, 4, 8, 16] {
+            let bb = fir(taps).unwrap();
+            bb.validate().unwrap();
+            assert!(density_of(&bb) >= taps as u32 / 2);
+        }
+    }
+
+    #[test]
+    fn resource_constraints_stretch_fir() {
+        let bb = fir(8).unwrap();
+        let free = asap(&bb).unwrap().length();
+        let tight = list_schedule(&bb, ResourceSet::new(1, 1)).unwrap().length();
+        assert!(tight > free);
+    }
+
+    #[test]
+    fn iir_builds() {
+        let bb = iir_biquad(3).unwrap();
+        bb.validate().unwrap();
+        let s = asap(&bb).unwrap();
+        LifetimeTable::from_schedule(&bb, &s).unwrap();
+    }
+
+    #[test]
+    fn fft_stage_builds() {
+        let bb = fft_stage(8).unwrap();
+        bb.validate().unwrap();
+        assert!(density_of(&bb) >= 8);
+    }
+
+    #[test]
+    fn lattice_and_elliptic_build() {
+        lattice(5).unwrap().validate().unwrap();
+        let e = elliptic_cascade().unwrap();
+        e.validate().unwrap();
+        let s = asap(&e).unwrap();
+        let t = LifetimeTable::from_schedule(&e, &s).unwrap();
+        assert!(t.len() > 15);
+    }
+
+    #[test]
+    fn matmul_autocorr_dct_build() {
+        matmul2().unwrap().validate().unwrap();
+        dct8().unwrap().validate().unwrap();
+        let ac = autocorrelation(6, 3).unwrap();
+        ac.validate().unwrap();
+        // Each sample is read once per lag; under a serialising schedule
+        // (one multiplier) those reads land on distinct steps, producing
+        // split lifetimes.
+        let s = list_schedule(&ac, ResourceSet::new(1, 1)).unwrap();
+        let t = LifetimeTable::from_schedule(&ac, &s).unwrap();
+        assert!(t.iter().take(6).any(|lt| lt.read_count() >= 3));
+    }
+
+    #[test]
+    fn kernels_allocate_end_to_end() {
+        let bb = fir(6).unwrap();
+        let s = list_schedule(&bb, ResourceSet::new(2, 2)).unwrap();
+        let t = LifetimeTable::from_schedule(&bb, &s).unwrap();
+        let p = lemra_core::AllocationProblem::new(t, 4);
+        let a = lemra_core::allocate(&p).unwrap();
+        lemra_core::validate(&p, &a).unwrap();
+    }
+}

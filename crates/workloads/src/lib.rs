@@ -1,0 +1,38 @@
+//! Workload generators for `lemra`.
+//!
+//! * [`paper_examples`] — reconstructions of the paper's Figure 1, 3 and 4
+//!   instances (with the published switching-activity tables) plus a
+//!   supplementary minimum-storage demonstrator;
+//! * [`dsp`] — classic DSP kernels (FIR, IIR biquad, FFT stage, lattice,
+//!   elliptic-like cascade) as schedulable data-flow graphs;
+//! * [`rsp`] — the deterministic synthetic radar-signal-processing kernel
+//!   substituting Table 1's proprietary industrial trace (max lifetime
+//!   density 26);
+//! * [`random`] — seeded random instances for property tests and the
+//!   polynomial-scaling benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use lemra_workloads::{dsp, rsp::{rsp, RspConfig}};
+//! use lemra_ir::{asap, LifetimeTable};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let block = dsp::fir(8)?;
+//! let schedule = asap(&block)?;
+//! let lifetimes = LifetimeTable::from_schedule(&block, &schedule)?;
+//! assert!(lifetimes.len() > 16);
+//!
+//! let radar = rsp(&RspConfig::default());
+//! assert!(radar.lifetimes.len() > 40);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsp;
+pub mod paper_examples;
+pub mod random;
+pub mod rsp;

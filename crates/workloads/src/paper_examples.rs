@@ -1,0 +1,338 @@
+//! The paper's worked examples: Figure 1 (the running §5.1 illustration),
+//! Figure 3 and Figure 4 (the §6 evaluation figures), plus a supplementary
+//! storage-locations demonstrator.
+//!
+//! The figures are lifetime diagrams whose exact coordinates do not survive
+//! in the published text; the pairwise switching-activity tables printed
+//! beside them do. Each reconstruction below realises lifetimes *consistent
+//! with every published compatibility arc* (an arc `x → y` requires `x` to
+//! end no later than `y` begins) and documents the choices inline. The
+//! benchmark harness then *measures* both approaches on these instances; see
+//! EXPERIMENTS.md for measured-vs-published ratios.
+
+use lemra_ir::{ActivitySource, LifetimeTable, VarId};
+
+/// One reconstructed figure instance.
+#[derive(Debug, Clone)]
+pub struct FigureInstance {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Variable names in [`VarId`] order.
+    pub var_names: Vec<&'static str>,
+    /// The lifetimes.
+    pub lifetimes: LifetimeTable,
+    /// The published pairwise switching activities.
+    pub activity: ActivitySource,
+    /// Register-file size used in the figure.
+    pub registers: u32,
+}
+
+impl FigureInstance {
+    /// Looks up a variable by its figure name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the figure's variables.
+    pub fn var(&self, name: &str) -> VarId {
+        let idx = self
+            .var_names
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("no variable named {name}"));
+        VarId(idx as u32)
+    }
+}
+
+/// Figure 1: variables `a`–`e` over 7 control steps.
+///
+/// From the paper: at step 3, `a` and `b` are read and `d` is written; `c`
+/// and `d` are read after step 7 by another task (live-out); the regions of
+/// maximum lifetime density run "from time 2 to time 3" and "from time 5 to
+/// time 6"; between them `a`, `b` end and `d`, `e` begin. The lifetimes
+/// below satisfy all of those statements.
+pub fn figure1() -> FigureInstance {
+    let lifetimes = LifetimeTable::from_intervals(
+        7,
+        vec![
+            (1, vec![3], false), // a: defined step 1, read step 3
+            (1, vec![3], false), // b: read with a at step 3
+            (2, vec![], true),   // c: live-out past step 7
+            (3, vec![], true),   // d: written at step 3, live-out
+            (5, vec![7], false), // e
+        ],
+    )
+    .expect("figure 1 reconstruction is well-formed");
+    FigureInstance {
+        name: "figure1",
+        var_names: vec!["a", "b", "c", "d", "e"],
+        lifetimes,
+        activity: ActivitySource::Uniform { hamming: 0.5 },
+        registers: 2,
+    }
+}
+
+/// Figure 3: six variables, one register; published activity table
+/// {a→b 0.2, a→f 0.5, e→b 0.6, e→f 0.3, b→c 0.8, d→e 0.1}.
+///
+/// Reconstruction: `d`,`a` start first; `d` hands to `e`; `a`/`e` end where
+/// `b`/`f` begin; `b` hands to `c` — this admits exactly the published arcs
+/// and reproduces the paper's phase-1 optimum: two symbolic registers
+/// `a→b→c` and `d→e→f` with total switching 0.5+0.2+0.8 + 0.5+0.1+0.3 =
+/// **2.4**, the figure's headline number (initial writes switch 0.5, "for
+/// illustration purposes we can assume that 0.5 of the bits change at time
+/// 0").
+pub fn figure3() -> FigureInstance {
+    let lifetimes = LifetimeTable::from_intervals(
+        6,
+        vec![
+            (1, vec![3], false), // a
+            (3, vec![5], false), // b
+            (5, vec![6], false), // c
+            (1, vec![2], false), // d
+            (2, vec![3], false), // e
+            (3, vec![5], false), // f
+        ],
+    )
+    .expect("figure 3 reconstruction is well-formed");
+    FigureInstance {
+        name: "figure3",
+        var_names: vec!["a", "b", "c", "d", "e", "f"],
+        lifetimes,
+        activity: figure3_activity(),
+        registers: 1,
+    }
+}
+
+fn figure3_activity() -> ActivitySource {
+    // VarIds: a=0, b=1, c=2, d=3, e=4, f=5. The figures list activities
+    // only for the transitions they consider; unlisted pairs are taken as
+    // full-word switching (1.0) so the listed arcs are the attractive ones,
+    // which is what reproduces the published phase-1 optimum of 2.4.
+    ActivitySource::PairTable {
+        table: [
+            ((VarId(0), VarId(1)), 0.2), // a -> b
+            ((VarId(0), VarId(5)), 0.5), // a -> f
+            ((VarId(4), VarId(1)), 0.6), // e -> b
+            ((VarId(4), VarId(5)), 0.3), // e -> f
+            ((VarId(1), VarId(2)), 0.8), // b -> c
+            ((VarId(3), VarId(4)), 0.1), // d -> e
+        ]
+        .into_iter()
+        .collect(),
+        default: 1.0,
+        initial: 0.5,
+    }
+}
+
+/// Figure 4: the Figure 3 cast plus the extra published arc f→b 0.5 —
+/// here `f` runs *between* the early cluster and `b`, so a register can
+/// carry `a/e → f → b → c`.
+///
+/// The three§6 solutions over this instance:
+/// (a) all-pairs graph, partition after allocation;
+/// (b) all-pairs graph, simultaneous (minimum accesses, possibly more
+///     storage locations);
+/// (c) the paper's region graph with `f` split by hand (minimum accesses
+///     *and* minimum storage locations).
+pub fn figure4() -> FigureInstance {
+    let lifetimes = LifetimeTable::from_intervals(
+        8,
+        vec![
+            (1, vec![3], false), // a
+            (5, vec![7], false), // b
+            (7, vec![8], false), // c
+            (1, vec![2], false), // d
+            (2, vec![3], false), // e
+            (3, vec![5], false), // f: bridges the clusters
+        ],
+    )
+    .expect("figure 4 reconstruction is well-formed");
+    let activity = ActivitySource::PairTable {
+        table: [
+            ((VarId(0), VarId(1)), 0.2), // a -> b
+            ((VarId(0), VarId(5)), 0.5), // a -> f
+            ((VarId(4), VarId(1)), 0.6), // e -> b
+            ((VarId(4), VarId(5)), 0.3), // e -> f
+            ((VarId(1), VarId(2)), 0.8), // b -> c
+            ((VarId(3), VarId(4)), 0.1), // d -> e
+            ((VarId(5), VarId(1)), 0.5), // f -> b (the new Figure 4 arc)
+        ]
+        .into_iter()
+        .collect(),
+        default: 1.0,
+        initial: 0.5,
+    };
+    FigureInstance {
+        name: "figure4",
+        var_names: vec!["a", "b", "c", "d", "e", "f"],
+        lifetimes,
+        activity,
+        registers: 1,
+    }
+}
+
+/// The step at which Figure 4c splits `f` (mid-lifetime, step 4).
+pub fn figure4c_split() -> (VarId, lemra_ir::Step) {
+    (VarId(5), lemra_ir::Step(4))
+}
+
+/// Supplementary instance isolating the §7 minimum-storage-locations
+/// property: two density-2 clusters joined by two bridge variables. The
+/// all-pairs graph lets a register idle across the middle region (hand-off
+/// `u → w`), scattering memory residencies over two addresses; the region
+/// graph forbids that arc, and the optimum carries a bridge variable
+/// instead, packing memory into a single address.
+pub fn storage_demo() -> FigureInstance {
+    let lifetimes = LifetimeTable::from_intervals(
+        9,
+        vec![
+            (1, vec![3], false), // u
+            (1, vec![3], false), // v
+            (4, vec![6], false), // g (bridge)
+            (4, vec![6], false), // h (bridge)
+            (7, vec![9], false), // w
+            (7, vec![9], false), // x
+        ],
+    )
+    .expect("storage demo is well-formed");
+    // u -> w transitions are nearly free; through-bridge transitions cost
+    // enough (under the [`storage_demo_energy`] model) that the all-pairs
+    // optimum prefers to idle the register across the middle region, while
+    // the region graph — where the idle arc is forbidden — carries bridge
+    // `g` and packs memory into a single address.
+    let activity = ActivitySource::PairTable {
+        table: [
+            ((VarId(0), VarId(4)), 0.05), // u -> w: almost free
+            ((VarId(0), VarId(2)), 0.5),  // u -> g
+            ((VarId(2), VarId(4)), 0.5),  // g -> w
+        ]
+        .into_iter()
+        .collect(),
+        default: 1.0,
+        initial: 0.5,
+    };
+    FigureInstance {
+        name: "storage_demo",
+        var_names: vec!["u", "v", "g", "h", "w", "x"],
+        lifetimes,
+        activity,
+        registers: 1,
+    }
+}
+
+/// The energy model the storage demonstrator is balanced for: a high
+/// register-file switching capacitance (`C^r_rw` = 20 energy units per unit
+/// Hamming) relative to memory accesses, so skipping the bridge is
+/// energy-attractive exactly when the graph allows it.
+pub fn storage_demo_energy() -> lemra_energy::EnergyModel {
+    lemra_energy::EnergyModel {
+        c_reg_rw: 20.0,
+        ..lemra_energy::EnergyModel::default_16bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lemra_ir::DensityProfile;
+
+    #[test]
+    fn figure1_matches_paper_statements() {
+        let f = figure1();
+        let p = DensityProfile::new(&f.lifetimes);
+        assert_eq!(p.max(), 3);
+        let regions = p.max_regions();
+        assert_eq!(regions.len(), 2);
+        // "from time 2 to time 3": tick range [2w .. 3r].
+        assert_eq!(regions[0].start, lemra_ir::Step(2).write_tick());
+        assert_eq!(regions[0].end, lemra_ir::Step(3).read_tick());
+        assert_eq!(f.var("c"), VarId(2));
+    }
+
+    #[test]
+    fn figure3_phase1_switching_is_2_4() {
+        let f = figure3();
+        let problem = lemra_core::AllocationProblem::new(f.lifetimes.clone(), f.registers)
+            .with_activity(f.activity.clone());
+        let chains = lemra_baselines_shim::min_switching_register_allocation(&problem);
+        let total: f64 = chains
+            .iter()
+            .map(|c| lemra_baselines_shim::chain_switching(&problem, c))
+            .sum();
+        assert!((total - 2.4).abs() < 1e-9, "phase-1 switching {total}");
+    }
+
+    // The workloads crate cannot depend on lemra-baselines (it would be a
+    // cycle: baselines use workloads in their benches? they do not — but
+    // keep layering clean). Re-derive the tiny bits needed for the test.
+    mod lemra_baselines_shim {
+        use lemra_core::AllocationProblem;
+        use lemra_ir::VarId;
+
+        pub fn min_switching_register_allocation(p: &AllocationProblem) -> Vec<Vec<VarId>> {
+            // Brute force over the 6-variable instance: enumerate chain
+            // partitions via the known compatibility and pick min switching.
+            // For the figure-3 test only: pairs (a,b,c) x (d,e,f) style.
+            // Simpler: exhaustively assign each var to one of 2 registers
+            // and keep time-sorted chains that do not overlap.
+            let table = &p.lifetimes;
+            let n = table.len();
+            let mut best: Option<(f64, Vec<Vec<VarId>>)> = None;
+            for mask in 0..(1u32 << n) {
+                let mut chains: Vec<Vec<VarId>> = vec![Vec::new(), Vec::new()];
+                for v in 0..n {
+                    chains[usize::from(mask & (1 << v) != 0)].push(VarId(v as u32));
+                }
+                if !chains.iter().all(|c| valid_chain(table, c)) {
+                    continue;
+                }
+                let total: f64 = chains.iter().map(|c| chain_switching(p, c)).sum();
+                if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                    best = Some((total, chains.clone()));
+                }
+            }
+            best.expect("some partition is valid").1
+        }
+
+        fn valid_chain(table: &lemra_ir::LifetimeTable, chain: &[VarId]) -> bool {
+            let len = table.block_len();
+            let mut sorted = chain.to_vec();
+            sorted.sort_by_key(|&v| table.lifetime(v).start());
+            sorted
+                .windows(2)
+                .all(|w| table.lifetime(w[0]).end(len) < table.lifetime(w[1]).start())
+        }
+
+        pub fn chain_switching(p: &AllocationProblem, chain: &[VarId]) -> f64 {
+            let table = &p.lifetimes;
+            let mut sorted = chain.to_vec();
+            sorted.sort_by_key(|&v| table.lifetime(v).start());
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let mut total = p.activity.initial(sorted[0]);
+            for w in sorted.windows(2) {
+                total += p.activity.hamming(w[0], w[1]);
+            }
+            total
+        }
+    }
+
+    #[test]
+    fn figure4_has_the_bridge_arc() {
+        let f = figure4();
+        let table = &f.lifetimes;
+        let len = table.block_len();
+        // f ends before b begins — the new f -> b arc is realisable.
+        assert!(table.lifetime(f.var("f")).end(len) < table.lifetime(f.var("b")).start());
+        assert!((f.activity.hamming(f.var("f"), f.var("b")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_demo_density() {
+        let f = storage_demo();
+        let p = DensityProfile::new(&f.lifetimes);
+        assert_eq!(p.max(), 2);
+        assert_eq!(p.max_regions().len(), 3);
+    }
+}

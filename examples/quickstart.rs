@@ -1,0 +1,67 @@
+//! Quickstart: describe variable lifetimes, allocate, inspect the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lemra::core::{allocate, AllocationProblem, AllocationReport, Placement};
+use lemra::ir::{LifetimeTable, VarId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six variables over an 8-step schedule, as (def, reads, live-out).
+    // This is the paper's Problem 1 input: an already-scheduled basic block.
+    let names = ["acc", "coef", "sample", "prod", "sum", "out"];
+    let lifetimes = LifetimeTable::from_intervals(
+        8,
+        vec![
+            (1, vec![4, 7], false), // acc: read twice -> split lifetime
+            (1, vec![3], false),    // coef
+            (2, vec![3], false),    // sample
+            (3, vec![4], false),    // prod
+            (4, vec![7], false),    // sum
+            (7, vec![], true),      // out: read by the next block
+        ],
+    )?;
+
+    // Two registers; defaults: static energy model, §5.1 region graph.
+    let problem = AllocationProblem::new(lifetimes, 2);
+    let allocation = allocate(&problem)?;
+    lemra::core::validate(&problem, &allocation)?;
+
+    println!("placements (by segment):");
+    for (id, seg) in allocation.segmentation().iter() {
+        let place = match allocation.placement(id) {
+            Placement::Register(r) => format!("register r{r}"),
+            Placement::Memory => format!(
+                "memory @{}",
+                allocation
+                    .memory_address(seg.var)
+                    .expect("memory segments have addresses")
+            ),
+        };
+        println!(
+            "  {:<7} [{} .. {}]  -> {place}",
+            names[seg.var.index()],
+            seg.start_step.0,
+            seg.end_step.0,
+        );
+    }
+
+    let report = AllocationReport::new(&problem, &allocation);
+    println!("\nregisters used: {}", report.registers_used);
+    println!("memory accesses: {}", report.mem_accesses());
+    println!("storage locations: {}", report.storage_locations);
+    println!("static energy: {:.2} units", report.static_energy);
+
+    // The all-in-memory baseline for comparison:
+    let baseline = lemra::core::baseline_energy(&problem).as_units();
+    println!(
+        "all-in-memory baseline: {baseline:.2} units ({:.2}x worse)",
+        baseline / report.static_energy
+    );
+
+    // `acc` is read at steps 4 and 7 — check where each segment went.
+    let acc_segments = allocation.segmentation().segments_of(VarId(0));
+    println!("\n`acc` was split into {} segments", acc_segments.len());
+    Ok(())
+}

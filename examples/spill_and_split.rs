@@ -1,0 +1,91 @@
+//! Split lifetimes, forced segments, port constraints and the second-stage
+//! memory re-allocation — the §5.2/§7 machinery on one small example.
+//!
+//! ```text
+//! cargo run --example spill_and_split
+//! ```
+
+use lemra::core::{
+    allocate, allocate_with_ports, reallocate_memory, AllocationProblem, AllocationReport,
+    Placement, PortLimits,
+};
+use lemra::ir::{ActivitySource, LifetimeTable, VarId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five variables; `x` is read three times (split lifetime); memory only
+    // reachable every 3rd step (steps 1, 4, 7, 10) — Figure 1c territory.
+    let lifetimes = LifetimeTable::from_intervals(
+        10,
+        vec![
+            (1, vec![4, 7, 10], false), // x: three reads
+            (2, vec![3], false),        // t1: lives entirely off-grid -> forced
+            (2, vec![6], false),        // t2
+            (4, vec![8], false),        // y
+            (5, vec![9], false),        // z
+        ],
+    )?;
+    let names = ["x", "t1", "t2", "y", "z"];
+
+    let problem = AllocationProblem::new(lifetimes, 2)
+        .with_access_period(3)
+        .with_activity(ActivitySource::Uniform { hamming: 6.0 });
+    let allocation = allocate(&problem)?;
+
+    println!("segments under a period-3 memory (grid: steps 1, 4, 7, 10):");
+    for (id, seg) in allocation.segmentation().iter() {
+        println!(
+            "  {:<3} segment {} [{:>2} .. {:>2}] {}-> {:?}",
+            names[seg.var.index()],
+            seg.index,
+            seg.start_step.0,
+            seg.end_step.0,
+            if seg.forced_register { "FORCED " } else { "" },
+            allocation.placement(id),
+        );
+    }
+
+    let report = AllocationReport::new(&problem, &allocation);
+    println!(
+        "\nmem accesses {}, reg accesses {}, peak ports {}r/{}w",
+        report.mem_accesses(),
+        report.reg_accesses(),
+        report.max_reads_per_step,
+        report.max_writes_per_step
+    );
+
+    // Constrain the memory to a single read and write port (§7).
+    match allocate_with_ports(&problem, PortLimits::single()) {
+        Ok((ported, iterations)) => {
+            let pr = AllocationReport::new(&problem, &ported);
+            println!(
+                "with 1r/1w ports ({} solver iterations): peak {}r/{}w, energy {:.1} -> {:.1}",
+                iterations,
+                pr.max_reads_per_step,
+                pr.max_writes_per_step,
+                report.static_energy,
+                pr.static_energy
+            );
+        }
+        Err(e) => println!("single-port memory not achievable here: {e}"),
+    }
+
+    // Second-stage memory re-allocation (activity-based address assignment).
+    let realloc = reallocate_memory(&problem, &allocation)?;
+    println!(
+        "\nmemory re-allocation: {} locations, switching {:.2} (left-edge gave {:.2})",
+        realloc.locations, realloc.switching, report.memory_switching
+    );
+    for (v, name) in names.iter().enumerate() {
+        if let Some(addr) = realloc.address_of.get(&VarId(v as u32)) {
+            println!("  {name} -> address {addr}");
+        }
+    }
+
+    // Where did x's three segments go?
+    let seg = allocation.segmentation();
+    let x_places: Vec<Placement> = (0..seg.segments_of(VarId(0)).len())
+        .map(|i| allocation.placement(seg.id_of(VarId(0), i)))
+        .collect();
+    println!("\nx's split lifetime travels: {x_places:?}");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # lemra — Low Energy Memory and Register Allocation
+//!
+//! A from-scratch Rust reproduction of **C. H. Gebotys, “Low Energy Memory
+//! and Register Allocation Using Network Flow”, DAC 1997**: simultaneous
+//! partitioning of data variables between an on-chip register file and
+//! memory, combined with register allocation, solved *globally optimally in
+//! polynomial time* as a minimum-cost network-flow problem.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`netflow`] — min-cost flow solvers (lower bounds, negative costs);
+//! * [`ir`] — scheduled basic blocks, lifetimes, density analysis;
+//! * [`energy`] — static/activity energy models and voltage scaling;
+//! * [`core`] — the allocator itself (§5 of the paper);
+//! * [`baselines`] — Chang–Pedram two-phase, graph coloring, left-edge;
+//! * [`workloads`] — the paper's figures, DSP kernels, the synthetic RSP
+//!   trace, random generators;
+//! * [`simulator`] — a bit-true storage-subsystem simulator that executes
+//!   allocations and independently validates the analytic reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lemra::core::{allocate, AllocationProblem, AllocationReport};
+//! use lemra::ir::LifetimeTable;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Variables as (definition step, read steps, live-out) triples.
+//! let lifetimes = LifetimeTable::from_intervals(
+//!     8,
+//!     vec![
+//!         (1, vec![3], false),
+//!         (2, vec![5, 8], false),
+//!         (3, vec![6], false),
+//!         (5, vec![8], true),
+//!     ],
+//! )?;
+//! let problem = AllocationProblem::new(lifetimes, 2);
+//! let allocation = allocate(&problem)?;
+//! let report = AllocationReport::new(&problem, &allocation);
+//! println!(
+//!     "memory accesses: {}, energy: {:.1}",
+//!     report.mem_accesses(),
+//!     report.static_energy
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench/src/bin/repro.rs`
+//! for the scripts regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lemra_baselines as baselines;
+pub use lemra_core as core;
+pub use lemra_energy as energy;
+pub use lemra_ir as ir;
+pub use lemra_netflow as netflow;
+pub use lemra_simulator as simulator;
+pub use lemra_workloads as workloads;

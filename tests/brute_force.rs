@@ -1,0 +1,113 @@
+//! Ground-truth optimality: on small instances, exhaustively enumerate
+//! every whole-variable placement (each variable in memory or in one of the
+//! `R` registers, registers holding non-overlapping chains) and verify that
+//! the flow-based allocator is at least as good under its optimised metric.
+//! The allocator may do strictly better — it can split lifetimes — but can
+//! never do worse, and for single-read instances it must match exactly.
+
+use lemra::core::{allocate, Allocation, AllocationProblem, AllocationReport, GraphStyle};
+use lemra::energy::RegisterEnergyKind;
+use lemra::ir::{ActivitySource, LifetimeTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Exhaustive minimum over whole-variable placements.
+fn brute_force_best(problem: &AllocationProblem, kind: RegisterEnergyKind) -> f64 {
+    let n = problem.lifetimes.len();
+    let r = problem.registers as usize;
+    let options = r + 1; // memory or one of r registers
+    let mut best = f64::INFINITY;
+    let combos = (options as u64).pow(n as u32);
+    assert!(combos <= 1_000_000, "instance too large for brute force");
+    for code in 0..combos {
+        let mut c = code;
+        let mut placement: Vec<Option<u32>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let choice = (c % options as u64) as u32;
+            c /= options as u64;
+            placement.push(if choice == 0 { None } else { Some(choice - 1) });
+        }
+        match Allocation::from_var_placements(problem, &placement) {
+            Ok(allocation) => {
+                let report = AllocationReport::new(problem, &allocation);
+                best = best.min(report.energy(kind));
+            }
+            Err(_) => continue, // overlapping chain: infeasible placement
+        }
+    }
+    best
+}
+
+fn random_small_table(seed: u64) -> LifetimeTable {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let steps = rng.gen_range(4..8);
+    let n = rng.gen_range(2..6);
+    let intervals = (0..n)
+        .map(|_| {
+            let def = rng.gen_range(1..steps);
+            let live_out = rng.gen_range(0..4) == 0;
+            let read = if def < steps {
+                vec![rng.gen_range(def + 1..=steps)]
+            } else {
+                Vec::new()
+            };
+            if read.is_empty() {
+                (def, read, true)
+            } else {
+                (def, read, live_out)
+            }
+        })
+        .collect();
+    LifetimeTable::from_intervals(steps, intervals).unwrap()
+}
+
+#[test]
+fn allocator_never_loses_to_exhaustive_search() {
+    for seed in 0..60 {
+        let table = random_small_table(seed);
+        let n = table.len();
+        let mut rng = SmallRng::seed_from_u64(seed + 999);
+        let patterns = ActivitySource::BitPatterns {
+            patterns: (0..n).map(|_| rng.gen::<u64>() & 0xFFFF).collect(),
+            width: 16,
+        };
+        for registers in [1u32, 2] {
+            for kind in [RegisterEnergyKind::Static, RegisterEnergyKind::Activity] {
+                let problem = AllocationProblem::new(table.clone(), registers)
+                    .with_style(GraphStyle::AllPairs)
+                    .with_register_energy(kind)
+                    .with_activity(patterns.clone());
+                let best = brute_force_best(&problem, kind);
+                let ours = AllocationReport::new(&problem, &allocate(&problem).unwrap());
+                assert!(
+                    ours.energy(kind) <= best + 1e-6,
+                    "seed {seed} R={registers} {kind:?}: allocator {} vs brute force {best}",
+                    ours.energy(kind)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn allocator_matches_exhaustive_search_exactly_on_single_read_instances() {
+    // Single-read variables have one segment each: no splitting advantage,
+    // so the flow optimum must *equal* the exhaustive optimum.
+    let mut checked = 0;
+    for seed in 0..60 {
+        let table = random_small_table(seed);
+        if table.iter().any(|lt| lt.read_count() != 1) {
+            continue;
+        }
+        let problem = AllocationProblem::new(table, 2).with_style(GraphStyle::AllPairs);
+        let best = brute_force_best(&problem, RegisterEnergyKind::Static);
+        let ours = AllocationReport::new(&problem, &allocate(&problem).unwrap());
+        assert!(
+            (ours.static_energy - best).abs() < 1e-6,
+            "seed {seed}: allocator {} != brute force {best}",
+            ours.static_energy
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few single-read instances generated");
+}

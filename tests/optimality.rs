@@ -1,0 +1,122 @@
+//! Cross-crate optimality guarantees: the simultaneous allocator (on the
+//! all-pairs graph, the superset of every baseline's decision space) never
+//! loses to any baseline, on randomized instances; and the second-stage
+//! memory re-allocation never increases switching.
+
+use lemra::baselines::{all_memory, color_with_spills, left_edge, two_phase};
+use lemra::core::{allocate, reallocate_memory, AllocationProblem, AllocationReport, GraphStyle};
+use lemra::energy::RegisterEnergyKind;
+use lemra::workloads::random::{random_lifetimes, random_patterns, RandomConfig};
+
+#[test]
+fn simultaneous_never_loses_to_baselines() {
+    for seed in 0..25 {
+        let table = random_lifetimes(&RandomConfig::small(seed));
+        let n = table.len();
+        for registers in [1u32, 3, 6] {
+            for kind in [RegisterEnergyKind::Static, RegisterEnergyKind::Activity] {
+                let problem = AllocationProblem::new(table.clone(), registers)
+                    .with_style(GraphStyle::AllPairs)
+                    .with_register_energy(kind)
+                    .with_activity(random_patterns(n, seed));
+                let ours = AllocationReport::new(&problem, &allocate(&problem).expect("feasible"));
+                let baselines = [
+                    (
+                        "two_phase",
+                        two_phase(&problem).expect("succeeds").allocation,
+                    ),
+                    (
+                        "coloring",
+                        color_with_spills(&problem).expect("succeeds").allocation,
+                    ),
+                    (
+                        "left_edge",
+                        left_edge(&problem).expect("succeeds").allocation,
+                    ),
+                    ("all_memory", all_memory(&problem).expect("succeeds")),
+                ];
+                for (name, alloc) in baselines {
+                    let theirs = AllocationReport::new(&problem, &alloc);
+                    assert!(
+                        ours.energy(kind) <= theirs.energy(kind) + 1e-6,
+                        "seed {seed} R={registers} {kind:?}: lost to {name} \
+                         ({} vs {})",
+                        ours.energy(kind),
+                        theirs.energy(kind)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn region_graph_matches_all_pairs_on_most_instances() {
+    // The §5.1 graph is a restriction; measure how often it costs anything
+    // on random instances (it usually does not).
+    let mut worse = 0;
+    let total = 30;
+    for seed in 0..total {
+        let table = random_lifetimes(&RandomConfig::small(seed));
+        let regions = AllocationProblem::new(table.clone(), 4);
+        let all_pairs = AllocationProblem::new(table, 4).with_style(GraphStyle::AllPairs);
+        let r = allocate(&regions).expect("feasible").flow_cost();
+        let a = allocate(&all_pairs).expect("feasible").flow_cost();
+        assert!(a <= r, "all-pairs is a superset");
+        if a < r {
+            worse += 1;
+        }
+    }
+    assert!(
+        worse * 2 <= total,
+        "region graph lost on {worse}/{total} random instances — construction bug?"
+    );
+}
+
+#[test]
+fn realloc_is_no_worse_than_left_edge_addresses() {
+    for seed in 0..20 {
+        let table = random_lifetimes(&RandomConfig::small(seed));
+        let n = table.len();
+        let problem =
+            AllocationProblem::new(table, 2).with_activity(random_patterns(n, seed + 100));
+        let allocation = allocate(&problem).expect("feasible");
+        let first = AllocationReport::new(&problem, &allocation).memory_switching;
+        let second = reallocate_memory(&problem, &allocation).expect("succeeds");
+        assert!(
+            second.switching <= first + 1e-6,
+            "seed {seed}: realloc {} vs left-edge {first}",
+            second.switching
+        );
+        assert_eq!(second.locations, allocation.storage_locations());
+    }
+}
+
+#[test]
+fn restricted_access_periods_only_add_energy() {
+    // Restricting when memory may be touched can never help.
+    for seed in 0..15 {
+        let table = random_lifetimes(&RandomConfig::small(seed));
+        let mut prev = f64::NEG_INFINITY;
+        for c in [1u32, 2, 4] {
+            let problem = AllocationProblem::new(table.clone(), 12).with_access_period(c);
+            match allocate(&problem) {
+                Ok(a) => {
+                    let r = AllocationReport::new(&problem, &a);
+                    // Not strictly monotone in c (grids differ), but the
+                    // unrestricted optimum is a lower bound for any c.
+                    if c == 1 {
+                        prev = r.static_energy;
+                    } else {
+                        assert!(
+                            r.static_energy >= prev - 1e-6,
+                            "seed {seed} c={c}: beat the unrestricted optimum"
+                        );
+                    }
+                }
+                Err(lemra::core::CoreError::TooFewRegisters { .. }) => {}
+                Err(e) => panic!("seed {seed} c={c}: {e}"),
+            }
+        }
+    }
+}

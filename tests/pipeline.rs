@@ -1,0 +1,98 @@
+//! Cross-crate integration: data-flow graph → scheduler → lifetimes →
+//! simultaneous allocation → validation → exact report, on the DSP kernels.
+
+use lemra::core::{allocate, AllocationProblem, AllocationReport};
+use lemra::ir::{asap, list_schedule, DensityProfile, LifetimeTable, ResourceSet};
+use lemra::workloads::dsp;
+use lemra::workloads::random::random_patterns;
+
+fn kernels() -> Vec<(&'static str, lemra::ir::BasicBlock)> {
+    vec![
+        ("fir8", dsp::fir(8).expect("builds")),
+        ("fir16", dsp::fir(16).expect("builds")),
+        ("iir3", dsp::iir_biquad(3).expect("builds")),
+        ("fft8", dsp::fft_stage(8).expect("builds")),
+        ("lattice6", dsp::lattice(6).expect("builds")),
+        ("elliptic", dsp::elliptic_cascade().expect("builds")),
+    ]
+}
+
+#[test]
+fn every_kernel_allocates_under_asap() {
+    for (name, block) in kernels() {
+        let schedule = asap(&block).expect("schedulable");
+        let table = LifetimeTable::from_schedule(&block, &schedule).expect("valid lifetimes");
+        let density = DensityProfile::new(&table).max();
+        for registers in [0, density / 2, density, density + 4] {
+            let n = table.len();
+            let problem = AllocationProblem::new(table.clone(), registers)
+                .with_activity(random_patterns(n, 5));
+            let allocation =
+                allocate(&problem).unwrap_or_else(|e| panic!("{name} with R={registers}: {e}"));
+            lemra::core::validate(&problem, &allocation)
+                .unwrap_or_else(|e| panic!("{name} with R={registers}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn resource_constrained_schedules_allocate_too() {
+    for (name, block) in kernels() {
+        let schedule = list_schedule(&block, ResourceSet::new(2, 1)).expect("schedulable");
+        let table = LifetimeTable::from_schedule(&block, &schedule).expect("valid");
+        let problem = AllocationProblem::new(table, 6);
+        let allocation = allocate(&problem).unwrap_or_else(|e| panic!("{name}: {e}"));
+        lemra::core::validate(&problem, &allocation).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn with_full_density_registers_memory_is_empty() {
+    for (name, block) in kernels() {
+        let schedule = asap(&block).expect("schedulable");
+        let table = LifetimeTable::from_schedule(&block, &schedule).expect("valid");
+        let density = DensityProfile::new(&table).max();
+        let problem = AllocationProblem::new(table, density);
+        let report = AllocationReport::new(&problem, &allocate(&problem).expect("feasible"));
+        assert_eq!(
+            report.mem_accesses(),
+            0,
+            "{name}: density-many registers must hold everything"
+        );
+        assert_eq!(report.storage_locations, 0, "{name}");
+    }
+}
+
+#[test]
+fn stretching_the_schedule_never_raises_density() {
+    // A longer (more serial) schedule can only lower register pressure.
+    let block = dsp::fir(12).expect("builds");
+    let free = asap(&block).expect("schedulable");
+    let tight = list_schedule(&block, ResourceSet::new(1, 1)).expect("schedulable");
+    let d_free =
+        DensityProfile::new(&LifetimeTable::from_schedule(&block, &free).expect("valid")).max();
+    let d_tight =
+        DensityProfile::new(&LifetimeTable::from_schedule(&block, &tight).expect("valid")).max();
+    assert!(
+        d_tight <= d_free,
+        "serialised {d_tight} vs parallel {d_free}"
+    );
+}
+
+#[test]
+fn energy_monotone_in_register_count_across_kernels() {
+    for (name, block) in kernels().into_iter().take(3) {
+        let schedule = asap(&block).expect("schedulable");
+        let table = LifetimeTable::from_schedule(&block, &schedule).expect("valid");
+        let mut prev = f64::INFINITY;
+        for registers in 0..8 {
+            let problem = AllocationProblem::new(table.clone(), registers);
+            let report = AllocationReport::new(&problem, &allocate(&problem).expect("feasible"));
+            assert!(
+                report.static_energy <= prev + 1e-6,
+                "{name}: R={registers} regressed"
+            );
+            prev = report.static_energy;
+        }
+    }
+}

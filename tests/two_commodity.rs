@@ -1,0 +1,139 @@
+//! The §7 two-commodity question, quantified.
+//!
+//! "In order to simultaneously support an activity-based energy dissipation
+//! model for memory allocation a two-commodity flow problem would be
+//! required. Unfortunately the two-commodity flow problem is NP-complete."
+//! The paper therefore optimises in two stages: registers first (one flow),
+//! then memory addresses (a second flow, [`reallocate_memory`]).
+//!
+//! This test measures what that decomposition costs: on small instances we
+//! brute-force the *combined* optimum — over every whole-variable placement,
+//! score `activity energy + λ · optimal address switching` (the address
+//! assignment given a placement is polynomial, so the joint optimum is a
+//! minimum over placements) — and compare the paper's two-stage pipeline
+//! against it.
+
+use lemra::core::{
+    allocate, reallocate_memory, Allocation, AllocationProblem, AllocationReport, GraphStyle,
+};
+use lemra::energy::RegisterEnergyKind;
+use lemra::ir::{ActivitySource, LifetimeTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight of address-line switching in the combined objective (the paper
+/// leaves λ to "future research"; any positive value poses the question).
+const LAMBDA: f64 = 2.0;
+
+fn combined_score(problem: &AllocationProblem, allocation: &Allocation) -> f64 {
+    let report = AllocationReport::new(problem, allocation);
+    let addressing = reallocate_memory(problem, allocation).expect("feasible");
+    report.activity_energy + LAMBDA * addressing.switching
+}
+
+/// Brute-force the combined optimum over whole-variable placements.
+fn combined_optimum(problem: &AllocationProblem) -> f64 {
+    let n = problem.lifetimes.len();
+    let options = problem.registers as u64 + 1;
+    let mut best = f64::INFINITY;
+    for code in 0..options.pow(n as u32) {
+        let mut c = code;
+        let placement: Vec<Option<u32>> = (0..n)
+            .map(|_| {
+                let choice = (c % options) as u32;
+                c /= options;
+                (choice > 0).then(|| choice - 1)
+            })
+            .collect();
+        if let Ok(allocation) = Allocation::from_var_placements(problem, &placement) {
+            best = best.min(combined_score(problem, &allocation));
+        }
+    }
+    best
+}
+
+fn instance(seed: u64) -> AllocationProblem {
+    instance_sized(seed, 4, 7, 3, 6)
+}
+
+fn instance_sized(
+    seed: u64,
+    min_steps: u32,
+    max_steps: u32,
+    min_n: usize,
+    max_n: usize,
+) -> AllocationProblem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let steps = rng.gen_range(min_steps..max_steps);
+    let n = rng.gen_range(min_n..max_n);
+    let intervals = (0..n)
+        .map(|_| {
+            let def = rng.gen_range(1..steps);
+            (def, vec![rng.gen_range(def + 1..=steps)], false)
+        })
+        .collect();
+    let table = LifetimeTable::from_intervals(steps, intervals).unwrap();
+    let patterns = ActivitySource::BitPatterns {
+        patterns: (0..n).map(|_| rng.gen::<u64>() & 0xFFFF).collect(),
+        width: 16,
+    };
+    AllocationProblem::new(table, 2)
+        .with_style(GraphStyle::AllPairs)
+        .with_register_energy(RegisterEnergyKind::Activity)
+        .with_activity(patterns)
+}
+
+#[test]
+fn two_stage_stays_close_to_the_combined_optimum() {
+    let mut total_gap = 0.0;
+    let mut worst_gap: f64 = 0.0;
+    let trials = 40;
+    for seed in 0..trials {
+        let problem = instance(seed);
+        let two_stage = combined_score(&problem, &allocate(&problem).expect("feasible"));
+        let best = combined_optimum(&problem);
+        assert!(
+            two_stage >= best - 1e-6,
+            "seed {seed}: two-stage {two_stage} beat the exhaustive optimum {best}?!"
+        );
+        let gap = two_stage / best;
+        total_gap += gap;
+        worst_gap = worst_gap.max(gap);
+    }
+    let mean_gap = total_gap / f64::from(trials as u32);
+    // Measured: the two-stage decomposition averages ~1.11x the combined
+    // optimum at λ = 2 on these instances — the price of avoiding the
+    // NP-complete joint problem. Guard the measured quality so regressions
+    // surface (and improvements can tighten these bounds).
+    assert!(
+        mean_gap < 1.2,
+        "two-stage averaged {mean_gap:.3}x the combined optimum"
+    );
+    assert!(worst_gap < 2.0, "worst-case two-stage gap {worst_gap:.3}x");
+}
+
+#[test]
+fn second_stage_is_what_closes_the_gap() {
+    // Without the re-allocation pass, left-edge addressing alone is
+    // measurably worse on at least some instances.
+    let mut improved = 0;
+    for seed in 0..40 {
+        // Memory-heavy instances (one register, more and longer lifetimes)
+        // where address assignment actually has choices to make.
+        let mut problem = instance_sized(seed, 8, 12, 6, 9);
+        problem.registers = 1;
+        let allocation = allocate(&problem).expect("feasible");
+        let left_edge = AllocationReport::new(&problem, &allocation).memory_switching;
+        let optimal = reallocate_memory(&problem, &allocation)
+            .expect("feasible")
+            .switching;
+        assert!(optimal <= left_edge + 1e-9);
+        if optimal + 1e-9 < left_edge {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved >= 3,
+        "re-allocation never improved on left-edge across 40 instances ({improved})"
+    );
+}
