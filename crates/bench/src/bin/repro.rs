@@ -5,9 +5,14 @@
 //! cargo run -p lemra-bench --bin repro -- figure3
 //! cargo run -p lemra-bench --bin repro -- table1 --json
 //! ```
+//!
+//! The requested sections are computed in parallel (they share nothing) and
+//! printed in their fixed order afterwards, so the output is identical to
+//! running them one by one; `LEMRA_THREADS=1` forces the serial path.
 
 use lemra_bench::experiments::{
-    run_figure3, run_figure4, run_headline, run_offchip, run_sizing, run_table1, Row,
+    run_figure3, run_figure4, run_headline, run_offchip, run_sizing, run_table1, Figure3Result,
+    Figure4Result, HeadlineRow, OffchipRow, Row, SizingRow, Table1Row,
 };
 
 fn main() {
@@ -19,24 +24,54 @@ fn main() {
         .map(String::as_str)
         .collect();
     let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
 
-    if all || which.contains(&"figure3") {
-        figure3(json);
+    // Compute every requested section concurrently, then print in the
+    // fixed section order below.
+    let mut figure3_result: Option<Figure3Result> = None;
+    let mut figure4_result: Option<Figure4Result> = None;
+    let mut table1_rows: Option<Vec<Table1Row>> = None;
+    let mut headline_rows: Option<Vec<HeadlineRow>> = None;
+    let mut offchip_rows: Option<Vec<OffchipRow>> = None;
+    let mut sizing_rows: Option<Vec<SizingRow>> = None;
+    std::thread::scope(|s| {
+        if want("figure3") {
+            s.spawn(|| figure3_result = Some(run_figure3()));
+        }
+        if want("figure4") {
+            s.spawn(|| figure4_result = Some(run_figure4()));
+        }
+        if want("table1") {
+            s.spawn(|| table1_rows = Some(run_table1()));
+        }
+        if want("headline") {
+            s.spawn(|| headline_rows = Some(run_headline()));
+        }
+        if want("offchip") {
+            s.spawn(|| offchip_rows = Some(run_offchip()));
+        }
+        if want("sizing") {
+            s.spawn(|| sizing_rows = Some(run_sizing()));
+        }
+    });
+
+    if let Some(r) = figure3_result {
+        figure3(&r, json);
     }
-    if all || which.contains(&"figure4") {
-        figure4(json);
+    if let Some(r) = figure4_result {
+        figure4(&r, json);
     }
-    if all || which.contains(&"table1") {
-        table1(json);
+    if let Some(rows) = table1_rows {
+        table1(&rows, json);
     }
-    if all || which.contains(&"headline") {
-        headline(json);
+    if let Some(rows) = headline_rows {
+        headline(&rows, json);
     }
-    if all || which.contains(&"offchip") {
-        offchip(json);
+    if let Some(rows) = offchip_rows {
+        offchip(&rows, json);
     }
-    if all || which.contains(&"sizing") {
-        sizing(json);
+    if let Some(rows) = sizing_rows {
+        sizing(&rows, json);
     }
 }
 
@@ -61,8 +96,7 @@ fn print_rows(rows: &[&Row]) {
     }
 }
 
-fn figure3(json: bool) {
-    let r = run_figure3();
+fn figure3(r: &Figure3Result, json: bool) {
     if json {
         println!("{}", serde_json::to_string_pretty(&r).expect("serialises"));
         return;
@@ -80,8 +114,7 @@ fn figure3(json: bool) {
     println!();
 }
 
-fn figure4(json: bool) {
-    let r = run_figure4();
+fn figure4(r: &Figure4Result, json: bool) {
     if json {
         println!("{}", serde_json::to_string_pretty(&r).expect("serialises"));
         return;
@@ -97,8 +130,7 @@ fn figure4(json: bool) {
     println!();
 }
 
-fn table1(json: bool) {
-    let rows = run_table1();
+fn table1(rows: &[Table1Row], json: bool) {
     if json {
         println!(
             "{}",
@@ -111,7 +143,7 @@ fn table1(json: bool) {
         "  {:<6} {:>6} {:>6} {:>8} {:>8} {:>7} {:>10} {:>10}",
         "freq", "c", "volts", "mem", "reg", "ports", "relE", "relAE"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "  {:<6} {:>6} {:>6.1} {:>8} {:>8} {:>4}r{}w {:>10.2} {:>10.2}",
             r.frequency,
@@ -129,8 +161,7 @@ fn table1(json: bool) {
     println!();
 }
 
-fn offchip(json: bool) {
-    let rows = run_offchip();
+fn offchip(rows: &[OffchipRow], json: bool) {
     if json {
         println!(
             "{}",
@@ -143,7 +174,7 @@ fn offchip(json: bool) {
         "  {:<9} {:>7} {:>8} {:>12} {:>9}",
         "capacity", "onchip", "offchip", "energy", "saving"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "  {:<9} {:>7} {:>8} {:>12.1} {:>8.2}x",
             r.capacity, r.onchip_vars, r.offchip_vars, r.tiered_energy, r.saving_factor
@@ -153,8 +184,7 @@ fn offchip(json: bool) {
     println!();
 }
 
-fn sizing(json: bool) {
-    let rows = run_sizing();
+fn sizing(rows: &[SizingRow], json: bool) {
     if json {
         println!(
             "{}",
@@ -167,7 +197,7 @@ fn sizing(json: bool) {
         "  {:<5} {:>6} {:>9} {:>6} {:>10}",
         "R", "words", "regRead", "mem", "E"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "  {:<5} {:>6} {:>9.2} {:>6} {:>10.1}",
             r.registers, r.array_words, r.reg_read_energy, r.mem_accesses, r.static_energy
@@ -179,8 +209,7 @@ fn sizing(json: bool) {
     println!();
 }
 
-fn headline(json: bool) {
-    let rows = run_headline();
+fn headline(rows: &[HeadlineRow], json: bool) {
     if json {
         println!(
             "{}",
@@ -193,7 +222,7 @@ fn headline(json: bool) {
         "  {:<10} {:<20} {:>10} {:>10}",
         "workload", "baseline", "E ratio", "aE ratio"
     );
-    for r in &rows {
+    for r in rows {
         println!(
             "  {:<10} {:<20} {:>10.2} {:>10.2}",
             r.workload, r.baseline, r.static_ratio, r.activity_ratio

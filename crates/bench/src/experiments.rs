@@ -345,54 +345,67 @@ pub struct HeadlineRow {
 
 /// Runs the headline sweep: every baseline on every evaluation workload.
 ///
+/// Workloads are independent, so they fan out over
+/// [`par_map`](crate::parallel::par_map) threads; rows come back grouped in
+/// workload order, byte-identical to the serial sweep (`LEMRA_THREADS=1`).
+///
 /// # Panics
 ///
 /// Panics if a workload fails to build or allocate.
 pub fn run_headline() -> Vec<HeadlineRow> {
-    let mut rows = Vec::new();
-    for (name, table, activity, registers) in headline_workloads() {
-        // The baselines place whole variables, i.e. they pick register
-        // chains — every such choice is one feasible flow on the all-pairs
-        // graph, so the simultaneous optimum over that graph can never lose.
-        let problem = AllocationProblem::new(table, registers)
-            .with_activity(activity)
-            .with_style(GraphStyle::AllPairs)
-            .with_register_energy(RegisterEnergyKind::Activity);
-        let ours_activity = AllocationReport::new(&problem, &allocate(&problem).expect("feasible"));
-        let static_problem = problem
-            .clone()
-            .with_register_energy(RegisterEnergyKind::Static);
-        let ours_static = AllocationReport::new(
-            &static_problem,
-            &allocate(&static_problem).expect("feasible"),
-        );
-        let baselines: Vec<(&str, lemra_core::Allocation)> = vec![
-            (
-                "two-phase [8]",
-                two_phase(&problem).expect("two-phase succeeds").allocation,
-            ),
-            (
-                "graph coloring [6]",
-                color_with_spills(&problem)
-                    .expect("coloring succeeds")
-                    .allocation,
-            ),
-            (
-                "left-edge",
-                left_edge(&problem).expect("left-edge succeeds").allocation,
-            ),
-        ];
-        for (bname, alloc) in baselines {
+    crate::parallel::par_map(headline_workloads(), headline_rows_for)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// All baseline-comparison rows of one headline workload.
+fn headline_rows_for(
+    (name, table, activity, registers): (String, LifetimeTable, lemra_ir::ActivitySource, u32),
+) -> Vec<HeadlineRow> {
+    // The baselines place whole variables, i.e. they pick register
+    // chains — every such choice is one feasible flow on the all-pairs
+    // graph, so the simultaneous optimum over that graph can never lose.
+    let problem = AllocationProblem::new(table, registers)
+        .with_activity(activity)
+        .with_style(GraphStyle::AllPairs)
+        .with_register_energy(RegisterEnergyKind::Activity);
+    let ours_activity = AllocationReport::new(&problem, &allocate(&problem).expect("feasible"));
+    let static_problem = problem
+        .clone()
+        .with_register_energy(RegisterEnergyKind::Static);
+    let ours_static = AllocationReport::new(
+        &static_problem,
+        &allocate(&static_problem).expect("feasible"),
+    );
+    let baselines: Vec<(&str, lemra_core::Allocation)> = vec![
+        (
+            "two-phase [8]",
+            two_phase(&problem).expect("two-phase succeeds").allocation,
+        ),
+        (
+            "graph coloring [6]",
+            color_with_spills(&problem)
+                .expect("coloring succeeds")
+                .allocation,
+        ),
+        (
+            "left-edge",
+            left_edge(&problem).expect("left-edge succeeds").allocation,
+        ),
+    ];
+    baselines
+        .into_iter()
+        .map(|(bname, alloc)| {
             let r = AllocationReport::new(&problem, &alloc);
-            rows.push(HeadlineRow {
+            HeadlineRow {
                 workload: name.clone(),
                 baseline: bname.to_owned(),
                 static_ratio: r.static_energy / ours_static.static_energy,
                 activity_ratio: r.activity_energy / ours_activity.activity_energy,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 fn headline_workloads() -> Vec<(String, LifetimeTable, lemra_ir::ActivitySource, u32)> {
@@ -511,6 +524,23 @@ mod tests {
         let last = rows.last().expect("non-empty");
         assert!(last.saving_factor > 1.5, "saving {}", last.saving_factor);
         assert_eq!(last.offchip_vars, 0);
+    }
+
+    #[test]
+    fn headline_parallel_output_is_byte_identical_to_serial() {
+        let serial: Vec<HeadlineRow> =
+            crate::parallel::par_map_threads(1, headline_workloads(), headline_rows_for)
+                .into_iter()
+                .flatten()
+                .collect();
+        let parallel: Vec<HeadlineRow> =
+            crate::parallel::par_map_threads(4, headline_workloads(), headline_rows_for)
+                .into_iter()
+                .flatten()
+                .collect();
+        let a = serde_json::to_string(&serial).expect("serialises");
+        let b = serde_json::to_string(&parallel).expect("serialises");
+        assert_eq!(a, b, "parallel sweep must not change committed rows");
     }
 
     #[test]

@@ -53,11 +53,19 @@ pub(crate) struct BuiltNetwork {
 /// True if a hand-off from a read at `from` to a write at `to` is admitted
 /// under the region rule: `from <= to` and no maximum-density region lies
 /// strictly inside the open interval `(from, to)`.
+///
+/// `regions` comes from [`DensityProfile::max_regions`]: sorted by start and
+/// disjoint, so ends ascend in the same order and the earliest region
+/// starting after `from` has the smallest end among all candidates — one
+/// binary search decides the query. The network builder calls this for every
+/// segment pair, so it must not scan the region list linearly.
 fn region_allows(regions: &[TickRange], from: Tick, to: Tick) -> bool {
     if from > to {
         return false;
     }
-    !regions.iter().any(|r| from < r.start && r.end < to)
+    debug_assert!(regions.windows(2).all(|w| w[0].end < w[1].start));
+    let i = regions.partition_point(|r| r.start <= from);
+    regions.get(i).is_none_or(|r| r.end >= to)
 }
 
 pub(crate) fn build(
@@ -102,6 +110,19 @@ pub(crate) fn build(
     let mut handoff_of = Vec::new();
     let mut chain_of = Vec::new();
 
+    // The hand-off double loop visits every segment pair; everything that
+    // depends on one endpoint only is computed once per segment here, so the
+    // pair loop is left with an O(1) window test plus the pair-specific
+    // Hamming transition term.
+    let mut exit_cost = Vec::with_capacity(n);
+    let mut enter_cost = Vec::with_capacity(n);
+    let mut register_carried_first = Vec::with_capacity(n);
+    for (_, seg) in segmentation.iter() {
+        exit_cost.push(costs.exit(seg));
+        enter_cost.push(costs.enter(seg));
+        register_carried_first.push(seg.is_first && problem.carried_in_register.contains(&seg.var));
+    }
+
     for (from_id, from) in segmentation.iter() {
         // Chain arc to the variable's next segment — eq. (9).
         if !from.is_last {
@@ -114,23 +135,35 @@ pub(crate) fn build(
             )?;
             chain_of.push((arc, from_id));
         }
+        // Hand-off window out of `from` under the region rule: a write at
+        // `to_start >= from.end()` is admitted unless the first max-density
+        // region starting after `from.end()` ends before it (regions are
+        // sorted and disjoint, so that region has the smallest end among the
+        // candidates `region_allows` would inspect).
+        let from_end = from.end();
+        let first_beyond = regions.partition_point(|r| r.start <= from_end);
+        let window_end = regions.get(first_beyond).map_or(Tick(u32::MAX), |r| r.end);
         // Hand-off arcs to other variables' segments. A register-carried
         // variable's first segment is only reachable from `s` — its value
         // is already in a register at block entry, so it cannot take over
         // another variable's register.
         for (to_id, to) in segmentation.iter() {
-            if to.var == from.var || (to.is_first && problem.carried_in_register.contains(&to.var))
-            {
+            if to.var == from.var || register_carried_first[to_id.index()] {
                 continue;
             }
-            if !region_allows(&regions, from.end(), to.start()) {
+            let to_start = to.start();
+            if to_start < from_end || to_start > window_end {
                 continue;
             }
+            debug_assert!(region_allows(&regions, from_end, to_start));
+            let cost =
+                exit_cost[from_id.index()] + enter_cost[to_id.index()] + costs.transition(from, to);
+            debug_assert_eq!(cost, costs.handoff(from, to));
             let arc = net.add_arc(
                 read_node[from_id.index()],
                 write_node[to_id.index()],
                 1,
-                costs.handoff(from, to).raw(),
+                cost.raw(),
             )?;
             handoff_of.push((arc, from_id, to_id));
         }

@@ -59,6 +59,7 @@ pub fn min_cost_flow_cycle_canceling(
             res.add_edge(v, super_t, -e, 0);
         }
     }
+    res.finalize();
     let achieved = dinic(&mut res, super_s, super_t);
     if achieved < required {
         return Err(NetflowError::Infeasible { required, achieved });
@@ -73,7 +74,7 @@ fn cancel_all_negative_cycles(res: &mut Residual) {
     while let Some(cycle) = find_negative_cycle(res) {
         let bottleneck = cycle
             .iter()
-            .map(|&e| res.edges[e as usize].cap)
+            .map(|&e| res.cap_of(e))
             .min()
             .expect("cycle is non-empty");
         debug_assert!(bottleneck > 0);
@@ -93,15 +94,14 @@ fn find_negative_cycle(res: &Residual) -> Option<Vec<u32>> {
     for round in 0..n {
         let mut changed = false;
         for u in 0..n {
-            for &e in &res.adj[u] {
-                let edge = res.edges[e as usize];
-                if edge.cap <= 0 {
+            for slot in res.active_slots(u) {
+                if res.cap[slot] <= 0 {
                     continue;
                 }
-                let v = edge.to as usize;
-                if dist[u] + edge.cost < dist[v] {
-                    dist[v] = dist[u] + edge.cost;
-                    parent_edge[v] = e;
+                let v = res.to[slot] as usize;
+                if dist[u] + res.cost[slot] < dist[v] {
+                    dist[v] = dist[u] + res.cost[slot];
+                    parent_edge[v] = res.adj[slot];
                     changed = true;
                     if round == n - 1 {
                         cycle_node = Some(v);

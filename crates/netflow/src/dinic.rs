@@ -42,6 +42,7 @@ pub fn max_flow(net: &FlowNetwork, s: NodeId, t: NodeId) -> Result<FlowSolution,
 
     if !net.has_lower_bounds() {
         let mut res = Residual::from_network(net, 0);
+        res.finalize();
         let value = dinic(&mut res, idx(s), idx(t));
         return Ok(solution_from_residual(net, &res, value));
     }
@@ -66,6 +67,7 @@ pub fn max_flow(net: &FlowNetwork, s: NodeId, t: NodeId) -> Result<FlowSolution,
             res.add_edge(v, super_t, -e, 0);
         }
     }
+    res.finalize();
     let satisfied = dinic(&mut res, super_s, super_t);
     if satisfied < required {
         return Err(NetflowError::Infeasible {
@@ -76,13 +78,15 @@ pub fn max_flow(net: &FlowNetwork, s: NodeId, t: NodeId) -> Result<FlowSolution,
     // Remove the return edge (freeze its flow as baseline value) and grow
     // s -> t flow on top.
     let base_value = res.flow_on(return_edge);
-    res.edges[return_edge as usize].cap = 0;
-    res.edges[(return_edge ^ 1) as usize].cap = 0;
+    res.set_cap_of(return_edge, 0);
+    res.set_cap_of(return_edge ^ 1, 0);
     let extra = dinic(&mut res, idx(s), idx(t));
     Ok(solution_from_residual(net, &res, base_value + extra))
 }
 
 /// Core Dinic loop: BFS level graph + DFS blocking flow.
+///
+/// `res` must be finalized.
 pub(crate) fn dinic(res: &mut Residual, s: usize, t: usize) -> i64 {
     let n = res.node_count();
     let mut total = 0i64;
@@ -93,10 +97,9 @@ pub(crate) fn dinic(res: &mut Residual, s: usize, t: usize) -> i64 {
         let mut q = VecDeque::new();
         q.push_back(s);
         while let Some(u) = q.pop_front() {
-            for &e in &res.adj[u] {
-                let edge = res.edges[e as usize];
-                let v = edge.to as usize;
-                if edge.cap > 0 && level[v] == u32::MAX {
+            for slot in res.active_slots(u) {
+                let v = res.to[slot] as usize;
+                if res.cap[slot] > 0 && level[v] == u32::MAX {
                     level[v] = level[u] + 1;
                     q.push_back(v);
                 }
@@ -127,14 +130,16 @@ fn dfs(
     if u == t {
         return limit;
     }
-    while iter[u] < res.adj[u].len() {
-        let e = res.adj[u][iter[u]];
-        let edge = res.edges[e as usize];
-        let v = edge.to as usize;
-        if edge.cap > 0 && level[v] == level[u] + 1 {
-            let pushed = dfs(res, level, iter, v, t, limit.min(edge.cap));
+    // The active prefix can grow mid-phase (pushes activate backward
+    // edges), so the bound is re-read every iteration.
+    while iter[u] < (res.active_end[u] - res.first_out[u]) as usize {
+        let slot = res.first_out[u] as usize + iter[u];
+        let cap = res.cap[slot];
+        let v = res.to[slot] as usize;
+        if cap > 0 && level[v] == level[u] + 1 {
+            let pushed = dfs(res, level, iter, v, t, limit.min(cap));
             if pushed > 0 {
-                res.push(e, pushed);
+                res.push(res.adj[slot], pushed);
                 return pushed;
             }
         }

@@ -22,6 +22,33 @@
 //! Plus [`max_flow`] (Dinic), [`validate`] for auditing any solution, and
 //! [`FlowSolution::decompose_paths`] to extract the register chains.
 //!
+//! # Solver performance
+//!
+//! The residual graph all solvers share stores adjacency in compressed
+//! sparse row form: one flat edge-index array plus per-node offsets, built
+//! once per solve by a counting sort. The shortest-path solvers keep their
+//! per-node scratch state (distances, parent pointers, the heap) in a
+//! [`SolverWorkspace`] reused across augmentations; the plain entry points
+//! keep one workspace per thread, and [`min_cost_flow_with`] /
+//! [`min_cost_flow_scaling_with`] accept an explicit one for sweeps. On DAG
+//! inputs — every network the allocator builds — the initial potentials come
+//! from a single O(V+E) topological relaxation instead of Bellman–Ford;
+//! cyclic networks fall back to deque-based SPFA. Dijkstra's frontier is a
+//! monotone radix heap rather than a binary heap — profiling the 512-variable
+//! allocation showed the solve heap-bound (≈490k pushes and 170k pops per
+//! solve), and bucketed O(1) pushes are what the counting favours.
+//! Independent solves batch across threads with [`solve_batch`].
+//!
+//! Together these changes take the end-to-end 512-variable allocation
+//! benchmark from 209.3 ms to 54.5 ms (3.8×); the smaller sizes in the
+//! `allocate_scaling` sweep improve 2.2–2.8×, the raw SSP solve 2.3× and the
+//! capacity-scaling solve 3.0× (criterion medians, recorded in
+//! `BENCH_solver.json` at the repository root).
+//!
+//! Enabling the `validate` cargo feature arms a per-edge reduced-cost check
+//! inside Dijkstra that turns a violated optimality invariant into
+//! [`NetflowError::InvalidSolution`] instead of a silently suboptimal flow.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,24 +72,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cycle_cancel;
 mod dinic;
 mod dot;
 mod graph;
+mod radix;
 mod residual;
 mod scaling;
 mod simplex;
 mod solution;
 mod ssp;
+mod workspace;
 
+pub use batch::{solve_batch, BatchProblem, THREADS_ENV};
 pub use cycle_cancel::min_cost_flow_cycle_canceling;
 pub use dinic::max_flow;
 pub use dot::to_dot;
 pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
-pub use scaling::min_cost_flow_scaling;
+pub use scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
 pub use simplex::min_cost_flow_network_simplex;
 pub use solution::{validate, FlowSolution};
-pub use ssp::min_cost_flow;
+pub use ssp::{min_cost_flow, min_cost_flow_with};
+pub use workspace::SolverWorkspace;
 
 /// Errors produced by network construction and the solvers.
 #[derive(Debug, Clone, PartialEq, Eq)]

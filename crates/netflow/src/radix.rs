@@ -1,0 +1,177 @@
+//! Monotone priority queue (radix heap) for Dijkstra rounds.
+//!
+//! Dijkstra over non-negative reduced costs pops keys in non-decreasing
+//! order and never pushes a key below the last popped one — exactly the
+//! contract a radix heap needs. Compared with a binary heap it turns every
+//! push into O(1) work on a sequentially-growing bucket (no sift-up through
+//! a pointer-chased array), which matters because the solver pushes several
+//! entries per settled node and discards most of them unpopped at early
+//! termination.
+//!
+//! Keys are bucketed by the most significant bit in which they differ from
+//! the last popped key; bucket 0 therefore holds keys *equal* to it and pops
+//! are O(1) until it drains, at which point the lowest non-empty bucket is
+//! emptied and its entries redistributed strictly downwards (each key agrees
+//! with the new minimum on every bit above the bucket's own, so its new
+//! bucket index is smaller — the classic amortised-O(bits) argument).
+
+/// A monotone priority queue over `(key, value)` pairs with non-negative
+/// `i64` keys.
+///
+/// `push` requires `key >= ` the last key returned by [`pop`] (and `>= 0`
+/// after a [`reset`]); violating this is a logic error caught by a debug
+/// assertion.
+///
+/// [`pop`]: RadixHeap::pop
+/// [`reset`]: RadixHeap::reset
+#[derive(Debug)]
+pub(crate) struct RadixHeap {
+    /// `buckets[b]` holds keys whose highest bit differing from `last` is
+    /// `b - 1`; `buckets[0]` holds keys equal to `last`.
+    buckets: Vec<Vec<(i64, u32)>>,
+    /// The monotone floor: last popped key (or the reset floor).
+    last: i64,
+    len: usize,
+}
+
+const BUCKETS: usize = 65;
+
+impl Default for RadixHeap {
+    fn default() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            last: 0,
+            len: 0,
+        }
+    }
+}
+
+impl RadixHeap {
+    /// Empties the heap and resets the monotone floor to 0, keeping bucket
+    /// capacity for reuse across rounds.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.last = 0;
+        self.len = 0;
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_index(last: i64, key: i64) -> usize {
+        ((key as u64) ^ (last as u64))
+            .checked_ilog2()
+            .map_or(0, |b| b as usize + 1)
+    }
+
+    /// Inserts `(key, value)`. `key` must be `>=` the last popped key.
+    #[inline]
+    pub fn push(&mut self, key: i64, value: u32) {
+        debug_assert!(key >= self.last, "radix heap requires monotone keys");
+        self.buckets[Self::bucket_index(self.last, key)].push((key, value));
+        self.len += 1;
+    }
+
+    /// Removes and returns a pair with the minimum key.
+    pub fn pop(&mut self) -> Option<(i64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.buckets[0].is_empty() {
+            let b = self
+                .buckets
+                .iter()
+                .position(|v| !v.is_empty())
+                .expect("len > 0 implies a non-empty bucket");
+            let min = self.buckets[b]
+                .iter()
+                .map(|&(k, _)| k)
+                .min()
+                .expect("bucket b is non-empty");
+            self.last = min;
+            let drained = std::mem::take(&mut self.buckets[b]);
+            for (k, v) in drained {
+                let nb = Self::bucket_index(min, k);
+                debug_assert!(nb < b, "redistribution must move entries down");
+                self.buckets[nb].push((k, v));
+            }
+        }
+        self.len -= 1;
+        self.buckets[0].pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut h = RadixHeap::default();
+        for (i, k) in [5i64, 3, 9, 3, 0, 17, 8].into_iter().enumerate() {
+            h.push(k, i as u32);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, _)) = h.pop() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![0, 3, 3, 5, 8, 9, 17]);
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_monotone_pushes() {
+        let mut h = RadixHeap::default();
+        h.push(2, 0);
+        h.push(7, 1);
+        assert_eq!(h.pop(), Some((2, 0)));
+        // New keys at or above the popped key are fine.
+        h.push(2, 2);
+        h.push(1 << 40, 3);
+        assert_eq!(h.pop().unwrap().0, 2);
+        assert_eq!(h.pop().unwrap().0, 7);
+        assert_eq!(h.pop().unwrap().0, 1 << 40);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_floor() {
+        let mut h = RadixHeap::default();
+        h.push(10, 0);
+        assert_eq!(h.pop(), Some((10, 0)));
+        h.reset();
+        // After reset, small keys are legal again.
+        h.push(1, 1);
+        assert_eq!(h.pop(), Some((1, 1)));
+    }
+
+    #[test]
+    fn equal_keys_all_surface() {
+        let mut h = RadixHeap::default();
+        for v in 0..100 {
+            h.push(42, v);
+        }
+        let mut seen: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_key_range() {
+        let mut h = RadixHeap::default();
+        let keys = [0i64, 1, i64::MAX / 4, 1 << 62, 12345678901234];
+        for (i, &k) in keys.iter().enumerate() {
+            h.push(k, i as u32);
+        }
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        for &want in &sorted {
+            assert_eq!(h.pop().unwrap().0, want);
+        }
+    }
+}

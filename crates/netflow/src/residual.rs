@@ -4,46 +4,102 @@
 //! paired with a backward edge (residual capacity = 0, cost negated). Edges
 //! are stored in one flat vector where edge `e` and `e ^ 1` are partners, the
 //! classic pairing trick.
+//!
+//! Adjacency is compressed sparse row (CSR): after all edges are added,
+//! [`Residual::finalize`] lays each node's edges out contiguously, and the
+//! *live* per-edge state — residual capacity, cost, head — is mirrored into
+//! parallel arrays in that same CSR slot order. The solvers' inner loops
+//! (Dijkstra relaxation, Bellman–Ford, Dinic's BFS/DFS) therefore stream
+//! sequential memory instead of chasing one random 24-byte load per edge,
+//! which is where min-cost-flow solvers spend almost all of their time on
+//! dense networks. Capacities change during a solve but the topology never
+//! does, so the layout is built exactly once per solve and [`Residual::push`]
+//! updates the slot arrays directly (edge id → slot via a lookup table).
+//!
+//! Within each node's slot range, edges that can carry flow sit in an
+//! **active prefix**: `finalize` places initially-positive edges first, and
+//! whenever a push gives a zero-capacity edge (typically a backward edge)
+//! residual capacity for the first time, the edge is swapped into the prefix
+//! and [`Residual::active_end`] grows. Every slot at or beyond `active_end`
+//! has capacity ≤ 0, so shortest-path and max-flow scans iterate
+//! [`Residual::active_slots`] and never touch the dormant half of the edge
+//! array — on a fresh residual graph that is exactly the backward edges,
+//! i.e. half of all slots. Slots inside the prefix can still drop to zero
+//! capacity (saturated forward edges), so scans keep their `cap > 0` check;
+//! the prefix never shrinks.
+//!
+//! After `finalize`, the slot arrays are the single source of truth for
+//! capacities; [`ResEdge::initial_cap`] is only the staging value.
 
 use crate::graph::{FlowNetwork, NodeId};
 
-/// One directed edge of the residual graph.
+/// One directed edge of the residual graph as staged by
+/// [`Residual::add_edge`]; live capacities move into the CSR slot arrays at
+/// [`Residual::finalize`].
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ResEdge {
     /// Head node index.
     pub to: u32,
-    /// Remaining residual capacity.
-    pub cap: i64,
+    /// Capacity at build time (residual capacity until the first push).
+    pub initial_cap: i64,
     /// Cost per unit (negated on backward edges).
     pub cost: i64,
 }
 
-/// Residual graph over `n` nodes with adjacency lists of edge indices.
+/// Residual graph over `n` nodes with CSR adjacency and slot-ordered live
+/// edge state.
 #[derive(Debug, Clone)]
 pub(crate) struct Residual {
     pub edges: Vec<ResEdge>,
-    pub adj: Vec<Vec<u32>>,
     /// For original arc `i`, `edge_of_arc[i]` is its forward edge index
     /// (`None` for synthetic edges added by transformations).
     pub edge_of_arc: Vec<u32>,
+    nodes: usize,
+    /// CSR offsets: node `u`'s slots are
+    /// `first_out[u]..first_out[u + 1]`. Empty until [`Residual::finalize`].
+    pub first_out: Vec<u32>,
+    /// Edge index per CSR slot, grouped by tail node.
+    pub adj: Vec<u32>,
+    /// Live residual capacity per CSR slot (authoritative after
+    /// [`Residual::finalize`]).
+    pub cap: Vec<i64>,
+    /// Edge cost per CSR slot.
+    pub cost: Vec<i64>,
+    /// Edge head per CSR slot.
+    pub to: Vec<u32>,
+    /// Per node: end of the active prefix — every slot in
+    /// `first_out[u]..active_end[u]` may have positive capacity, every slot
+    /// at or beyond `active_end[u]` has capacity ≤ 0.
+    pub active_end: Vec<u32>,
+    /// CSR slot of each edge index (inverse of `adj`).
+    slot_of: Vec<u32>,
 }
 
 impl Residual {
-    /// Builds a residual graph over `extra` additional nodes beyond the
-    /// network's own (used by the lower-bound transformation to append a
-    /// super-source and super-sink).
+    /// Builds a residual graph over `node_count` nodes with no edges yet.
     pub fn new(node_count: usize) -> Self {
         Self {
             edges: Vec::new(),
-            adj: vec![Vec::new(); node_count],
             edge_of_arc: Vec::new(),
+            nodes: node_count,
+            first_out: Vec::new(),
+            adj: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            to: Vec::new(),
+            active_end: Vec::new(),
+            slot_of: Vec::new(),
         }
     }
 
     /// Builds the residual graph of `net` ignoring lower bounds (callers
-    /// handle those via [`Residual::add_edge`] and supply adjustments).
+    /// handle those via [`Residual::add_edge`] and supply adjustments), with
+    /// `extra_nodes` additional nodes beyond the network's own (used by the
+    /// lower-bound transformation to append a super-source and super-sink).
     pub fn from_network(net: &FlowNetwork, extra_nodes: usize) -> Self {
         let mut r = Self::new(net.node_count() + extra_nodes);
+        r.edges.reserve(2 * net.arc_count());
+        r.edge_of_arc.reserve(net.arc_count());
         for (_, arc) in net.arcs() {
             let e = r.add_edge(
                 arc.from.index(),
@@ -57,37 +113,174 @@ impl Residual {
     }
 
     /// Adds a forward/backward edge pair; returns the forward edge index.
+    ///
+    /// Must not be called after [`Residual::finalize`].
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> u32 {
+        debug_assert!(!self.is_finalized(), "add_edge after finalize");
+        debug_assert!(from < self.nodes && to < self.nodes);
         let e = self.edges.len() as u32;
         self.edges.push(ResEdge {
             to: to as u32,
-            cap,
+            initial_cap: cap,
             cost,
         });
         self.edges.push(ResEdge {
             to: from as u32,
-            cap: 0,
+            initial_cap: 0,
             cost: -cost,
         });
-        self.adj[from].push(e);
-        self.adj[to].push(e + 1);
         e
     }
 
+    /// Builds the CSR adjacency by counting sort over edge tails and mirrors
+    /// each edge's live state into slot order. Call once after the last
+    /// [`Residual::add_edge`]; the solvers require it.
+    pub fn finalize(&mut self) {
+        let n = self.nodes;
+        let m = self.edges.len();
+        self.first_out.clear();
+        self.first_out.resize(n + 1, 0);
+        // The tail of edge `e` is the head of its partner `e ^ 1`.
+        for e in 0..m {
+            self.first_out[self.edges[e ^ 1].to as usize + 1] += 1;
+        }
+        for u in 0..n {
+            self.first_out[u + 1] += self.first_out[u];
+        }
+        self.adj.clear();
+        self.adj.resize(m, 0);
+        self.slot_of.clear();
+        self.slot_of.resize(m, 0);
+        // Two placement passes per node: initially-positive edges first (the
+        // active prefix), then the zero-capacity ones; insertion order is
+        // preserved within each group.
+        let mut cursor = self.first_out.clone();
+        for e in 0..m {
+            if self.edges[e].initial_cap > 0 {
+                let u = self.edges[e ^ 1].to as usize;
+                let slot = cursor[u];
+                self.adj[slot as usize] = e as u32;
+                self.slot_of[e] = slot;
+                cursor[u] += 1;
+            }
+        }
+        self.active_end.clear();
+        self.active_end.extend_from_slice(&cursor[..n]);
+        for e in 0..m {
+            if self.edges[e].initial_cap <= 0 {
+                let u = self.edges[e ^ 1].to as usize;
+                let slot = cursor[u];
+                self.adj[slot as usize] = e as u32;
+                self.slot_of[e] = slot;
+                cursor[u] += 1;
+            }
+        }
+        self.cap.clear();
+        self.cost.clear();
+        self.to.clear();
+        self.cap.reserve(m);
+        self.cost.reserve(m);
+        self.to.reserve(m);
+        for slot in 0..m {
+            let edge = self.edges[self.adj[slot] as usize];
+            self.cap.push(edge.initial_cap);
+            self.cost.push(edge.cost);
+            self.to.push(edge.to);
+        }
+    }
+
+    fn is_finalized(&self) -> bool {
+        !self.first_out.is_empty()
+    }
+
+    /// Slot range of node `u`'s outgoing edges (active or not). The solvers
+    /// only ever scan [`Residual::active_slots`]; the full range exists for
+    /// white-box tests of the slot layout.
+    #[cfg(test)]
+    pub fn slots(&self, u: usize) -> std::ops::Range<usize> {
+        debug_assert!(self.is_finalized(), "slots() before finalize");
+        self.first_out[u] as usize..self.first_out[u + 1] as usize
+    }
+
+    /// Slot range of node `u`'s **active** outgoing edges — the only ones
+    /// that can have positive residual capacity. Slots inside the range may
+    /// still be saturated, so scans keep their `cap > 0` check.
+    #[inline]
+    pub fn active_slots(&self, u: usize) -> std::ops::Range<usize> {
+        debug_assert!(self.is_finalized(), "active_slots() before finalize");
+        self.first_out[u] as usize..self.active_end[u] as usize
+    }
+
+    /// Outgoing edge indices of node `u`, for white-box tests; solver loops
+    /// read the parallel slot arrays directly.
+    #[cfg(test)]
+    pub fn out(&self, u: usize) -> &[u32] {
+        debug_assert!(self.is_finalized(), "out() before finalize");
+        &self.adj[self.first_out[u] as usize..self.first_out[u + 1] as usize]
+    }
+
+    /// Tail node of edge `e` (the head of its backward partner).
+    #[inline]
+    pub fn tail(&self, e: u32) -> usize {
+        self.edges[(e ^ 1) as usize].to as usize
+    }
+
+    /// Live residual capacity of edge `e`. Requires [`Residual::finalize`].
+    #[inline]
+    pub fn cap_of(&self, e: u32) -> i64 {
+        self.cap[self.slot_of[e as usize] as usize]
+    }
+
+    /// Overwrites the live residual capacity of edge `e` (used to freeze the
+    /// circulation edge in the max-flow lower-bound transformation).
+    #[inline]
+    pub fn set_cap_of(&mut self, e: u32, cap: i64) {
+        let slot = self.slot_of[e as usize] as usize;
+        self.cap[slot] = cap;
+        if cap > 0 {
+            self.activate(e, slot);
+        }
+    }
+
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.nodes
     }
 
     /// Flow currently carried by forward edge `e` (the residual capacity of
     /// its backward partner).
     pub fn flow_on(&self, e: u32) -> i64 {
-        self.edges[(e ^ 1) as usize].cap
+        self.cap_of(e ^ 1)
     }
 
     /// Pushes `amount` units through edge `e`.
+    #[inline]
     pub fn push(&mut self, e: u32, amount: i64) {
-        self.edges[e as usize].cap -= amount;
-        self.edges[(e ^ 1) as usize].cap += amount;
+        self.cap[self.slot_of[e as usize] as usize] -= amount;
+        let back = e ^ 1;
+        let back_slot = self.slot_of[back as usize] as usize;
+        self.cap[back_slot] += amount;
+        if self.cap[back_slot] > 0 {
+            self.activate(back, back_slot);
+        }
+    }
+
+    /// Moves edge `e` (at `slot`) into its tail's active prefix if it is not
+    /// there already, swapping it with the first dormant slot. The displaced
+    /// edge has capacity ≤ 0, so the active-prefix invariant is preserved.
+    fn activate(&mut self, e: u32, slot: usize) {
+        let u = self.edges[(e ^ 1) as usize].to as usize;
+        let boundary = self.active_end[u] as usize;
+        if slot < boundary {
+            return;
+        }
+        debug_assert!(self.cap[boundary] <= 0 || boundary == slot);
+        self.adj.swap(boundary, slot);
+        self.cap.swap(boundary, slot);
+        self.cost.swap(boundary, slot);
+        self.to.swap(boundary, slot);
+        self.slot_of[e as usize] = boundary as u32;
+        self.slot_of[self.adj[slot] as usize] = slot as u32;
+        self.active_end[u] = boundary as u32 + 1;
     }
 
     /// Flows on the original arcs, **excluding** their lower bounds (callers
@@ -111,10 +304,11 @@ mod tests {
     fn pairing_and_push() {
         let mut r = Residual::new(2);
         let e = r.add_edge(0, 1, 5, 3);
+        r.finalize();
         assert_eq!(r.flow_on(e), 0);
         r.push(e, 2);
         assert_eq!(r.flow_on(e), 2);
-        assert_eq!(r.edges[e as usize].cap, 3);
+        assert_eq!(r.cap_of(e), 3);
         r.push(e ^ 1, 1); // cancel one unit
         assert_eq!(r.flow_on(e), 1);
     }
@@ -125,7 +319,95 @@ mod tests {
         let a = net.add_node();
         let b = net.add_node();
         net.add_arc_bounded(a, b, 2, 5, 1).unwrap();
-        let r = Residual::from_network(&net, 0);
-        assert_eq!(r.edges[r.edge_of_arc[0] as usize].cap, 3);
+        let mut r = Residual::from_network(&net, 0);
+        r.finalize();
+        assert_eq!(r.cap_of(r.edge_of_arc[0]), 3);
+    }
+
+    #[test]
+    fn csr_groups_edges_by_tail() {
+        let mut r = Residual::new(4);
+        let e01 = r.add_edge(0, 1, 1, 0);
+        let e02 = r.add_edge(0, 2, 1, 0);
+        let e13 = r.add_edge(1, 3, 1, 0);
+        let e23 = r.add_edge(2, 3, 1, 0);
+        r.finalize();
+        // Initially-positive edges come first (the active prefix), then the
+        // zero-capacity backward edges, insertion order within each group.
+        assert_eq!(r.out(0), &[e01, e02]);
+        assert_eq!(r.out(1), &[e13, e01 ^ 1]);
+        assert_eq!(r.out(2), &[e23, e02 ^ 1]);
+        assert_eq!(r.out(3), &[e13 ^ 1, e23 ^ 1]);
+        assert_eq!(r.active_slots(0).len(), 2);
+        assert_eq!(r.active_slots(1).len(), 1);
+        assert_eq!(r.active_slots(2).len(), 1);
+        assert_eq!(r.active_slots(3).len(), 0);
+        for u in 0..4 {
+            for &e in r.out(u) {
+                assert_eq!(r.tail(e), u);
+            }
+        }
+    }
+
+    #[test]
+    fn pushes_activate_backward_edges() {
+        // s -> a -> t chain; pushing along it must activate the backward
+        // edges so a later cancelling pass can see them.
+        let mut r = Residual::new(3);
+        let sa = r.add_edge(0, 1, 2, 1);
+        let at = r.add_edge(1, 2, 2, 1);
+        r.finalize();
+        assert_eq!(r.active_slots(1).len(), 1);
+        assert_eq!(r.active_slots(2).len(), 0);
+        r.push(sa, 1);
+        r.push(at, 1);
+        // Backward edges a -> s and t -> a now have capacity 1 and must be
+        // inside the active prefix of their tails.
+        assert_eq!(r.active_slots(1).len(), 2);
+        assert_eq!(r.active_slots(2).len(), 1);
+        let a_active: Vec<u32> = r.active_slots(1).map(|s| r.adj[s]).collect();
+        assert!(a_active.contains(&(sa ^ 1)));
+        assert!(a_active.contains(&at));
+        assert_eq!(r.adj[r.active_slots(2).next().unwrap()], at ^ 1);
+        // Fully cancel: capacities drop to zero but the prefix never shrinks
+        // and `cap > 0` checks still exclude them.
+        r.push(sa ^ 1, 1);
+        r.push(at ^ 1, 1);
+        assert_eq!(r.active_slots(1).len(), 2);
+        assert_eq!(r.cap_of(sa ^ 1), 0);
+        assert_eq!(r.cap_of(sa), 2);
+    }
+
+    #[test]
+    fn slot_arrays_mirror_edges() {
+        let mut r = Residual::new(3);
+        let e = r.add_edge(0, 1, 7, -4);
+        let f = r.add_edge(1, 2, 2, 9);
+        r.finalize();
+        for u in 0..3 {
+            for (slot, &eid) in r.slots(u).zip(r.out(u)) {
+                let edge = r.edges[eid as usize];
+                assert_eq!(r.cap[slot], edge.initial_cap);
+                assert_eq!(r.cost[slot], edge.cost);
+                assert_eq!(r.to[slot], edge.to);
+            }
+        }
+        // A push is visible through the slot arrays and flow accessors.
+        r.push(e, 3);
+        assert_eq!(r.cap_of(e), 4);
+        assert_eq!(r.cap_of(e ^ 1), 3);
+        assert_eq!(r.cap_of(f), 2);
+    }
+
+    #[test]
+    fn csr_handles_isolated_nodes() {
+        let mut r = Residual::new(5);
+        r.add_edge(0, 4, 1, 0);
+        r.finalize();
+        assert!(r.out(1).is_empty());
+        assert!(r.out(2).is_empty());
+        assert!(r.out(3).is_empty());
+        assert_eq!(r.out(0).len(), 1);
+        assert_eq!(r.out(4).len(), 1);
     }
 }

@@ -7,6 +7,10 @@
 //! phase degenerates to plain successive shortest paths, which is what
 //! makes the solver exact.
 //!
+//! The shortest-path machinery (potential initialisation, early-exit
+//! Dijkstra over the CSR residual, workspace reuse) is shared with the plain
+//! SSP solver in [`crate::ssp`].
+//!
 //! The allocation networks of `lemra-core` have unit capacities, where
 //! plain SSP is already optimal — this solver exists for the general
 //! library surface (large-capacity networks such as the `s → t` bypass arc
@@ -15,12 +19,17 @@
 
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::{idx, Residual};
-use crate::ssp::{check_endpoints, solution_from_residual};
+use crate::ssp::{
+    augment, check_endpoints, dijkstra_round, initial_potentials, solution_from_residual,
+    update_potentials,
+};
+use crate::workspace::{SolverWorkspace, INF};
 use crate::{FlowSolution, NetflowError};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 
-const INF: i64 = i64::MAX / 4;
+thread_local! {
+    static SHARED_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
+}
 
 /// Solves for a minimum-cost flow of exactly `target` units from `s` to
 /// `t` with capacity scaling, honouring arc lower bounds.
@@ -56,6 +65,21 @@ pub fn min_cost_flow_scaling(
     t: NodeId,
     target: i64,
 ) -> Result<FlowSolution, NetflowError> {
+    SHARED_WORKSPACE.with(|ws| min_cost_flow_scaling_with(net, s, t, target, &mut ws.borrow_mut()))
+}
+
+/// [`min_cost_flow_scaling`] with an explicit [`SolverWorkspace`].
+///
+/// # Errors
+///
+/// Same as [`min_cost_flow_scaling`].
+pub fn min_cost_flow_scaling_with(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+    ws: &mut SolverWorkspace,
+) -> Result<FlowSolution, NetflowError> {
     check_endpoints(net, s, t, target)?;
 
     // Same excess/deficit reduction as the plain SSP solver.
@@ -79,8 +103,9 @@ pub fn min_cost_flow_scaling(
             res.add_edge(v, super_t, -e, 0);
         }
     }
+    res.finalize();
 
-    let pushed = scaling_run(&mut res, super_s, super_t, required)?;
+    let pushed = scaling_run(&mut res, super_s, super_t, required, ws)?;
     if pushed < required {
         return Err(NetflowError::Infeasible {
             required,
@@ -90,24 +115,31 @@ pub fn min_cost_flow_scaling(
     Ok(solution_from_residual(net, &res, target))
 }
 
-fn scaling_run(res: &mut Residual, s: usize, t: usize, target: i64) -> Result<i64, NetflowError> {
+fn scaling_run(
+    res: &mut Residual,
+    s: usize,
+    t: usize,
+    target: i64,
+    ws: &mut SolverWorkspace,
+) -> Result<i64, NetflowError> {
     if target == 0 {
         return Ok(0);
     }
-    let n = res.node_count();
-    let max_cap = res.edges.iter().map(|e| e.cap).max().unwrap_or(0);
+    let max_cap = res.cap.iter().copied().max().unwrap_or(0);
     let mut delta = 1i64;
     while delta * 2 <= max_cap.min(target) {
         delta *= 2;
     }
 
     // Potentials valid for *all* residual edges (including those below the
-    // current Δ) — computed once by Bellman–Ford, then maintained by full
-    // (Δ-independent) Dijkstra updates. Using Δ-restricted distances for
-    // potential updates can produce negative reduced costs on small edges;
-    // we avoid that by running Dijkstra over all positive-capacity edges
-    // but only *augmenting* along paths whose bottleneck is ≥ Δ.
-    let mut potential = bellman_ford(res, s)?;
+    // current Δ) — initialised once (topological relaxation on DAGs, SPFA
+    // otherwise), then maintained by full (Δ-independent) Dijkstra updates.
+    // Using Δ-restricted distances for potential updates can produce
+    // negative reduced costs on small edges; we avoid that by running
+    // Dijkstra over all positive-capacity edges but only *augmenting* along
+    // paths whose bottleneck is ≥ Δ.
+    ws.prepare(res.node_count());
+    initial_potentials(res, s, ws)?;
     let mut flow = 0i64;
 
     while delta >= 1 {
@@ -115,98 +147,20 @@ fn scaling_run(res: &mut Residual, s: usize, t: usize, target: i64) -> Result<i6
             if flow >= target {
                 return Ok(flow);
             }
-            // Dijkstra over edges with cap > 0.
-            let mut dist = vec![INF; n];
-            let mut parent_edge = vec![u32::MAX; n];
-            let mut bottleneck_to = vec![0i64; n];
-            let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
-            dist[s] = 0;
-            bottleneck_to[s] = INF;
-            heap.push(Reverse((0, s)));
-            while let Some(Reverse((d, u))) = heap.pop() {
-                if d > dist[u] {
-                    continue;
-                }
-                for &e in &res.adj[u] {
-                    let edge = res.edges[e as usize];
-                    if edge.cap <= 0 {
-                        continue;
-                    }
-                    let v = edge.to as usize;
-                    if potential[u] >= INF || potential[v] >= INF {
-                        continue;
-                    }
-                    let nd = d + edge.cost + potential[u] - potential[v];
-                    if nd < dist[v] {
-                        dist[v] = nd;
-                        parent_edge[v] = e;
-                        bottleneck_to[v] = bottleneck_to[u].min(edge.cap);
-                        heap.push(Reverse((nd, v)));
-                    }
-                }
-            }
-            if dist[t] >= INF {
+            let dist_t = dijkstra_round(res, s, t, ws)?;
+            if dist_t >= INF {
                 break;
             }
-            for (v, p) in potential.iter_mut().enumerate() {
-                if dist[v] < INF && *p < INF {
-                    *p += dist[v];
-                }
-            }
-            if bottleneck_to[t] < delta {
+            update_potentials(ws, dist_t);
+            if ws.bottleneck_to[t] < delta {
                 // Shortest path too thin for this phase.
                 break;
             }
-            let mut amount = bottleneck_to[t].min(target - flow);
-            let mut v = t;
-            while v != s {
-                let e = parent_edge[v];
-                amount = amount.min(res.edges[e as usize].cap);
-                v = res.edges[(e ^ 1) as usize].to as usize;
-            }
-            let mut v = t;
-            while v != s {
-                let e = parent_edge[v];
-                res.push(e, amount);
-                v = res.edges[(e ^ 1) as usize].to as usize;
-            }
-            flow += amount;
+            flow += augment(res, s, t, ws, target - flow);
         }
         delta /= 2;
     }
     Ok(flow)
-}
-
-fn bellman_ford(res: &Residual, s: usize) -> Result<Vec<i64>, NetflowError> {
-    let n = res.node_count();
-    let mut dist = vec![INF; n];
-    dist[s] = 0;
-    for round in 0..n {
-        let mut changed = false;
-        for u in 0..n {
-            if dist[u] >= INF {
-                continue;
-            }
-            for &e in &res.adj[u] {
-                let edge = res.edges[e as usize];
-                if edge.cap <= 0 {
-                    continue;
-                }
-                let v = edge.to as usize;
-                if dist[u] + edge.cost < dist[v] {
-                    dist[v] = dist[u] + edge.cost;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return Ok(dist);
-        }
-        if round == n - 1 {
-            return Err(NetflowError::NegativeCycle);
-        }
-    }
-    Ok(dist)
 }
 
 #[cfg(test)]
@@ -292,5 +246,21 @@ mod tests {
         net.add_arc(s, t, 3, 1).unwrap();
         let sol = min_cost_flow_scaling(&net, s, t, 0).unwrap();
         assert_eq!(sol.cost, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        let mut net = FlowNetwork::new();
+        let nodes = net.add_nodes(10);
+        for w in nodes.windows(2) {
+            net.add_arc(w[0], w[1], 50, 2).unwrap();
+        }
+        let mut ws = SolverWorkspace::new();
+        for f in [0, 1, 17, 50] {
+            let fresh = min_cost_flow_scaling(&net, nodes[0], nodes[9], f).unwrap();
+            let reused = min_cost_flow_scaling_with(&net, nodes[0], nodes[9], f, &mut ws).unwrap();
+            assert_eq!(fresh.cost, reused.cost);
+            assert_eq!(fresh.flows, reused.flows);
+        }
     }
 }

@@ -1,8 +1,15 @@
 //! Successive-shortest-path min-cost flow with node potentials.
 //!
-//! The first shortest-path tree is computed with Bellman–Ford (the allocation
-//! networks of `lemra-core` contain negative arc costs), after which reduced
-//! costs are non-negative and Dijkstra with a binary heap takes over.
+//! Initial potentials come from a single O(V+E) relaxation pass in
+//! topological order when the positive-capacity residual graph is a DAG
+//! (always true for the allocation networks of `lemra-core`), and from SPFA
+//! with a deque otherwise (the general case, including negative arc costs on
+//! cyclic networks). After that, reduced costs are non-negative and Dijkstra
+//! with a binary heap takes over, terminating early as soon as the sink is
+//! settled.
+//!
+//! All per-node scratch state lives in a [`SolverWorkspace`] reused across
+//! augmentations and across solves; see [`min_cost_flow_with`].
 //!
 //! Arc lower bounds and the fixed flow requirement are reduced to a plain
 //! min-cost max-flow between a synthetic super-source and super-sink using
@@ -11,11 +18,15 @@
 
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::{idx, Residual};
+use crate::workspace::{SolverWorkspace, INF};
 use crate::{FlowSolution, NetflowError};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 
-const INF: i64 = i64::MAX / 4;
+thread_local! {
+    /// Default workspace for the plain entry points, one per thread, so
+    /// repeated solves in a sweep reuse buffers without any API change.
+    static SHARED_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
+}
 
 /// Solves for a minimum-cost flow of **exactly** `target` units from `s` to
 /// `t`, honouring arc lower bounds.
@@ -23,6 +34,10 @@ const INF: i64 = i64::MAX / 4;
 /// The network may contain negative arc costs but must not contain a
 /// directed cycle of negative total cost with positive capacity (the
 /// networks produced by `lemra-core` are DAGs, so this always holds there).
+///
+/// Scratch memory is reused across calls through a per-thread workspace; to
+/// control the workspace explicitly (e.g. one per worker in a hand-rolled
+/// thread pool), use [`min_cost_flow_with`].
 ///
 /// # Errors
 ///
@@ -57,6 +72,24 @@ pub fn min_cost_flow(
     t: NodeId,
     target: i64,
 ) -> Result<FlowSolution, NetflowError> {
+    SHARED_WORKSPACE.with(|ws| min_cost_flow_with(net, s, t, target, &mut ws.borrow_mut()))
+}
+
+/// [`min_cost_flow`] with an explicit [`SolverWorkspace`].
+///
+/// Identical contract; the workspace's buffers are reused across calls,
+/// which removes all per-solve allocation beyond the residual graph itself.
+///
+/// # Errors
+///
+/// Same as [`min_cost_flow`].
+pub fn min_cost_flow_with(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+    ws: &mut SolverWorkspace,
+) -> Result<FlowSolution, NetflowError> {
     check_endpoints(net, s, t, target)?;
 
     // Excess/deficit transformation: every lower bound l on arc (u, v)
@@ -85,8 +118,9 @@ pub fn min_cost_flow(
             res.add_edge(v, super_t, -e, 0);
         }
     }
+    res.finalize();
 
-    let pushed = ssp_run(&mut res, super_s, super_t, required)?;
+    let pushed = ssp_run(&mut res, super_s, super_t, required, ws)?;
     if pushed < required {
         return Err(NetflowError::Infeasible {
             required,
@@ -141,107 +175,241 @@ pub(crate) fn check_endpoints(
 
 /// Runs successive shortest paths on `res` until `target` units have moved
 /// from `s` to `t` or `t` becomes unreachable. Returns the units moved.
-fn ssp_run(res: &mut Residual, s: usize, t: usize, target: i64) -> Result<i64, NetflowError> {
-    let n = res.node_count();
-    let mut potential = bellman_ford(res, s)?;
+///
+/// `res` must be finalized; `ws` is prepared here.
+pub(crate) fn ssp_run(
+    res: &mut Residual,
+    s: usize,
+    t: usize,
+    target: i64,
+    ws: &mut SolverWorkspace,
+) -> Result<i64, NetflowError> {
+    ws.prepare(res.node_count());
+    initial_potentials(res, s, ws)?;
     let mut flow = 0i64;
-
     while flow < target {
-        // Dijkstra on reduced costs.
-        let mut dist = vec![INF; n];
-        let mut parent_edge = vec![u32::MAX; n];
-        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
-        dist[s] = 0;
-        heap.push(Reverse((0, s)));
-        while let Some(Reverse((d, u))) = heap.pop() {
-            if d > dist[u] {
-                continue;
-            }
-            for &e in &res.adj[u] {
-                let edge = res.edges[e as usize];
-                if edge.cap <= 0 {
-                    continue;
-                }
-                let v = edge.to as usize;
-                if potential[u] >= INF || potential[v] >= INF {
-                    // Unreachable in the Bellman-Ford phase: reachable now
-                    // only through new residual edges, whose reduced cost we
-                    // cannot trust; Bellman-Ford already proved no flow can
-                    // reach t through such nodes initially, and residual
-                    // edges only appear along augmented (reachable) paths.
-                    continue;
-                }
-                let nd = d + edge.cost + potential[u] - potential[v];
-                debug_assert!(
-                    edge.cost + potential[u] - potential[v] >= 0,
-                    "negative reduced cost"
-                );
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    parent_edge[v] = e;
-                    heap.push(Reverse((nd, v)));
-                }
-            }
-        }
-        if dist[t] >= INF {
+        let dist_t = dijkstra_round(res, s, t, ws)?;
+        if dist_t >= INF {
             break;
         }
-        for (v, p) in potential.iter_mut().enumerate() {
-            if dist[v] < INF && *p < INF {
-                *p += dist[v];
-            }
-        }
-        // Bottleneck along the path.
-        let mut bottleneck = target - flow;
-        let mut v = t;
-        while v != s {
-            let e = parent_edge[v];
-            bottleneck = bottleneck.min(res.edges[e as usize].cap);
-            v = res.edges[(e ^ 1) as usize].to as usize;
-        }
-        let mut v = t;
-        while v != s {
-            let e = parent_edge[v];
-            res.push(e, bottleneck);
-            v = res.edges[(e ^ 1) as usize].to as usize;
-        }
-        flow += bottleneck;
+        update_potentials(ws, dist_t);
+        flow += augment(res, s, t, ws, target - flow);
     }
     Ok(flow)
 }
 
-/// Bellman–Ford from `s`; returns shortest distances usable as initial
-/// potentials, or an error if a negative cycle is reachable from `s`.
-fn bellman_ford(res: &Residual, s: usize) -> Result<Vec<i64>, NetflowError> {
+/// Computes initial shortest-path potentials from `s` over positive-capacity
+/// residual edges, writing them into `ws.potential` (`INF` = unreachable).
+///
+/// When the positive-capacity subgraph is a DAG (detected with Kahn's
+/// algorithm), one relaxation pass in topological order suffices — O(V+E).
+/// Otherwise SPFA with a deque handles negative costs on cyclic networks and
+/// reports negative cycles.
+pub(crate) fn initial_potentials(
+    res: &Residual,
+    s: usize,
+    ws: &mut SolverWorkspace,
+) -> Result<(), NetflowError> {
     let n = res.node_count();
-    let mut dist = vec![INF; n];
-    dist[s] = 0;
-    for round in 0..n {
-        let mut changed = false;
-        for u in 0..n {
-            if dist[u] >= INF {
-                continue;
-            }
-            for &e in &res.adj[u] {
-                let edge = res.edges[e as usize];
-                if edge.cap <= 0 {
-                    continue;
-                }
-                let v = edge.to as usize;
-                if dist[u] + edge.cost < dist[v] {
-                    dist[v] = dist[u] + edge.cost;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return Ok(dist);
-        }
-        if round == n - 1 {
-            return Err(NetflowError::NegativeCycle);
+    // Kahn's algorithm over edges with residual capacity.
+    ws.indegree[..n].fill(0);
+    for slot in 0..res.cap.len() {
+        if res.cap[slot] > 0 {
+            ws.indegree[res.to[slot] as usize] += 1;
         }
     }
-    Ok(dist)
+    ws.queue.clear();
+    for v in 0..n {
+        if ws.indegree[v] == 0 {
+            ws.queue.push_back(v as u32);
+        }
+    }
+    ws.order.clear();
+    while let Some(u) = ws.queue.pop_front() {
+        ws.order.push(u);
+        for slot in res.active_slots(u as usize) {
+            if res.cap[slot] <= 0 {
+                continue;
+            }
+            let v = res.to[slot] as usize;
+            ws.indegree[v] -= 1;
+            if ws.indegree[v] == 0 {
+                ws.queue.push_back(v as u32);
+            }
+        }
+    }
+
+    ws.potential[..n].fill(INF);
+    ws.potential[s] = 0;
+
+    if ws.order.len() == n {
+        // DAG: one relaxation pass in topological order.
+        for i in 0..ws.order.len() {
+            let u = ws.order[i] as usize;
+            let du = ws.potential[u];
+            if du >= INF {
+                continue;
+            }
+            for slot in res.active_slots(u) {
+                if res.cap[slot] > 0 {
+                    let v = res.to[slot] as usize;
+                    if du + res.cost[slot] < ws.potential[v] {
+                        ws.potential[v] = du + res.cost[slot];
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Cyclic: SPFA with a deque (small-label-first) and enqueue counting for
+    // negative-cycle detection.
+    ws.queue.clear();
+    ws.in_queue[..n].fill(false);
+    ws.enqueues[..n].fill(0);
+    ws.queue.push_back(s as u32);
+    ws.in_queue[s] = true;
+    ws.enqueues[s] = 1;
+    let limit = n as u32 + 1;
+    while let Some(u) = ws.queue.pop_front() {
+        let u = u as usize;
+        ws.in_queue[u] = false;
+        let du = ws.potential[u];
+        for slot in res.active_slots(u) {
+            if res.cap[slot] <= 0 {
+                continue;
+            }
+            let v = res.to[slot] as usize;
+            let nd = du + res.cost[slot];
+            if nd < ws.potential[v] {
+                ws.potential[v] = nd;
+                if !ws.in_queue[v] {
+                    ws.enqueues[v] += 1;
+                    if ws.enqueues[v] > limit {
+                        return Err(NetflowError::NegativeCycle);
+                    }
+                    // Small-label-first: likely-final labels jump the queue.
+                    if ws
+                        .queue
+                        .front()
+                        .is_some_and(|&f| nd < ws.potential[f as usize])
+                    {
+                        ws.queue.push_front(v as u32);
+                    } else {
+                        ws.queue.push_back(v as u32);
+                    }
+                    ws.in_queue[v] = true;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One Dijkstra round over reduced costs, terminating as soon as `t` is
+/// settled. Returns `t`'s reduced-cost distance (`INF` if unreachable).
+/// Leaves `ws.parent_edge`/`ws.bottleneck_to` describing the shortest path
+/// tree of the current epoch.
+///
+/// # Errors
+///
+/// With the `validate` feature, returns [`NetflowError::InvalidSolution`]
+/// when a negative reduced cost is encountered — an internal invariant
+/// violation that would otherwise silently produce a suboptimal flow.
+pub(crate) fn dijkstra_round(
+    res: &Residual,
+    s: usize,
+    t: usize,
+    ws: &mut SolverWorkspace,
+) -> Result<i64, NetflowError> {
+    ws.begin_round();
+    ws.set_dist(s, 0);
+    ws.bottleneck_to[s] = INF;
+    ws.heap.push(0, s as u32);
+    while let Some((d, u)) = ws.heap.pop() {
+        let u = u as usize;
+        if d > ws.dist_of(u) {
+            continue;
+        }
+        if u == t {
+            return Ok(d);
+        }
+        let pu = ws.potential[u];
+        if pu >= INF {
+            continue;
+        }
+        let bu = ws.bottleneck_to[u];
+        for slot in res.active_slots(u) {
+            let cap = res.cap[slot];
+            if cap <= 0 {
+                continue;
+            }
+            let v = res.to[slot] as usize;
+            if ws.potential[v] >= INF {
+                // Unreachable in the potential-initialisation phase:
+                // reachable now only through new residual edges, whose
+                // reduced cost we cannot trust; the initialisation already
+                // proved no flow can reach t through such nodes, and
+                // residual edges only appear along augmented (reachable)
+                // paths.
+                continue;
+            }
+            let reduced = res.cost[slot] + pu - ws.potential[v];
+            #[cfg(feature = "validate")]
+            if reduced < 0 {
+                return Err(NetflowError::InvalidSolution {
+                    reason: format!(
+                        "negative reduced cost {reduced} on residual edge {} \
+                         ({u} -> {v}); potentials are inconsistent",
+                        res.adj[slot]
+                    ),
+                });
+            }
+            debug_assert!(reduced >= 0, "negative reduced cost");
+            let nd = d + reduced;
+            if nd < ws.dist_of(v) {
+                ws.set_dist(v, nd);
+                ws.parent_edge[v] = res.adj[slot];
+                ws.bottleneck_to[v] = bu.min(cap);
+                ws.heap.push(nd, v as u32);
+            }
+        }
+    }
+    Ok(INF)
+}
+
+/// Folds the round's distances into the potentials.
+///
+/// With early termination only nodes settled before `t` have exact
+/// distances; every other node's true distance is at least `dist_t`, so
+/// `min(dist, dist_t)` is a valid (and standard) update that keeps all
+/// reduced costs non-negative.
+pub(crate) fn update_potentials(ws: &mut SolverWorkspace, dist_t: i64) {
+    for v in 0..ws.potential.len() {
+        if ws.potential[v] < INF {
+            ws.potential[v] += ws.dist_of(v).min(dist_t);
+        }
+    }
+}
+
+/// Pushes `min(limit, bottleneck)` units along the round's parent path from
+/// `s` to `t`; returns the amount pushed.
+pub(crate) fn augment(
+    res: &mut Residual,
+    s: usize,
+    t: usize,
+    ws: &SolverWorkspace,
+    limit: i64,
+) -> i64 {
+    let amount = limit.min(ws.bottleneck_to[t]);
+    debug_assert!(amount > 0);
+    let mut v = t;
+    while v != s {
+        let e = ws.parent_edge[v];
+        res.push(e, amount);
+        v = res.tail(e);
+    }
+    amount
 }
 
 #[cfg(test)]
@@ -370,5 +538,66 @@ mod tests {
         let sol = min_cost_flow(&net, s, t, 8).unwrap();
         assert_eq!(sol.cost, -4);
         assert_eq!(sol.flows[2], 7);
+    }
+
+    #[test]
+    fn cyclic_positive_network_uses_spfa_path() {
+        // A positive-capacity cycle (a <-> b) forces the SPFA fallback; the
+        // optimum is still found.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 2, 1).unwrap();
+        net.add_arc(a, b, 2, 1).unwrap();
+        net.add_arc(b, a, 2, 1).unwrap();
+        net.add_arc(b, t, 2, 1).unwrap();
+        net.add_arc(a, t, 2, 9).unwrap();
+        let sol = min_cost_flow(&net, s, t, 2).unwrap();
+        assert_eq!(sol.cost, 6);
+    }
+
+    #[test]
+    fn explicit_workspace_reuse_across_solves() {
+        let mut ws = SolverWorkspace::new();
+        let (net, s, t) = diamond();
+        for _ in 0..3 {
+            assert_eq!(min_cost_flow_with(&net, s, t, 2, &mut ws).unwrap().cost, 8);
+        }
+        // A differently-sized problem right after: buffers must resize.
+        let mut net2 = FlowNetwork::new();
+        let nodes = net2.add_nodes(20);
+        for w in nodes.windows(2) {
+            net2.add_arc(w[0], w[1], 3, 1).unwrap();
+        }
+        let sol = min_cost_flow_with(&net2, nodes[0], nodes[19], 3, &mut ws).unwrap();
+        assert_eq!(sol.cost, 3 * 19);
+        assert_eq!(min_cost_flow_with(&net, s, t, 1, &mut ws).unwrap().cost, 2);
+    }
+
+    #[cfg(feature = "validate")]
+    #[test]
+    fn validate_flags_corrupted_potentials() {
+        // Build a residual directly and hand the round inconsistent
+        // potentials: the reduced cost of the only edge becomes negative.
+        let mut res = Residual::new(2);
+        res.add_edge(0, 1, 1, 5);
+        res.finalize();
+        let mut ws = SolverWorkspace::new();
+        ws.prepare(2);
+        ws.potential[0] = 0;
+        ws.potential[1] = 100; // 5 + 0 - 100 < 0
+        let err = dijkstra_round(&res, 0, 1, &mut ws).unwrap_err();
+        assert!(matches!(err, NetflowError::InvalidSolution { .. }));
+        assert!(err.to_string().contains("reduced cost"));
+    }
+
+    #[cfg(feature = "validate")]
+    #[test]
+    fn validate_passes_on_well_formed_solves() {
+        // End-to-end solves succeed with the check armed.
+        let (net, s, t) = diamond();
+        assert_eq!(min_cost_flow(&net, s, t, 2).unwrap().cost, 8);
     }
 }

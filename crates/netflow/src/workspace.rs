@@ -1,0 +1,176 @@
+//! Reusable scratch memory for the shortest-path based solvers.
+//!
+//! Every successive-shortest-path augmentation needs distance labels, parent
+//! pointers, a priority queue and assorted per-node buffers. Allocating them
+//! fresh per augmentation (let alone per solve) dominates the runtime on the
+//! small-to-medium networks the allocator produces, so they live in a
+//! [`SolverWorkspace`] that is reused across augmentations and — via
+//! [`min_cost_flow_with`](crate::min_cost_flow_with) or the solvers'
+//! thread-local default workspace — across repeated solves in a sweep.
+//!
+//! Distance labels are invalidated in O(1) per augmentation with an epoch
+//! stamp: `dist[v]`/`parent_edge[v]` are meaningful only while
+//! `seen[v] == epoch`, so starting a new Dijkstra round is a single counter
+//! increment instead of an O(V) fill.
+
+use crate::radix::RadixHeap;
+use std::collections::VecDeque;
+
+pub(crate) const INF: i64 = i64::MAX / 4;
+
+/// Reusable scratch buffers for [`min_cost_flow`](crate::min_cost_flow) and
+/// [`min_cost_flow_scaling`](crate::min_cost_flow_scaling).
+///
+/// Create one per thread and pass it to
+/// [`min_cost_flow_with`](crate::min_cost_flow_with) to amortise allocations
+/// across a sweep of solves; the plain entry points keep one per thread
+/// internally, so using this type explicitly is an optimisation, never a
+/// requirement.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_netflow::{min_cost_flow_with, FlowNetwork, SolverWorkspace};
+///
+/// # fn main() -> Result<(), lemra_netflow::NetflowError> {
+/// let mut ws = SolverWorkspace::new();
+/// for cap in 1..10 {
+///     let mut net = FlowNetwork::new();
+///     let (s, t) = (net.add_node(), net.add_node());
+///     net.add_arc(s, t, cap, 1)?;
+///     let sol = min_cost_flow_with(&net, s, t, cap, &mut ws)?;
+///     assert_eq!(sol.cost, cap);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// Tentative shortest distances; valid while `seen[v] == epoch`.
+    pub(crate) dist: Vec<i64>,
+    /// Edge that last relaxed each node; valid while `seen[v] == epoch`.
+    pub(crate) parent_edge: Vec<u32>,
+    /// Bottleneck residual capacity along the tentative parent chain.
+    pub(crate) bottleneck_to: Vec<i64>,
+    /// Epoch stamp per node.
+    pub(crate) seen: Vec<u32>,
+    /// Current epoch; bumped per Dijkstra round.
+    pub(crate) epoch: u32,
+    /// Dijkstra frontier, reused across rounds. Reduced-cost distances pop
+    /// in non-decreasing order, so a monotone radix heap applies.
+    pub(crate) heap: RadixHeap,
+    /// Node potentials making reduced costs non-negative.
+    pub(crate) potential: Vec<i64>,
+    /// FIFO/deque for SPFA potential initialisation and Kahn's algorithm.
+    pub(crate) queue: VecDeque<u32>,
+    /// SPFA in-queue flags.
+    pub(crate) in_queue: Vec<bool>,
+    /// SPFA enqueue counters (negative-cycle detection).
+    pub(crate) enqueues: Vec<u32>,
+    /// Kahn in-degrees over positive-capacity edges.
+    pub(crate) indegree: Vec<u32>,
+    /// Topological order buffer.
+    pub(crate) order: Vec<u32>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes every buffer for an `n`-node residual graph and resets the
+    /// epoch machinery. Called once per solve; keeps capacity across calls.
+    pub(crate) fn prepare(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, INF);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, u32::MAX);
+        self.bottleneck_to.clear();
+        self.bottleneck_to.resize(n, 0);
+        self.seen.clear();
+        self.seen.resize(n, 0);
+        self.epoch = 0;
+        self.heap.reset();
+        self.potential.clear();
+        self.potential.resize(n, INF);
+        self.queue.clear();
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.enqueues.clear();
+        self.enqueues.resize(n, 0);
+        self.indegree.clear();
+        self.indegree.resize(n, 0);
+        self.order.clear();
+    }
+
+    /// Starts a new shortest-path round: invalidates all distance labels in
+    /// O(1) by bumping the epoch.
+    pub(crate) fn begin_round(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.seen.fill(0);
+                1
+            }
+        };
+        self.heap.reset();
+    }
+
+    /// Distance label of `v` this round (`INF` if untouched).
+    #[inline]
+    pub(crate) fn dist_of(&self, v: usize) -> i64 {
+        if self.seen[v] == self.epoch {
+            self.dist[v]
+        } else {
+            INF
+        }
+    }
+
+    /// Sets the distance label of `v` for this round.
+    #[inline]
+    pub(crate) fn set_dist(&mut self, v: usize, d: i64) {
+        self.seen[v] = self.epoch;
+        self.dist[v] = d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_invalidate_distances() {
+        let mut ws = SolverWorkspace::new();
+        ws.prepare(3);
+        ws.begin_round();
+        ws.set_dist(1, 7);
+        assert_eq!(ws.dist_of(1), 7);
+        assert_eq!(ws.dist_of(2), INF);
+        ws.begin_round();
+        assert_eq!(ws.dist_of(1), INF);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps() {
+        let mut ws = SolverWorkspace::new();
+        ws.prepare(2);
+        ws.epoch = u32::MAX;
+        ws.seen[0] = u32::MAX; // stale stamp from the "previous" epoch
+        ws.begin_round();
+        assert_eq!(ws.epoch, 1);
+        assert_eq!(ws.dist_of(0), INF);
+    }
+
+    #[test]
+    fn prepare_resizes_between_solves() {
+        let mut ws = SolverWorkspace::new();
+        ws.prepare(2);
+        ws.begin_round();
+        ws.set_dist(1, 3);
+        ws.prepare(5);
+        ws.begin_round();
+        assert_eq!(ws.dist_of(1), INF);
+        assert_eq!(ws.dist_of(4), INF);
+    }
+}

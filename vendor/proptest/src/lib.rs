@@ -1,0 +1,775 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build container cannot reach the crates-io registry, so the workspace
+//! patches `proptest` to this crate. It implements the subset the
+//! repository's property tests use — the [`proptest!`] macro, [`Strategy`]
+//! with [`Strategy::prop_map`]/[`Strategy::prop_flat_map`], integer-range and
+//! tuple strategies, [`Just`], [`any`], [`collection::vec`],
+//! [`collection::btree_set`] and [`ProptestConfig::with_cases`] — as plain
+//! seeded random sampling.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! sampled inputs reported by the assertion itself), and case generation is
+//! deterministic per (test, case index) rather than persisted in a regression
+//! file. `PROPTEST_CASES` in the environment overrides every configured case
+//! count, as upstream does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// Cases to actually run: `PROPTEST_CASES` overrides the configured
+    /// count.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// The generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = (self.next_u64() as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// A generator of random values: the sampling core of upstream's `Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds sampled values into `f` to obtain a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The whole-domain strategy for `T`, as `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        strings::sample_regex(self, rng)
+    }
+}
+
+/// Regex-derived string generation, backing the upstream convention that a
+/// bare string literal is a strategy for strings matching it as a regex.
+mod strings {
+    use super::TestRng;
+
+    /// Unbounded repetitions (`*`, `+`, `{n,}`) are capped at this many
+    /// extra iterations; upstream uses a similar implicit bound (0..=32).
+    const MAX_REPEAT: u32 = 16;
+
+    #[derive(Debug)]
+    enum Node {
+        Concat(Vec<Node>),
+        Alt(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+        /// Inclusive char ranges; a literal is a single-char range.
+        Class(Vec<(char, char)>),
+        /// Any printable char (`.`, `\PC`).
+        Printable,
+    }
+
+    /// Samples one string matching `pattern`.
+    ///
+    /// Supports the subset of regex syntax used as generators in this
+    /// workspace: literals, `(..|..)` groups, `[..]` classes with ranges,
+    /// `.`/`\PC` printable classes, `\d`/`\w`/`\s`, and the `*` `+` `?`
+    /// `{n}` `{n,}` `{n,m}` repetitions. Anything else panics with the
+    /// offending pattern, mirroring upstream's parse failure.
+    pub(super) fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex (trailing input at {pos}): {pattern:?}"
+        );
+        let mut out = String::new();
+        emit(&node, rng, &mut out);
+        out
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let mut branches = vec![parse_concat(chars, pos, pat)];
+        while chars.get(*pos) == Some(&'|') {
+            *pos += 1;
+            branches.push(parse_concat(chars, pos, pat));
+        }
+        if branches.len() == 1 {
+            branches.pop().expect("non-empty")
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_concat(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = parse_atom(chars, pos, pat);
+            seq.push(parse_repeat(atom, chars, pos, pat));
+        }
+        Node::Concat(seq)
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            '(' => {
+                let inner = parse_alt(chars, pos, pat);
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "unsupported regex (unclosed group): {pat:?}"
+                );
+                *pos += 1;
+                inner
+            }
+            '[' => parse_class(chars, pos, pat),
+            '.' => Node::Printable,
+            '\\' => parse_escape(chars, pos, pat),
+            '*' | '+' | '?' | '{' => panic!("unsupported regex (dangling repeat): {pat:?}"),
+            lit => Node::Class(vec![(lit, lit)]),
+        }
+    }
+
+    fn parse_escape(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let c = *chars
+            .get(*pos)
+            .unwrap_or_else(|| panic!("unsupported regex (trailing backslash): {pat:?}"));
+        *pos += 1;
+        match c {
+            // `\PC` / `\P{C}`: not in Unicode category "Other" — printable.
+            'P' => {
+                if chars.get(*pos) == Some(&'{') {
+                    while chars.get(*pos).is_some_and(|&c| c != '}') {
+                        *pos += 1;
+                    }
+                    *pos += 1;
+                } else {
+                    *pos += 1;
+                }
+                Node::Printable
+            }
+            'd' => Node::Class(vec![('0', '9')]),
+            'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+            'n' => Node::Class(vec![('\n', '\n')]),
+            't' => Node::Class(vec![('\t', '\t')]),
+            'r' => Node::Class(vec![('\r', '\r')]),
+            lit @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?'
+            | '-' | '^' | '$' | '"' | '/') => Node::Class(vec![(lit, lit)]),
+            other => panic!("unsupported regex escape \\{other} in {pat:?}"),
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let mut ranges = Vec::new();
+        assert!(
+            chars.get(*pos) != Some(&'^'),
+            "unsupported regex (negated class): {pat:?}"
+        );
+        loop {
+            let c = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("unsupported regex (unclosed class): {pat:?}"));
+            *pos += 1;
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                let e = chars[*pos];
+                *pos += 1;
+                match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                *pos += 1;
+                let hi = chars[*pos];
+                *pos += 1;
+                assert!(lo <= hi, "unsupported regex (inverted range): {pat:?}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(!ranges.is_empty(), "unsupported regex (empty class): {pat:?}");
+        Node::Class(ranges)
+    }
+
+    fn parse_repeat(atom: Node, chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let (lo, hi) = match chars.get(*pos) {
+            Some('*') => (0, MAX_REPEAT),
+            Some('+') => (1, MAX_REPEAT),
+            Some('?') => (0, 1),
+            Some('{') => {
+                *pos += 1;
+                let lo = parse_number(chars, pos, pat);
+                let hi = match chars.get(*pos) {
+                    Some('}') => lo,
+                    Some(',') => {
+                        *pos += 1;
+                        if chars.get(*pos) == Some(&'}') {
+                            lo + MAX_REPEAT
+                        } else {
+                            parse_number(chars, pos, pat)
+                        }
+                    }
+                    _ => panic!("unsupported regex (bad counted repeat): {pat:?}"),
+                };
+                assert!(
+                    chars.get(*pos) == Some(&'}'),
+                    "unsupported regex (unclosed counted repeat): {pat:?}"
+                );
+                (lo, hi)
+            }
+            _ => return atom,
+        };
+        *pos += 1;
+        assert!(lo <= hi, "unsupported regex (inverted repeat): {pat:?}");
+        Node::Repeat(Box::new(atom), lo, hi)
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize, pat: &str) -> u32 {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+            *pos += 1;
+        }
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("unsupported regex (bad repeat count): {pat:?}"))
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Concat(seq) => {
+                for n in seq {
+                    emit(n, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                emit(&branches[pick], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+            Node::Class(ranges) => {
+                // Weight ranges by width so wide ranges aren't under-sampled.
+                let total: u64 = ranges.iter().map(|&(lo, hi)| width(lo, hi)).sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let w = width(lo, hi);
+                    if pick < w {
+                        // Step through the scalar-value gap (surrogates).
+                        let mut v = lo as u32 + pick as u32;
+                        if lo <= '\u{D7FF}' && v > 0xD7FF {
+                            v += 0x800;
+                        }
+                        out.push(char::from_u32(v).expect("in-range scalar"));
+                        return;
+                    }
+                    pick -= w;
+                }
+                unreachable!("weighted pick within total");
+            }
+            Node::Printable => {
+                // Mostly printable ASCII with an occasional non-ASCII char,
+                // enough to exercise multi-byte handling in parsers.
+                const EXOTIC: &[char] = &['é', 'Δ', 'λ', '—', '≤', '世', '🦀'];
+                if rng.below(8) == 0 {
+                    out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable"));
+                }
+            }
+        }
+    }
+
+    /// Count of Unicode scalar values in the inclusive range.
+    fn width(lo: char, hi: char) -> u64 {
+        let raw = u64::from(hi as u32) - u64::from(lo as u32) + 1;
+        if lo <= '\u{D7FF}' && hi >= '\u{E000}' {
+            raw - 0x800 // exclude the surrogate gap
+        } else {
+            raw
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    /// Fair coin flip.
+    pub const ANY: crate::Any<::core::primitive::bool> = crate::Any(::core::marker::PhantomData);
+}
+
+/// Size specifications accepted by the [`collection`] strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi_inclusive - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// A `Vec` of values from `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of values from `element` with a target size drawn from
+    /// `size`.
+    ///
+    /// As upstream, the resulting set may be smaller than the drawn target
+    /// when the element domain has too few distinct values.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts so small element domains terminate.
+            for _ in 0..(4 * target + 16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// The test-defining macro: runs each body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.effective_cases() {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), case as u64);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    // The closure gives bodies upstream's `return Ok(())`
+                    // early-exit; assertion failures still panic directly.
+                    let __proptest_case = move ||
+                        -> ::core::result::Result<(), ::std::boxed::Box<dyn ::std::error::Error>>
+                    {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(e) = __proptest_case() {
+                        panic!("proptest case {case} of {} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Strategy;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_case("unit", 0);
+        for _ in 0..1_000 {
+            let (a, b) = (1u32..5, -3i64..=3).sample(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((-3..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategies() {
+        let strat = (2usize..6).prop_flat_map(|n| (Just(n), 0usize..n));
+        let mut rng = crate::TestRng::for_case("unit2", 1);
+        for _ in 0..1_000 {
+            let (n, k) = strat.sample(&mut rng);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::TestRng::for_case("unit3", 2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..10, 1..4).sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let s = crate::collection::btree_set(0usize..3, 0..=5).sample(&mut rng);
+            assert!(s.len() <= 3, "only 3 distinct values exist");
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_their_patterns() {
+        let mut rng = crate::TestRng::for_case("regex", 0);
+        for _ in 0..500 {
+            let s = "(var|block|def|reads)[ a-z0-9=,]{0,20}".sample(&mut rng);
+            assert!(
+                ["var", "block", "def", "reads"].iter().any(|p| s.starts_with(p)),
+                "{s:?}"
+            );
+            let tail = s
+                .trim_start_matches("reads")
+                .trim_start_matches("var")
+                .trim_start_matches("block")
+                .trim_start_matches("def");
+            assert!(tail.len() <= 20, "{s:?}");
+            assert!(
+                tail.chars()
+                    .all(|c| c == ' ' || c == '=' || c == ',' || c.is_ascii_lowercase()
+                        || c.is_ascii_digit()),
+                "{s:?}"
+            );
+
+            let p = "\\PC*".sample(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+
+            let d = "a{3}\\d+".sample(&mut rng);
+            assert!(d.starts_with("aaa") && d.len() > 3, "{d:?}");
+            assert!(d[3..].chars().all(|c| c.is_ascii_digit()), "{d:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: args bind, bodies run per case.
+        #[test]
+        fn macro_binds_arguments(x in 0u64..100, flip in crate::bool::ANY) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flip as u64 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build container cannot reach the crates-io registry, so the workspace
+//! patches `serde` to this crate. Unlike real serde this is **not** a
+//! data-model abstraction: [`Serialize`] writes JSON directly, which is the
+//! only format the workspace emits (`repro --json`, benchmark result files).
+//!
+//! `#[derive(Serialize)]` is provided by the sibling `serde_derive` stub for
+//! plain structs with named fields — exactly the shape of every row type in
+//! `lemra-bench`. Deserialization is not provided; the `serde` cargo
+//! features of `lemra-ir`/`lemra-core` (which want `Deserialize` too) are
+//! unsupported offline and documented as such there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::Serialize;
+
+/// Types that can write themselves as JSON.
+///
+/// Implemented by hand for primitives and containers below, and by
+/// `#[derive(Serialize)]` for structs.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buffer(&mut [0u8; 24], *self as i128));
+            }
+        }
+    )*};
+}
+serialize_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Formats an integer without going through `fmt` machinery.
+fn itoa_buffer(buf: &mut [u8; 24], mut v: i128) -> &str {
+    let neg = v < 0;
+    if neg {
+        v = -v;
+    }
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` prints the shortest representation that round-trips;
+            // keep integral floats recognisable ("1.0" not "1"), matching
+            // serde_json.
+            let repr = format!("{self}");
+            out.push_str(&repr);
+            if !repr.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            // serde_json maps non-finite floats to null.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Writes a JSON string literal with escapes.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Helper used by generated code: writes `"key":` with a leading comma when
+/// `first` is false.
+pub fn write_field_key(out: &mut String, key: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    write_json_string(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&3u32), "3");
+        assert_eq!(json(&-17i64), "-17");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&2.0f64), "2.0");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&(4u32, 5u32)), "[4,5]");
+        assert_eq!(json(&Some(7u8)), "7");
+        assert_eq!(json(&Option::<u8>::None), "null");
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        count: u32,
+        ratio: f64,
+        ports: (u32, u32),
+        tags: Vec<String>,
+    }
+
+    #[test]
+    fn derived_struct() {
+        let d = Demo {
+            name: "x".into(),
+            count: 2,
+            ratio: 0.5,
+            ports: (1, 2),
+            tags: vec!["a".into()],
+        };
+        assert_eq!(
+            json(&d),
+            "{\"name\":\"x\",\"count\":2,\"ratio\":0.5,\"ports\":[1,2],\"tags\":[\"a\"]}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! `#[derive(Serialize)]` for the offline serde stand-in.
+//!
+//! Supports the shapes the workspace actually derives on: plain
+//! (non-generic) structs with named fields. The macro is written against
+//! `proc_macro` directly — `syn`/`quote` are unavailable offline — so it
+//! walks the token stream by hand: find `struct <Name>`, take the brace
+//! group, and collect field identifiers (the ident preceding each `:` at
+//! angle-bracket depth zero).
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the offline stand-in's JSON trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let word = id.to_string();
+            if word == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            if word == "enum" || word == "union" {
+                panic!("offline serde derive supports plain structs only");
+            }
+        }
+    }
+    let name = name.expect("derive input contains a struct");
+
+    // The next brace group holds the named fields. Tuple structs (a paren
+    // group ending in `;`) and generics are unsupported offline.
+    let mut fields = Vec::new();
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("offline serde derive does not support generic structs")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = field_names(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("offline serde derive does not support tuple structs")
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        body.push_str(&format!(
+            "::serde::write_field_key(out, \"{field}\", {first});\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n",
+            first = i == 0,
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 out.push('{{');\n\
+                 {body}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Collects field identifiers: the token immediately before each `:` that
+/// sits at angle-bracket depth zero and starts a field (i.e. follows a `,`
+/// boundary, attributes and visibility skipped).
+fn field_names(fields: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_ident: Option<String> = None;
+    let mut expecting_name = true;
+    let mut tokens = fields.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    expecting_name = true;
+                    prev_ident = None;
+                }
+                ':' if angle_depth == 0 && expecting_name => {
+                    // `::` (paths in attributes/visibility) is two joint
+                    // puncts; a field's colon stands alone.
+                    let double = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(q)) if q.as_char() == ':'
+                    );
+                    if double {
+                        tokens.next();
+                    } else if let Some(name) = prev_ident.take() {
+                        names.push(name);
+                        expecting_name = false;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word != "pub" {
+                    prev_ident = Some(word);
+                }
+            }
+            // Attribute bodies `#[...]` and `pub(...)` scopes.
+            TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    names
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate: [`to_string`] and [`to_string_pretty`] over the offline serde
+//! stand-in's JSON-writing `Serialize` trait. Deserialization is not
+//! provided.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Serialization error. The offline writer is infallible; the type exists
+/// so call sites keep serde_json's `Result` signature.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as an indented JSON string (two spaces, like
+/// serde_json's default pretty printer).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indents compact JSON produced by the stand-in writer.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                if matches!(chars.peek(), Some('}') | Some(']')) {
+                    // Keep empty containers on one line.
+                    out.push(chars.next().expect("peeked"));
+                } else {
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        assert_eq!(to_string(&v).unwrap(), "[[1,2],[3,4]]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("[\n  [\n    1,\n    2\n  ],"), "{pretty}");
+    }
+
+    #[test]
+    fn strings_with_structural_chars_survive_prettify() {
+        let s = "a{,}:\"[]".to_string();
+        let pretty = to_string_pretty(&s).unwrap();
+        assert_eq!(pretty, "\"a{,}:\\\"[]\"");
+    }
+}
