@@ -7,13 +7,13 @@
 //! which attains the minimum number of storage locations for the interval
 //! family the solution induces.
 
-use crate::build::build;
-use crate::problem::AllocationProblem;
-use crate::segment::{SegmentId, Segmentation};
+use crate::build::{build, refresh, BuiltNetwork};
+use crate::problem::{AllocationProblem, GraphStyle};
+use crate::segment::{SegmentId, Segmentation, SplitOptions};
 use crate::CoreError;
 use lemra_energy::MicroEnergy;
 use lemra_ir::{Tick, VarId};
-use lemra_netflow::{min_cost_flow, ArcId, NetflowError};
+use lemra_netflow::{min_cost_flow, ArcId, FlowSolution, NetflowError, Reoptimizer};
 use std::collections::HashMap;
 
 /// Where a segment lives.
@@ -225,14 +225,29 @@ pub fn allocate(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
     let segmentation = Segmentation::new(&problem.lifetimes, &problem.split);
     let built = build(problem, &segmentation)?;
     let solution = min_cost_flow(&built.net, built.s, built.t, i64::from(problem.registers))
-        .map_err(|e| match e {
-            NetflowError::Infeasible { required, achieved } => CoreError::TooFewRegisters {
-                registers: problem.registers,
-                shortfall: required - achieved,
-            },
-            other => CoreError::Flow(other),
-        })?;
+        .map_err(|e| flow_error(problem, e))?;
+    extract_allocation(problem, segmentation, &built, &solution)
+}
 
+/// Maps solver errors to the allocation pipeline's error vocabulary.
+fn flow_error(problem: &AllocationProblem, e: NetflowError) -> CoreError {
+    match e {
+        NetflowError::Infeasible { required, achieved } => CoreError::TooFewRegisters {
+            registers: problem.registers,
+            shortfall: required - achieved,
+        },
+        other => CoreError::Flow(other),
+    }
+}
+
+/// Turns a solved flow into the [`Allocation`]: path decomposition into
+/// register chains, placements, residency intervals, left-edge addresses.
+fn extract_allocation(
+    problem: &AllocationProblem,
+    segmentation: Segmentation,
+    built: &BuiltNetwork,
+    solution: &FlowSolution,
+) -> Result<Allocation, CoreError> {
     let n = segmentation.len();
     let mut placements = vec![Placement::Memory; n];
 
@@ -273,6 +288,21 @@ pub fn allocate(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
     let memory_residency = residency_intervals(&segmentation, &placements, problem);
     let (memory_address, storage_locations) = left_edge(&memory_residency);
 
+    // Undo the tie-break transform: subtract the flow's weight total, divide
+    // by the (exact) scale, and restore the cost quantum to get back to
+    // micro-energy units.
+    let raw_cost = if built.cost_scale == 1 {
+        solution.cost
+    } else {
+        let weights: i64 = built
+            .net
+            .arcs()
+            .map(|(id, _)| solution.flow(id) * built.tie_weights[id.index()])
+            .sum();
+        debug_assert_eq!((solution.cost - weights) % built.cost_scale, 0);
+        (solution.cost - weights) / built.cost_scale * built.cost_unit
+    };
+
     Ok(Allocation {
         segmentation,
         placements,
@@ -280,9 +310,185 @@ pub fn allocate(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
         memory_address,
         memory_residency,
         storage_locations,
-        flow_cost: MicroEnergy::from_raw(solution.cost),
+        flow_cost: MicroEnergy::from_raw(raw_cost),
         register_capacity: problem.registers,
     })
+}
+
+/// Environment variable: set `LEMRA_COLD=1` to make [`SweepAllocator`]
+/// cold-solve every point (escape hatch for debugging and for timing
+/// comparisons against the warm path).
+pub const COLD_ENV: &str = "LEMRA_COLD";
+
+/// [`allocate`] for parameter sweeps: successive calls reuse the previous
+/// solve's residual state through a [`Reoptimizer`].
+///
+/// The network builder is deterministic (see
+/// [`NetworkView`](crate::NetworkView)), so two problems over the same
+/// lifetime table produce networks differing only in arc costs and
+/// capacities — exactly the deltas the reoptimizer repairs instead of
+/// re-solving. Points whose topology *does* change (a different access
+/// period, lifetime table or split set) silently fall back to a cold solve,
+/// so a `SweepAllocator` can drive any sweep; it just only pays off on the
+/// topology-stable ones.
+///
+/// Every call returns exactly what [`allocate`] would: the solver repairs
+/// the optimal basis, not an approximation of it. With the `validate`
+/// feature the warm objective is additionally asserted against an
+/// independent cold solve at every point.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_core::{allocate, AllocationProblem, SweepAllocator};
+/// use lemra_energy::EnergyModel;
+/// use lemra_ir::LifetimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lifetimes =
+///     LifetimeTable::from_intervals(5, vec![(1, vec![3], false), (3, vec![5], false)])?;
+/// let mut sweep = SweepAllocator::new();
+/// for millivolts in [3300, 2500, 1800] {
+///     let problem = AllocationProblem::new(lifetimes.clone(), 1)
+///         .with_energy(EnergyModel::default_16bit().with_memory_voltage(millivolts as f64 / 1000.0));
+///     let warm = sweep.allocate(&problem)?;
+///     assert_eq!(warm.flow_cost(), allocate(&problem)?.flow_cost());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SweepAllocator {
+    reopt: Reoptimizer,
+    force_cold: bool,
+    /// `(cost_scale, cost_unit, raw memory-read energy)` of the previous
+    /// point: when the tie-break encoding or the memory operating point
+    /// shifts between points, the reoptimizer's retained potentials are
+    /// rescaled by the combined ratio so they track the new costs'
+    /// magnitudes instead of certifying last point's.
+    prev_basis: Option<(i64, i64, i64)>,
+    /// The previous point's segmentation and network, re-priced in place
+    /// (see [`refresh`]) when the next point shares its topology.
+    cache: Option<SweepCache>,
+}
+
+/// The retained network of a [`SweepAllocator`] plus the problem fields it
+/// is valid for. Only *topology-affecting* fields participate in the match:
+/// lifetimes and split determine the segmentation, style and relief arcs
+/// select the arc set, and register-carried variables gate their first
+/// segments' hand-offs and source hooks. Registers, energies and activity
+/// only move costs and the bypass capacity, which [`refresh`] re-prices.
+#[derive(Debug)]
+struct SweepCache {
+    lifetimes: lemra_ir::LifetimeTable,
+    split: SplitOptions,
+    style: GraphStyle,
+    relief_arcs: bool,
+    carried_in_register: Vec<VarId>,
+    segmentation: Segmentation,
+    built: BuiltNetwork,
+}
+
+impl SweepCache {
+    fn covers(&self, problem: &AllocationProblem) -> bool {
+        self.lifetimes == problem.lifetimes
+            && self.split == problem.split
+            && self.style == problem.style
+            && self.relief_arcs == problem.relief_arcs
+            && self.carried_in_register == problem.carried_in_register
+    }
+}
+
+impl SweepAllocator {
+    /// A sweep allocator with no retained state. Honours [`COLD_ENV`] read
+    /// at construction time.
+    pub fn new() -> Self {
+        Self {
+            reopt: Reoptimizer::new(),
+            force_cold: std::env::var(COLD_ENV).is_ok_and(|v| !v.is_empty() && v != "0"),
+            prev_basis: None,
+            cache: None,
+        }
+    }
+
+    /// Solves `problem`, warm-starting from the previous call when the
+    /// underlying network topology is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`allocate`].
+    pub fn allocate(&mut self, problem: &AllocationProblem) -> Result<Allocation, CoreError> {
+        if self.force_cold {
+            return allocate(problem);
+        }
+        // Re-price the retained network in place when the topology carries
+        // over from the previous point; rebuild (and recache) otherwise.
+        match &mut self.cache {
+            Some(cache) if cache.covers(problem) => {
+                refresh(problem, &cache.segmentation, &mut cache.built)?;
+            }
+            _ => {
+                let segmentation = Segmentation::new(&problem.lifetimes, &problem.split);
+                let built = build(problem, &segmentation)?;
+                self.cache = Some(SweepCache {
+                    lifetimes: problem.lifetimes.clone(),
+                    split: problem.split.clone(),
+                    style: problem.style,
+                    relief_arcs: problem.relief_arcs,
+                    carried_in_register: problem.carried_in_register.clone(),
+                    segmentation,
+                    built,
+                });
+            }
+        }
+        let cache = self.cache.as_ref().expect("cache populated above");
+        let built = &cache.built;
+        let target = i64::from(problem.registers);
+        // Solver-unit costs are raw energies times scale/unit, and the raw
+        // energies themselves are dominated by memory-access terms that
+        // derate uniformly with the memory voltage. When either factor
+        // moves between points, every arc cost jumps by (roughly) the
+        // combined ratio — hint the reoptimizer so its retained potentials
+        // jump with them, keeping the repair incremental. Register-energy
+        // terms don't follow the memory ratio; the repair absorbs the
+        // residue.
+        let mem = problem.energy.e_mem_read().raw();
+        let basis = (built.cost_scale, built.cost_unit, mem);
+        if let Some((prev_scale, prev_unit, prev_mem)) = self.prev_basis.replace(basis) {
+            if (prev_scale, prev_unit, prev_mem) != basis && prev_mem > 0 && mem > 0 {
+                let ratio = (built.cost_scale as f64 * prev_unit as f64 * mem as f64)
+                    / (prev_scale as f64 * built.cost_unit as f64 * prev_mem as f64);
+                self.reopt.costs_rescaled(ratio);
+            }
+        }
+        let solution = self
+            .reopt
+            .solve(&built.net, built.s, built.t, target)
+            .map_err(|e| flow_error(problem, e))?;
+        #[cfg(feature = "validate")]
+        {
+            let cold = min_cost_flow(&built.net, built.s, built.t, target)
+                .map_err(|e| flow_error(problem, e))?;
+            assert_eq!(
+                solution.cost, cold.cost,
+                "warm-start objective diverged from cold solve"
+            );
+            assert_eq!(solution.value, cold.value);
+        }
+        extract_allocation(problem, cache.segmentation.clone(), built, &solution)
+    }
+
+    /// Solves answered from retained residual state.
+    pub fn warm_solves(&self) -> u64 {
+        self.reopt.warm_solves()
+    }
+
+    /// Solves that (re)built solver state from scratch (including every
+    /// solve when [`COLD_ENV`] forces the cold path — those don't touch the
+    /// reoptimizer at all and count as neither).
+    pub fn cold_solves(&self) -> u64 {
+        self.reopt.cold_solves()
+    }
 }
 
 /// Memory-residency interval per variable: from its first memory write to
@@ -414,6 +620,52 @@ mod tests {
         let p2 = AllocationProblem::new(table, 2).with_access_period(8);
         let a = allocate(&p2).unwrap();
         assert!(a.placements().iter().all(|p| p.is_register()));
+    }
+
+    #[test]
+    fn sweep_allocator_matches_allocate_across_voltage_and_size_sweep() {
+        use lemra_energy::EnergyModel;
+        let table = two_sequential_one_parallel();
+        let mut sweep = SweepAllocator::new();
+        let points: Vec<AllocationProblem> = [(3.3, 1u32), (2.4, 1), (1.8, 1), (1.8, 2), (1.0, 3)]
+            .into_iter()
+            .map(|(volts, regs)| {
+                AllocationProblem::new(table.clone(), regs)
+                    .with_energy(EnergyModel::default_16bit().with_memory_voltage(volts))
+            })
+            .collect();
+        for p in &points {
+            let warm = sweep.allocate(p).unwrap();
+            let cold = allocate(p).unwrap();
+            assert_eq!(warm.flow_cost(), cold.flow_cost());
+            assert_eq!(warm.placements(), cold.placements());
+            assert_eq!(warm.chains(), cold.chains());
+        }
+        assert!(
+            sweep.warm_solves() >= 3,
+            "voltage/size sweep should stay warm"
+        );
+    }
+
+    #[test]
+    fn sweep_allocator_survives_topology_change_and_infeasibility() {
+        let table = two_sequential_one_parallel();
+        let mut sweep = SweepAllocator::new();
+        sweep
+            .allocate(&AllocationProblem::new(table.clone(), 2))
+            .unwrap();
+        // Forced segments beyond R: infeasible mid-sweep.
+        let forced =
+            LifetimeTable::from_intervals(8, vec![(2, vec![4], false), (3, vec![5], false)])
+                .unwrap();
+        let p = AllocationProblem::new(forced, 1).with_access_period(8);
+        assert!(matches!(
+            sweep.allocate(&p),
+            Err(CoreError::TooFewRegisters { .. })
+        ));
+        // And recovers on the next point.
+        let a = sweep.allocate(&AllocationProblem::new(table, 2)).unwrap();
+        assert_eq!(a.registers_used(), 2);
     }
 
     #[test]

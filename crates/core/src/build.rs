@@ -46,8 +46,23 @@ pub(crate) struct BuiltNetwork {
     pub handoff_of: Vec<(ArcId, SegmentId, SegmentId)>,
     /// Chain arcs `(from_segment, arc)`; `to` is from's successor segment.
     pub chain_of: Vec<(ArcId, SegmentId)>,
+    /// Source hook-ups `s → w(seg)` as `(arc, segment)`.
+    pub source_of: Vec<(ArcId, SegmentId)>,
+    /// Sink hook-ups `r(seg) → t` as `(arc, segment)`.
+    pub sink_of: Vec<(ArcId, SegmentId)>,
     /// The `s → t` bypass arc.
     pub bypass: ArcId,
+    /// Factor every (gcd-reduced) arc cost was scaled by for deterministic
+    /// tie-breaking (1 when the perturbation was skipped); see
+    /// [`apply_tie_break`].
+    pub cost_scale: i64,
+    /// Common quantum divided out of every raw cost before scaling (1 when
+    /// the perturbation was skipped).
+    pub cost_unit: i64,
+    /// Per-arc tie-break weight added after scaling; empty when
+    /// `cost_scale == 1`. A solution's raw cost is
+    /// `(cost - Σ flow(a)·tie_weights[a]) / cost_scale · cost_unit`.
+    pub tie_weights: Vec<i64>,
 }
 
 /// True if a hand-off from a read at `from` to a write at `to` is admitted
@@ -117,11 +132,21 @@ pub(crate) fn build(
     let mut exit_cost = Vec::with_capacity(n);
     let mut enter_cost = Vec::with_capacity(n);
     let mut register_carried_first = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(n);
     for (_, seg) in segmentation.iter() {
         exit_cost.push(costs.exit(seg));
         enter_cost.push(costs.enter(seg));
         register_carried_first.push(seg.is_first && problem.carried_in_register.contains(&seg.var));
+        starts.push(seg.start());
     }
+    // Segment ids ordered by start tick (ties by id): the hand-off loop
+    // binary-searches this order for the first feasible `to` and stops at the
+    // end of the region window, instead of scanning all O(n²) pairs. The sort
+    // key depends only on the segmentation, never on costs or capacities, so
+    // two problems over the same lifetime table emit identical arc numbering
+    // — the determinism the warm-start diff layer relies on.
+    let mut by_start: Vec<u32> = (0..n as u32).collect();
+    by_start.sort_by_key(|&i| (starts[i as usize], i));
 
     for (from_id, from) in segmentation.iter() {
         // Chain arc to the variable's next segment — eq. (9).
@@ -146,13 +171,18 @@ pub(crate) fn build(
         // Hand-off arcs to other variables' segments. A register-carried
         // variable's first segment is only reachable from `s` — its value
         // is already in a register at block entry, so it cannot take over
-        // another variable's register.
-        for (to_id, to) in segmentation.iter() {
-            if to.var == from.var || register_carried_first[to_id.index()] {
-                continue;
+        // another variable's register. Candidates come from `by_start`: the
+        // first segment starting at or after `from_end` through the last one
+        // inside the region window.
+        let lo = by_start.partition_point(|&i| starts[i as usize] < from_end);
+        for &to_idx in &by_start[lo..] {
+            let to_start = starts[to_idx as usize];
+            if to_start > window_end {
+                break;
             }
-            let to_start = to.start();
-            if to_start < from_end || to_start > window_end {
+            let to_id = SegmentId(to_idx);
+            let to = segmentation.segment(to_id);
+            if to.var == from.var || register_carried_first[to_id.index()] {
                 continue;
             }
             debug_assert!(region_allows(&regions, from_end, to_start));
@@ -170,20 +200,35 @@ pub(crate) fn build(
     }
 
     // Source and sink hook-ups.
+    let mut source_of = Vec::new();
+    let mut sink_of = Vec::new();
     for (id, seg) in segmentation.iter() {
         let source_ok = region_allows(&regions, source_tick, seg.start());
         let carried_register = seg.is_first && problem.carried_in_register.contains(&seg.var);
         if source_ok || carried_register || (problem.relief_arcs && seg.forced_register) {
-            net.add_arc(s, write_node[id.index()], 1, costs.source(seg).raw())?;
+            let arc = net.add_arc(s, write_node[id.index()], 1, costs.source(seg).raw())?;
+            source_of.push((arc, id));
         }
         let sink_ok = region_allows(&regions, seg.end(), infinity);
         if sink_ok || problem.relief_arcs {
-            net.add_arc(read_node[id.index()], t, 1, costs.sink(seg).raw())?;
+            let arc = net.add_arc(read_node[id.index()], t, 1, costs.sink(seg).raw())?;
+            sink_of.push((arc, id));
         }
     }
 
     // Unused registers flow straight through.
     let bypass = net.add_arc(s, t, i64::from(problem.registers), 0)?;
+
+    // Chain and hand-off arcs get the tie-break discount: among equal-cost
+    // optima, prefer the maximally-chained one (fewest registers touched).
+    let mut preferred = vec![false; net.arc_count()];
+    for &(arc, _, _) in &handoff_of {
+        preferred[arc.index()] = true;
+    }
+    for &(arc, _) in &chain_of {
+        preferred[arc.index()] = true;
+    }
+    let (cost_scale, cost_unit, tie_weights) = apply_tie_break(&mut net, &preferred);
 
     Ok(BuiltNetwork {
         net,
@@ -194,7 +239,236 @@ pub(crate) fn build(
         write_node,
         handoff_of,
         chain_of,
+        source_of,
+        sink_of,
         bypass,
+        cost_scale,
+        cost_unit,
+        tie_weights,
+    })
+}
+
+/// Re-prices a previously [`build`]-t network for a new parameter point over
+/// the *same* topology (lifetimes, split, style, relief and register-carry
+/// sets unchanged): every arc's raw cost is recomputed from the new
+/// problem's energy model, the bypass capacity is reset to the new register
+/// count, and the tie-break transform is re-applied. The result is
+/// bit-identical to what a fresh [`build`] would produce — only ~3× cheaper,
+/// because the segmentation scan, region profile and hand-off window search
+/// are all skipped. [`SweepAllocator`](crate::SweepAllocator) calls this on
+/// topology-stable sweep points so warm solves don't pay construction costs.
+pub(crate) fn refresh(
+    problem: &AllocationProblem,
+    segmentation: &Segmentation,
+    built: &mut BuiltNetwork,
+) -> Result<(), CoreError> {
+    let costs = CostCalculator::new(
+        &problem.energy,
+        problem.register_energy,
+        &problem.activity,
+        &problem.carried_in_memory,
+        &problem.carried_in_register,
+    );
+    // Capacity before costs: `apply_tie_break` reads capacities when sizing
+    // the weight resolution, and the bypass carries the register count.
+    built
+        .net
+        .set_arc_capacity(built.bypass, i64::from(problem.registers))
+        .map_err(CoreError::Flow)?;
+    built.net.set_arc_cost(built.bypass, 0);
+    for &arc in &built.segment_arc {
+        built.net.set_arc_cost(arc, 0);
+    }
+    for &(arc, from) in &built.chain_of {
+        let cost = costs.chain(segmentation.segment(from));
+        built.net.set_arc_cost(arc, cost.raw());
+    }
+    // Same one-endpoint precompute as `build`: the hand-off list is the
+    // quadratic part of the network.
+    let n = segmentation.len();
+    let mut exit_cost = Vec::with_capacity(n);
+    let mut enter_cost = Vec::with_capacity(n);
+    for (_, seg) in segmentation.iter() {
+        exit_cost.push(costs.exit(seg));
+        enter_cost.push(costs.enter(seg));
+    }
+    for &(arc, from_id, to_id) in &built.handoff_of {
+        let from = segmentation.segment(from_id);
+        let to = segmentation.segment(to_id);
+        let cost =
+            exit_cost[from_id.index()] + enter_cost[to_id.index()] + costs.transition(from, to);
+        debug_assert_eq!(cost, costs.handoff(from, to));
+        built.net.set_arc_cost(arc, cost.raw());
+    }
+    for &(arc, seg) in &built.source_of {
+        let cost = costs.source(segmentation.segment(seg));
+        built.net.set_arc_cost(arc, cost.raw());
+    }
+    for &(arc, seg) in &built.sink_of {
+        let cost = costs.sink(segmentation.segment(seg));
+        built.net.set_arc_cost(arc, cost.raw());
+    }
+    let mut preferred = vec![false; built.net.arc_count()];
+    for &(arc, _, _) in &built.handoff_of {
+        preferred[arc.index()] = true;
+    }
+    for &(arc, _) in &built.chain_of {
+        preferred[arc.index()] = true;
+    }
+    let (cost_scale, cost_unit, tie_weights) = apply_tie_break(&mut built.net, &preferred);
+    built.cost_scale = cost_scale;
+    built.cost_unit = cost_unit;
+    built.tie_weights = tie_weights;
+    Ok(())
+}
+
+/// Deterministic per-arc tie-break weight at a given resolution: the top
+/// `bits` bits of a splitmix64-finalised hash of the arc index. The
+/// xor-shift rounds matter — a bare multiply is linear, so crossing
+/// hand-off swaps with equal arc-index sums (`a1+a2 == a3+a4`, routine when
+/// two rows list the same candidates) would collide in aggregate no matter
+/// how wide the weights are. Preferred arcs (chains and hand-offs) are
+/// shifted down by a full `2^bits` so every one of them undercuts every
+/// non-preferred arc in a tie.
+fn tie_weight(arc: usize, bits: u32, preferred: bool) -> i64 {
+    let mut z = (arc as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let hashed = (z >> (64 - bits)) as i64;
+    if preferred {
+        hashed - (1i64 << bits)
+    } else {
+        hashed
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Makes the min-cost flow optimum (generically) unique: every arc cost is
+/// divided by the costs' common quantum (their gcd — energy deltas are
+/// heavily quantised, so this is typically worth ~11 bits of headroom),
+/// scaled by a common factor `M`, and offset by its [`tie_weight`], with `M`
+/// exceeding any possible weight total a flow can accumulate. Flows that
+/// differ in raw cost then still compare the same way (the raw gap is ≥ 1
+/// quantum, worth more than `M` > any weight sum), while raw-cost ties are
+/// broken by the hashed weights — so warm-started and cold solves land on
+/// the *same* optimum instead of two equal-cost alternatives, which is what
+/// lets a sweep promise identical placements, not just identical objectives.
+///
+/// The weight resolution adapts to the instance: the widest width up to 24
+/// bits whose scaled magnitudes leave the solver's `i64` arithmetic ample
+/// headroom. Wider weights make an aggregate hash collision — two tied
+/// flows whose weight sums also tie — exponentially less likely. Returns
+/// `(scale, unit, weights)`; `(1, 1, [])` when even 1-bit weights would not
+/// fit, in which case the costs are left untouched. Every decision depends
+/// only on the network, so all solvers see the same costs for a problem.
+fn apply_tie_break(net: &mut FlowNetwork, preferred: &[bool]) -> (i64, i64, Vec<i64>) {
+    let unit = net.arcs().fold(0i64, |g, (_, arc)| gcd(g, arc.cost)).max(1);
+    // Σ cap·|c/unit| ≥ any flow's |cost| total, in quanta.
+    let cost_magnitude = net.arcs().fold(0i64, |m, (_, arc)| {
+        m.saturating_add(arc.capacity.saturating_mul((arc.cost / unit).abs()))
+    });
+    let headroom = i64::MAX / 8;
+    let cap_total = net
+        .arcs()
+        .fold(0i64, |t, (_, arc)| t.saturating_add(arc.capacity));
+    // Pick the widest weight resolution whose *bound* fits — `cap_total·2^b`
+    // over-estimates Σ cap·|w| by at most 2×, and using the bound keeps the
+    // selection a cheap O(1)-per-candidate scan instead of an O(arcs) pass
+    // per candidate width.
+    let Some(bits) = (1..=24u32).rev().find(|&bits| {
+        let bound = cap_total.saturating_mul(1i64 << bits);
+        cost_magnitude
+            .checked_mul(bound.saturating_add(1))
+            .and_then(|v| v.checked_add(bound))
+            .is_some_and(|total| total < headroom)
+    }) else {
+        return (1, 1, Vec::new());
+    };
+    let weights: Vec<i64> = (0..net.arc_count())
+        .map(|a| tie_weight(a, bits, preferred[a]))
+        .collect();
+    // Σ cap·|w| ≥ any |Σ Δf·w| over flow pairs.
+    let weight_total = net.arcs().fold(0i64, |t, (id, arc)| {
+        t.saturating_add(arc.capacity.saturating_mul(weights[id.index()].abs()))
+    });
+    let scale = weight_total.saturating_add(1);
+    let scaled: Vec<(ArcId, i64)> = net
+        .arcs()
+        .map(|(id, arc)| (id, (arc.cost / unit) * scale + weights[id.index()]))
+        .collect();
+    for (id, cost) in scaled {
+        net.set_arc_cost(id, cost);
+    }
+    (scale, unit, weights)
+}
+
+/// The §5.1 flow network of a problem together with its stable arc-handle
+/// maps — the problem-diff layer's view of [`build`]'s output.
+///
+/// Construction is deterministic: node and arc numbering depend only on the
+/// segmentation (lifetime table plus split options), never on costs,
+/// capacities or the register count. Two problems over the same lifetime
+/// table therefore produce networks whose arcs line up index-for-index,
+/// which is what lets a sweep express successive parameter points as arc
+/// deltas on one retained network (see
+/// [`SweepAllocator`](crate::SweepAllocator)).
+#[derive(Debug)]
+pub struct NetworkView {
+    /// The flow network (solve it for `R` units from `source` to `sink`).
+    pub net: FlowNetwork,
+    /// Source node `s`.
+    pub source: NodeId,
+    /// Sink node `t`.
+    pub sink: NodeId,
+    /// Per segment (by [`SegmentId`] index): its `w → r` arc; unit flow on
+    /// it places the segment in a register.
+    pub segment_arc: Vec<ArcId>,
+    /// Hand-off arcs as `(arc, from_segment, to_segment)`.
+    pub handoff_arcs: Vec<(ArcId, SegmentId, SegmentId)>,
+    /// Chain arcs as `(arc, from_segment)`; the head is the variable's next
+    /// segment.
+    pub chain_arcs: Vec<(ArcId, SegmentId)>,
+    /// The zero-cost `s → t` bypass absorbing unused registers.
+    pub bypass: ArcId,
+    /// Arc costs are energy deltas divided by [`Self::cost_unit`], scaled by
+    /// this factor, and offset by a small deterministic per-arc tie-break
+    /// weight so the optimum is unique; de-weight a solution's cost, divide
+    /// by this, and multiply by the unit to recover micro-energy units. 1
+    /// when the perturbation was skipped for headroom.
+    pub cost_scale: i64,
+    /// Common quantum divided out of every raw cost before scaling (1 when
+    /// the perturbation was skipped).
+    pub cost_unit: i64,
+}
+
+/// Builds the flow network for `problem` and returns it with the arc-handle
+/// maps; see [`NetworkView`] for the determinism guarantee.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Flow`] if network construction fails (an internal
+/// error for well-formed problems).
+pub fn build_network(problem: &AllocationProblem) -> Result<NetworkView, CoreError> {
+    let segmentation = Segmentation::new(&problem.lifetimes, &problem.split);
+    let built = build(problem, &segmentation)?;
+    Ok(NetworkView {
+        net: built.net,
+        source: built.s,
+        sink: built.t,
+        segment_arc: built.segment_arc,
+        handoff_arcs: built.handoff_of,
+        chain_arcs: built.chain_of,
+        bypass: built.bypass,
+        cost_scale: built.cost_scale,
+        cost_unit: built.cost_unit,
     })
 }
 
@@ -299,6 +573,74 @@ mod tests {
         let a = built.net.arc(arc);
         assert_eq!(a.from, built.read_node[0]);
         assert_eq!(a.to, built.write_node[1]);
+    }
+
+    #[test]
+    fn arc_numbering_is_deterministic_across_parameter_points() {
+        // Two sweep points over one lifetime table — different energy
+        // model, objective and register count — must produce networks whose
+        // arcs line up index-for-index (endpoints and lower bounds equal),
+        // with identical handle maps. This is the contract the warm-start
+        // diff layer depends on.
+        let table = figure1_table();
+        let a = crate::AllocationProblem::new(table.clone(), 2);
+        let b = crate::AllocationProblem::new(table, 5)
+            .with_energy(lemra_energy::EnergyModel::default_16bit().with_memory_voltage(1.2))
+            .with_register_energy(lemra_energy::RegisterEnergyKind::Static);
+        let va = build_network(&a).unwrap();
+        let vb = build_network(&b).unwrap();
+        assert_eq!(va.net.node_count(), vb.net.node_count());
+        assert_eq!(va.net.arc_count(), vb.net.arc_count());
+        for ((_, x), (_, y)) in va.net.arcs().zip(vb.net.arcs()) {
+            assert_eq!(x.from, y.from);
+            assert_eq!(x.to, y.to);
+            assert_eq!(x.lower_bound, y.lower_bound);
+        }
+        assert_eq!(va.segment_arc, vb.segment_arc);
+        assert_eq!(va.handoff_arcs, vb.handoff_arcs);
+        assert_eq!(va.chain_arcs, vb.chain_arcs);
+        assert_eq!(va.bypass, vb.bypass);
+        // Only the bypass capacity (the register count) may differ.
+        assert_eq!(va.net.arc(va.bypass).capacity, 2);
+        assert_eq!(vb.net.arc(vb.bypass).capacity, 5);
+        // Hand-off arcs out of each segment are emitted in start-tick order.
+        let segs = Segmentation::new(&a.lifetimes, &a.split);
+        for w in va.handoff_arcs.windows(2) {
+            let ((_, f0, t0), (_, f1, t1)) = (w[0], w[1]);
+            if f0 == f1 {
+                let key0 = (segs.segment(t0).start(), t0);
+                let key1 = (segs.segment(t1).start(), t1);
+                assert!(key0 <= key1, "hand-offs out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_reprices_bit_identically_to_fresh_build() {
+        // Re-pricing point a's network for point b (different voltage,
+        // register accounting and register count) must reproduce b's fresh
+        // build exactly — costs, capacities and tie-break encoding alike —
+        // so the warm path solves the very same instance the cold path does.
+        let table = figure1_table();
+        let a = crate::AllocationProblem::new(table.clone(), 2);
+        let b = crate::AllocationProblem::new(table, 5)
+            .with_energy(lemra_energy::EnergyModel::default_16bit().with_memory_voltage(1.2))
+            .with_register_energy(lemra_energy::RegisterEnergyKind::Static);
+        let segs = Segmentation::new(&a.lifetimes, &a.split);
+        let mut refreshed = build(&a, &segs).unwrap();
+        refresh(&b, &segs, &mut refreshed).unwrap();
+        let fresh = build(&b, &segs).unwrap();
+        assert_eq!(refreshed.cost_scale, fresh.cost_scale);
+        assert_eq!(refreshed.cost_unit, fresh.cost_unit);
+        assert_eq!(refreshed.tie_weights, fresh.tie_weights);
+        assert_eq!(refreshed.net.arc_count(), fresh.net.arc_count());
+        for ((_, x), (_, y)) in refreshed.net.arcs().zip(fresh.net.arcs()) {
+            assert_eq!(x.from, y.from);
+            assert_eq!(x.to, y.to);
+            assert_eq!(x.lower_bound, y.lower_bound);
+            assert_eq!(x.capacity, y.capacity);
+            assert_eq!(x.cost, y.cost);
+        }
     }
 
     #[test]

@@ -71,7 +71,8 @@ mod synthesis;
 mod validate;
 mod viz;
 
-pub use allocator::{allocate, Allocation, Placement};
+pub use allocator::{allocate, Allocation, Placement, SweepAllocator, COLD_ENV};
+pub use build::{build_network, NetworkView};
 pub use codegen::{storage_plan, Operand, StorageInstr, StoragePlan};
 pub use events::{trace_var, MemAccess, VarTrace};
 pub use modules::{partition_memory_modules, SleepPartition};

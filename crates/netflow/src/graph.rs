@@ -183,6 +183,43 @@ impl FlowNetwork {
         Ok(id)
     }
 
+    /// Overwrites the cost of `arc`, keeping everything else.
+    ///
+    /// Parameter sweeps mutate one network in place between solves so a
+    /// [`Reoptimizer`](crate::Reoptimizer) can treat successive points as
+    /// arc deltas instead of fresh graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` does not belong to this network.
+    pub fn set_arc_cost(&mut self, arc: ArcId, cost: i64) {
+        self.arcs[arc.index()].cost = cost;
+    }
+
+    /// Overwrites the capacity of `arc`, keeping everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetflowError::InvalidArc`] if `capacity` is below the arc's
+    /// lower bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` does not belong to this network.
+    pub fn set_arc_capacity(&mut self, arc: ArcId, capacity: i64) -> Result<(), NetflowError> {
+        let a = &mut self.arcs[arc.index()];
+        if capacity < a.lower_bound {
+            return Err(NetflowError::InvalidArc {
+                reason: format!(
+                    "capacity {capacity} below lower bound {} on {arc}",
+                    a.lower_bound
+                ),
+            });
+        }
+        a.capacity = capacity;
+        Ok(())
+    }
+
     /// Number of nodes in the network.
     pub fn node_count(&self) -> usize {
         self.node_count

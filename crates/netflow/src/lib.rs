@@ -22,6 +22,11 @@
 //! Plus [`max_flow`] (Dinic), [`validate`] for auditing any solution, and
 //! [`FlowSolution::decompose_paths`] to extract the register chains.
 //!
+//! For parameter sweeps — sequences of solves over networks that differ
+//! only in a few arc costs, capacities or the flow value — [`Reoptimizer`]
+//! retains the optimal residual graph and potentials between calls and
+//! repairs optimality from the deltas instead of re-solving from scratch.
+//!
 //! # Solver performance
 //!
 //! The residual graph all solvers share stores adjacency in compressed
@@ -78,6 +83,7 @@ mod dinic;
 mod dot;
 mod graph;
 mod radix;
+mod reopt;
 mod residual;
 mod scaling;
 mod simplex;
@@ -90,6 +96,7 @@ pub use cycle_cancel::min_cost_flow_cycle_canceling;
 pub use dinic::max_flow;
 pub use dot::to_dot;
 pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
+pub use reopt::Reoptimizer;
 pub use scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
 pub use simplex::min_cost_flow_network_simplex;
 pub use solution::{validate, FlowSolution};

@@ -231,6 +231,27 @@ impl Residual {
         self.cap[self.slot_of[e as usize] as usize]
     }
 
+    /// Cost per unit of edge `e`. Requires [`Residual::finalize`].
+    #[inline]
+    pub fn cost_of(&self, e: u32) -> i64 {
+        self.cost[self.slot_of[e as usize] as usize]
+    }
+
+    /// Overwrites the cost of edge `e` in the slot arrays and the staging
+    /// vector (warm-start reoptimisation applies sweep cost deltas in place;
+    /// callers keep the `e`/`e ^ 1` negation convention themselves).
+    #[inline]
+    pub fn set_cost_of(&mut self, e: u32, cost: i64) {
+        self.cost[self.slot_of[e as usize] as usize] = cost;
+        self.edges[e as usize].cost = cost;
+    }
+
+    /// Head node of edge `e`.
+    #[inline]
+    pub fn head(&self, e: u32) -> usize {
+        self.edges[e as usize].to as usize
+    }
+
     /// Overwrites the live residual capacity of edge `e` (used to freeze the
     /// circulation edge in the max-flow lower-bound transformation).
     #[inline]

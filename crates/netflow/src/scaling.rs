@@ -18,10 +18,10 @@
 //! implementation for cross-checking.
 
 use crate::graph::{FlowNetwork, NodeId};
-use crate::residual::{idx, Residual};
+use crate::residual::Residual;
 use crate::ssp::{
     augment, check_endpoints, dijkstra_round, initial_potentials, solution_from_residual,
-    update_potentials,
+    transform, update_potentials, Transformed,
 };
 use crate::workspace::{SolverWorkspace, INF};
 use crate::{FlowSolution, NetflowError};
@@ -83,27 +83,12 @@ pub fn min_cost_flow_scaling_with(
     check_endpoints(net, s, t, target)?;
 
     // Same excess/deficit reduction as the plain SSP solver.
-    let n = net.node_count();
-    let mut res = Residual::from_network(net, 2);
-    let super_s = n;
-    let super_t = n + 1;
-    let mut excess = vec![0i64; n];
-    for (_, arc) in net.arcs() {
-        excess[idx(arc.to)] += arc.lower_bound;
-        excess[idx(arc.from)] -= arc.lower_bound;
-    }
-    excess[idx(s)] += target;
-    excess[idx(t)] -= target;
-    let mut required = 0i64;
-    for (v, &e) in excess.iter().enumerate() {
-        if e > 0 {
-            res.add_edge(super_s, v, e, 0);
-            required += e;
-        } else if e < 0 {
-            res.add_edge(v, super_t, -e, 0);
-        }
-    }
-    res.finalize();
+    let Transformed {
+        mut res,
+        super_s,
+        super_t,
+        required,
+    } = transform(net, s, t, target);
 
     let pushed = scaling_run(&mut res, super_s, super_t, required, ws)?;
     if pushed < required {
@@ -133,32 +118,35 @@ fn scaling_run(
 
     // Potentials valid for *all* residual edges (including those below the
     // current Δ) — initialised once (topological relaxation on DAGs, SPFA
-    // otherwise), then maintained by full (Δ-independent) Dijkstra updates.
-    // Using Δ-restricted distances for potential updates can produce
-    // negative reduced costs on small edges; we avoid that by running
-    // Dijkstra over all positive-capacity edges but only *augmenting* along
-    // paths whose bottleneck is ≥ Δ.
+    // otherwise — the same O(V+E) DAG path the plain SSP solver uses), then
+    // maintained by full (Δ-independent) Dijkstra updates. Using
+    // Δ-restricted distances for potential updates can produce negative
+    // reduced costs on small edges; we avoid that by running Dijkstra over
+    // all positive-capacity edges but only *augmenting* along paths whose
+    // bottleneck is ≥ Δ.
     ws.prepare(res.node_count());
     initial_potentials(res, s, ws)?;
     let mut flow = 0i64;
 
-    while delta >= 1 {
-        loop {
-            if flow >= target {
-                return Ok(flow);
-            }
-            let dist_t = dijkstra_round(res, s, t, ws)?;
-            if dist_t >= INF {
-                break;
-            }
-            update_potentials(ws, dist_t);
-            if ws.bottleneck_to[t] < delta {
-                // Shortest path too thin for this phase.
-                break;
-            }
-            flow += augment(res, s, t, ws, target - flow);
+    // One Dijkstra per augmentation, across all phases. Earlier revisions
+    // broke out of a phase when the shortest path's bottleneck fell below Δ
+    // and re-ran an identical round in the next phase; since the potentials
+    // (and hence the shortest-path tree) are Δ-independent, we instead drop
+    // Δ to the largest power of two that fits the bottleneck and augment the
+    // already-computed path immediately. Likewise, an unreachable sink ends
+    // the solve outright — no smaller Δ can reconnect it.
+    while flow < target {
+        let dist_t = dijkstra_round(res, s, t, ws)?;
+        if dist_t >= INF {
+            break;
         }
-        delta /= 2;
+        update_potentials(ws, dist_t);
+        let bottleneck = ws.bottleneck_to[t];
+        while delta > 1 && bottleneck < delta {
+            delta /= 2;
+        }
+        debug_assert!(bottleneck >= delta);
+        flow += augment(res, s, t, ws, target - flow);
     }
     Ok(flow)
 }

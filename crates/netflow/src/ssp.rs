@@ -92,10 +92,44 @@ pub fn min_cost_flow_with(
 ) -> Result<FlowSolution, NetflowError> {
     check_endpoints(net, s, t, target)?;
 
-    // Excess/deficit transformation: every lower bound l on arc (u, v)
-    // pre-routes l units, leaving v with excess +l and u with deficit -l.
-    // The requirement "exactly `target` units from s to t" is a virtual arc
-    // t -> s with lower bound = capacity = target.
+    let Transformed {
+        mut res,
+        super_s,
+        super_t,
+        required,
+    } = transform(net, s, t, target);
+
+    let pushed = ssp_run(&mut res, super_s, super_t, required, ws)?;
+    if pushed < required {
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: pushed,
+        });
+    }
+
+    Ok(solution_from_residual(net, &res, target))
+}
+
+/// Result of [`transform`]: a finalized residual graph with the synthetic
+/// super-source/super-sink appended and the units that must reach the
+/// super-sink for the original problem to be feasible.
+pub(crate) struct Transformed {
+    /// Finalized residual graph (network arcs plus supply edges).
+    pub res: Residual,
+    /// Super-source node index (`net.node_count()`).
+    pub super_s: usize,
+    /// Super-sink node index (`net.node_count() + 1`).
+    pub super_t: usize,
+    /// Total excess the solve must route from `super_s` to `super_t`.
+    pub required: i64,
+}
+
+/// Excess/deficit transformation shared by the SSP-family solvers: every
+/// lower bound `l` on arc `(u, v)` pre-routes `l` units, leaving `v` with
+/// excess `+l` and `u` with deficit `-l`. The requirement "exactly `target`
+/// units from `s` to `t`" is a virtual arc `t -> s` with lower bound =
+/// capacity = `target`.
+pub(crate) fn transform(net: &FlowNetwork, s: NodeId, t: NodeId, target: i64) -> Transformed {
     let n = net.node_count();
     let mut res = Residual::from_network(net, 2);
     let super_s = n;
@@ -119,16 +153,12 @@ pub fn min_cost_flow_with(
         }
     }
     res.finalize();
-
-    let pushed = ssp_run(&mut res, super_s, super_t, required, ws)?;
-    if pushed < required {
-        return Err(NetflowError::Infeasible {
-            required,
-            achieved: pushed,
-        });
+    Transformed {
+        res,
+        super_s,
+        super_t,
+        required,
     }
-
-    Ok(solution_from_residual(net, &res, target))
 }
 
 /// Reconstructs a [`FlowSolution`] (adding back lower bounds) from a solved

@@ -5,7 +5,7 @@
 
 use lemra_netflow::{
     max_flow, min_cost_flow, min_cost_flow_cycle_canceling, min_cost_flow_network_simplex,
-    min_cost_flow_scaling, validate, FlowNetwork, NetflowError, NodeId,
+    min_cost_flow_scaling, validate, ArcId, FlowNetwork, NetflowError, NodeId, Reoptimizer,
 };
 use proptest::prelude::*;
 
@@ -163,6 +163,61 @@ proptest! {
         } else {
             let infeasible = matches!(result, Err(NetflowError::Infeasible { .. }));
             prop_assert!(infeasible);
+        }
+    }
+
+    /// Warm-start reoptimisation over a randomized delta sequence: after
+    /// every batch of cost/capacity/target deltas, the [`Reoptimizer`]'s
+    /// objective and feasibility verdict must match an independent cold
+    /// solve, and its flow must validate. Under the `validate` feature this
+    /// also re-checks reduced-cost optimality after every delta batch
+    /// (inside the warm solver's Dijkstra rounds and final audit).
+    #[test]
+    fn warm_start_matches_cold_over_delta_sequences(
+        dag in random_dag(false),
+        steps in proptest::collection::vec(
+            // (arc selector, mutate cost?, new cost, mutate cap?, new cap, target)
+            (0usize..1024, any::<bool>(), -12i64..12, any::<bool>(), 0i64..6, 0i64..8),
+            1..16,
+        ),
+        first_target in 0i64..6,
+    ) {
+        let (mut net, s, t) = build(&dag);
+        let arcs: Vec<ArcId> = net.arcs().map(|(id, _)| id).collect();
+        let mut reopt = Reoptimizer::new();
+        let check = |reopt: &mut Reoptimizer, net: &FlowNetwork, f: i64| {
+            let warm = reopt.solve(net, s, t, f);
+            let cold = min_cost_flow(net, s, t, f);
+            match (warm, cold) {
+                (Ok(w), Ok(c)) => {
+                    validate(net, s, t, &w)?;
+                    if w.cost != c.cost {
+                        return Err(NetflowError::InvalidSolution {
+                            reason: format!("warm cost {} != cold cost {}", w.cost, c.cost),
+                        });
+                    }
+                    Ok(())
+                }
+                (Err(NetflowError::Infeasible { .. }), Err(NetflowError::Infeasible { .. })) => {
+                    Ok(())
+                }
+                (w, c) => Err(NetflowError::InvalidSolution {
+                    reason: format!("warm/cold verdicts diverged: {w:?} vs {c:?}"),
+                }),
+            }
+        };
+        prop_assert!(check(&mut reopt, &net, first_target).is_ok());
+        for (sel, mutate_cost, cost, mutate_cap, cap, target) in steps {
+            let arc = arcs[sel % arcs.len()];
+            if mutate_cost {
+                net.set_arc_cost(arc, cost);
+            }
+            if mutate_cap {
+                net.set_arc_capacity(arc, cap).expect("lower bounds are zero");
+            }
+            if let Err(e) = check(&mut reopt, &net, target) {
+                prop_assert!(false, "delta step diverged: {e}");
+            }
         }
     }
 
