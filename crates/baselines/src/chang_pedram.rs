@@ -18,7 +18,7 @@
 use crate::BaselineError;
 use lemra_core::{Allocation, AllocationProblem};
 use lemra_ir::{DensityProfile, VarId};
-use lemra_netflow::{min_cost_flow, ArcId, FlowNetwork};
+use lemra_netflow::{ArcId, FlowNetwork, LemraConfig};
 
 /// Result of the two-phase baseline.
 #[derive(Debug, Clone)]
@@ -132,12 +132,15 @@ pub fn min_switching_register_allocation(
     }
     net.add_arc(s, t, k, 0)?;
 
-    let sol = min_cost_flow(&net, s, t, k).map_err(|e| match e {
-        lemra_netflow::NetflowError::Infeasible { required, achieved } => {
-            BaselineError::Infeasible { required, achieved }
-        }
-        other => BaselineError::Flow(other),
-    })?;
+    let sol = LemraConfig::get()
+        .backend
+        .solve(&net, s, t, k)
+        .map_err(|e| match e {
+            lemra_netflow::NetflowError::Infeasible { required, achieved } => {
+                BaselineError::Infeasible { required, achieved }
+            }
+            other => BaselineError::Flow(other),
+        })?;
 
     // Chains via successor pointers.
     let mut successor: Vec<Option<usize>> = vec![None; n];

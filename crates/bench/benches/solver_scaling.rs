@@ -7,10 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lemra_core::{allocate, AllocationProblem};
-use lemra_netflow::{
-    min_cost_flow, min_cost_flow_cycle_canceling, min_cost_flow_network_simplex,
-    min_cost_flow_scaling, FlowNetwork,
-};
+use lemra_netflow::{Backend, FlowNetwork};
 use lemra_workloads::random::{random_lifetimes, random_patterns, RandomConfig};
 use std::hint::black_box;
 
@@ -61,20 +58,22 @@ fn random_flow(
 
 fn solver_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("mincost_solvers");
+    // Bench ids predate the `Backend` selector and are pinned by
+    // BENCH_solver.json; keep them stable.
+    let backends = [
+        ("ssp", Backend::Ssp),
+        ("scaling", Backend::Scaling),
+        ("cycle_cancel", Backend::CycleCancel),
+        ("network_simplex", Backend::Simplex),
+    ];
     for vars in [32usize, 128, 512] {
         let (net, s, t, f) = random_flow(vars, 7);
-        group.bench_with_input(BenchmarkId::new("ssp", vars), &net, |b, net| {
-            b.iter(|| min_cost_flow(black_box(net), s, t, f));
-        });
-        group.bench_with_input(BenchmarkId::new("scaling", vars), &net, |b, net| {
-            b.iter(|| min_cost_flow_scaling(black_box(net), s, t, f));
-        });
-        if vars <= 128 {
-            group.bench_with_input(BenchmarkId::new("cycle_cancel", vars), &net, |b, net| {
-                b.iter(|| min_cost_flow_cycle_canceling(black_box(net), s, t, f));
-            });
-            group.bench_with_input(BenchmarkId::new("network_simplex", vars), &net, |b, net| {
-                b.iter(|| min_cost_flow_network_simplex(black_box(net), s, t, f));
+        for (id, backend) in backends {
+            if vars > 128 && !matches!(backend, Backend::Ssp | Backend::Scaling) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(id, vars), &net, |b, net| {
+                b.iter(|| backend.solve(black_box(net), s, t, f));
             });
         }
     }

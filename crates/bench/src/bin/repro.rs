@@ -9,15 +9,26 @@
 //! The requested sections are computed in parallel (they share nothing) and
 //! printed in their fixed order afterwards, so the output is identical to
 //! running them one by one; `LEMRA_THREADS=1` forces the serial path.
+//!
+//! `--timings` additionally prints per-stage pipeline timings and solver
+//! counters to **stderr** (stdout — including `--json` — is byte-identical
+//! with or without the flag).
 
 use lemra_bench::experiments::{
     run_figure3, run_figure4, run_headline, run_offchip, run_sizing, run_table1, Figure3Result,
     Figure4Result, HeadlineRow, OffchipRow, Row, SizingRow, Table1Row,
 };
+use lemra_netflow::LemraConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let timings = args.iter().any(|a| a == "--timings");
+    LemraConfig {
+        timings,
+        ..LemraConfig::from_env()
+    }
+    .install();
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -73,6 +84,33 @@ fn main() {
     if let Some(rows) = sizing_rows {
         sizing(&rows, json);
     }
+    if timings {
+        print_timings();
+    }
+}
+
+/// Stage timings and solver counters of everything the run solved, on
+/// stderr so `--json` consumers of stdout are unaffected.
+fn print_timings() {
+    let stats = lemra_core::pipeline_stats();
+    eprintln!("-- pipeline stage timings --");
+    eprintln!("  {:<10} {:>7} {:>12}", "stage", "runs", "total ms");
+    for stage in lemra_core::Stage::ALL {
+        let t = stats.stage(stage);
+        eprintln!(
+            "  {:<10} {:>7} {:>12.3}",
+            stage.name(),
+            t.runs,
+            t.nanos as f64 / 1e6
+        );
+    }
+    eprintln!(
+        "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed",
+        stats.warm_solves,
+        stats.cold_solves,
+        stats.solver.dijkstra_rounds,
+        stats.solver.pushed_units
+    );
 }
 
 fn print_rows(rows: &[&Row]) {

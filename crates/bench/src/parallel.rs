@@ -6,28 +6,13 @@
 //! scoped threads and returns results **in input order**, so the produced
 //! rows are byte-identical to a serial `map` — scheduling can never leak
 //! into committed outputs. The worker count honours the same
-//! [`LEMRA_THREADS`](lemra_netflow::THREADS_ENV) override as
+//! [`LemraConfig`](lemra_netflow::LemraConfig) thread setting
+//! ([`LEMRA_THREADS`](lemra_netflow::THREADS_ENV)) as
 //! [`lemra_netflow::solve_batch`]; `LEMRA_THREADS=1` forces the serial path
 //! on the calling thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-
-/// Worker count for `len` independent items: one per item up to the
-/// machine's parallelism, overridable via
-/// [`lemra_netflow::THREADS_ENV`].
-fn worker_count(len: usize) -> usize {
-    let hw = std::env::var(lemra_netflow::THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-    hw.min(len).max(1)
-}
 
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
@@ -41,7 +26,11 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    par_map_threads(worker_count(items.len()), items, f)
+    par_map_threads(
+        lemra_netflow::LemraConfig::get().worker_count(items.len()),
+        items,
+        f,
+    )
 }
 
 /// [`par_map`] with an explicit worker count (used by tests to compare the

@@ -7,13 +7,14 @@
 //! which attains the minimum number of storage locations for the interval
 //! family the solution induces.
 
-use crate::build::{build, refresh, BuiltNetwork};
-use crate::problem::{AllocationProblem, GraphStyle};
-use crate::segment::{SegmentId, Segmentation, SplitOptions};
+use crate::build::BuiltNetwork;
+use crate::pipeline::PipelineCx;
+use crate::problem::AllocationProblem;
+use crate::segment::{SegmentId, Segmentation};
 use crate::CoreError;
 use lemra_energy::MicroEnergy;
 use lemra_ir::{Tick, VarId};
-use lemra_netflow::{min_cost_flow, ArcId, FlowSolution, NetflowError, Reoptimizer};
+use lemra_netflow::{ArcId, FlowSolution, NetflowError};
 use std::collections::HashMap;
 
 /// Where a segment lives.
@@ -222,15 +223,11 @@ impl Allocation {
 /// # }
 /// ```
 pub fn allocate(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
-    let segmentation = Segmentation::new(&problem.lifetimes, &problem.split);
-    let built = build(problem, &segmentation)?;
-    let solution = min_cost_flow(&built.net, built.s, built.t, i64::from(problem.registers))
-        .map_err(|e| flow_error(problem, e))?;
-    extract_allocation(problem, segmentation, &built, &solution)
+    PipelineCx::new().allocate(problem)
 }
 
 /// Maps solver errors to the allocation pipeline's error vocabulary.
-fn flow_error(problem: &AllocationProblem, e: NetflowError) -> CoreError {
+pub(crate) fn flow_error(problem: &AllocationProblem, e: NetflowError) -> CoreError {
     match e {
         NetflowError::Infeasible { required, achieved } => CoreError::TooFewRegisters {
             registers: problem.registers,
@@ -241,8 +238,9 @@ fn flow_error(problem: &AllocationProblem, e: NetflowError) -> CoreError {
 }
 
 /// Turns a solved flow into the [`Allocation`]: path decomposition into
-/// register chains, placements, residency intervals, left-edge addresses.
-fn extract_allocation(
+/// register chains, placements, residency intervals, left-edge addresses —
+/// the pipeline's Bind stage.
+pub(crate) fn extract_allocation(
     problem: &AllocationProblem,
     segmentation: Segmentation,
     built: &BuiltNetwork,
@@ -315,13 +313,8 @@ fn extract_allocation(
     })
 }
 
-/// Environment variable: set `LEMRA_COLD=1` to make [`SweepAllocator`]
-/// cold-solve every point (escape hatch for debugging and for timing
-/// comparisons against the warm path).
-pub const COLD_ENV: &str = "LEMRA_COLD";
-
 /// [`allocate`] for parameter sweeps: successive calls reuse the previous
-/// solve's residual state through a [`Reoptimizer`].
+/// solve's residual state through a warm [`PipelineCx`].
 ///
 /// The network builder is deterministic (see
 /// [`NetworkView`](crate::NetworkView)), so two problems over the same
@@ -359,55 +352,16 @@ pub const COLD_ENV: &str = "LEMRA_COLD";
 /// ```
 #[derive(Debug, Default)]
 pub struct SweepAllocator {
-    reopt: Reoptimizer,
-    force_cold: bool,
-    /// `(cost_scale, cost_unit, raw memory-read energy)` of the previous
-    /// point: when the tie-break encoding or the memory operating point
-    /// shifts between points, the reoptimizer's retained potentials are
-    /// rescaled by the combined ratio so they track the new costs'
-    /// magnitudes instead of certifying last point's.
-    prev_basis: Option<(i64, i64, i64)>,
-    /// The previous point's segmentation and network, re-priced in place
-    /// (see [`refresh`]) when the next point shares its topology.
-    cache: Option<SweepCache>,
-}
-
-/// The retained network of a [`SweepAllocator`] plus the problem fields it
-/// is valid for. Only *topology-affecting* fields participate in the match:
-/// lifetimes and split determine the segmentation, style and relief arcs
-/// select the arc set, and register-carried variables gate their first
-/// segments' hand-offs and source hooks. Registers, energies and activity
-/// only move costs and the bypass capacity, which [`refresh`] re-prices.
-#[derive(Debug)]
-struct SweepCache {
-    lifetimes: lemra_ir::LifetimeTable,
-    split: SplitOptions,
-    style: GraphStyle,
-    relief_arcs: bool,
-    carried_in_register: Vec<VarId>,
-    segmentation: Segmentation,
-    built: BuiltNetwork,
-}
-
-impl SweepCache {
-    fn covers(&self, problem: &AllocationProblem) -> bool {
-        self.lifetimes == problem.lifetimes
-            && self.split == problem.split
-            && self.style == problem.style
-            && self.relief_arcs == problem.relief_arcs
-            && self.carried_in_register == problem.carried_in_register
-    }
+    cx: PipelineCx,
 }
 
 impl SweepAllocator {
-    /// A sweep allocator with no retained state. Honours [`COLD_ENV`] read
-    /// at construction time.
+    /// A sweep allocator with no retained state. Honours the process-wide
+    /// [`LemraConfig`](lemra_netflow::LemraConfig) — backend choice, and the
+    /// [`COLD_ENV`](lemra_netflow::COLD_ENV) cold-sweep override.
     pub fn new() -> Self {
         Self {
-            reopt: Reoptimizer::new(),
-            force_cold: std::env::var(COLD_ENV).is_ok_and(|v| !v.is_empty() && v != "0"),
-            prev_basis: None,
-            cache: None,
+            cx: PipelineCx::new(),
         }
     }
 
@@ -418,76 +372,20 @@ impl SweepAllocator {
     ///
     /// Same as [`allocate`].
     pub fn allocate(&mut self, problem: &AllocationProblem) -> Result<Allocation, CoreError> {
-        if self.force_cold {
-            return allocate(problem);
-        }
-        // Re-price the retained network in place when the topology carries
-        // over from the previous point; rebuild (and recache) otherwise.
-        match &mut self.cache {
-            Some(cache) if cache.covers(problem) => {
-                refresh(problem, &cache.segmentation, &mut cache.built)?;
-            }
-            _ => {
-                let segmentation = Segmentation::new(&problem.lifetimes, &problem.split);
-                let built = build(problem, &segmentation)?;
-                self.cache = Some(SweepCache {
-                    lifetimes: problem.lifetimes.clone(),
-                    split: problem.split.clone(),
-                    style: problem.style,
-                    relief_arcs: problem.relief_arcs,
-                    carried_in_register: problem.carried_in_register.clone(),
-                    segmentation,
-                    built,
-                });
-            }
-        }
-        let cache = self.cache.as_ref().expect("cache populated above");
-        let built = &cache.built;
-        let target = i64::from(problem.registers);
-        // Solver-unit costs are raw energies times scale/unit, and the raw
-        // energies themselves are dominated by memory-access terms that
-        // derate uniformly with the memory voltage. When either factor
-        // moves between points, every arc cost jumps by (roughly) the
-        // combined ratio — hint the reoptimizer so its retained potentials
-        // jump with them, keeping the repair incremental. Register-energy
-        // terms don't follow the memory ratio; the repair absorbs the
-        // residue.
-        let mem = problem.energy.e_mem_read().raw();
-        let basis = (built.cost_scale, built.cost_unit, mem);
-        if let Some((prev_scale, prev_unit, prev_mem)) = self.prev_basis.replace(basis) {
-            if (prev_scale, prev_unit, prev_mem) != basis && prev_mem > 0 && mem > 0 {
-                let ratio = (built.cost_scale as f64 * prev_unit as f64 * mem as f64)
-                    / (prev_scale as f64 * built.cost_unit as f64 * prev_mem as f64);
-                self.reopt.costs_rescaled(ratio);
-            }
-        }
-        let solution = self
-            .reopt
-            .solve(&built.net, built.s, built.t, target)
-            .map_err(|e| flow_error(problem, e))?;
-        #[cfg(feature = "validate")]
-        {
-            let cold = min_cost_flow(&built.net, built.s, built.t, target)
-                .map_err(|e| flow_error(problem, e))?;
-            assert_eq!(
-                solution.cost, cold.cost,
-                "warm-start objective diverged from cold solve"
-            );
-            assert_eq!(solution.value, cold.value);
-        }
-        extract_allocation(problem, cache.segmentation.clone(), built, &solution)
+        self.cx.allocate_warm(problem)
     }
 
     /// Solves answered from retained residual state.
     pub fn warm_solves(&self) -> u64 {
-        self.reopt.warm_solves()
+        self.cx.warm_solves()
     }
 
     /// Solves that (re)built solver state from scratch (including every
-    /// solve when [`COLD_ENV`] forces the cold path — those don't touch the
-    /// reoptimizer at all and count as neither).
+    /// solve when [`COLD_ENV`](lemra_netflow::COLD_ENV) forces the cold
+    /// path — those don't touch the reoptimizer at all and count as
+    /// neither).
     pub fn cold_solves(&self) -> u64 {
-        self.reopt.cold_solves()
+        self.cx.cold_solves()
     }
 }
 

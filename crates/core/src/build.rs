@@ -63,6 +63,16 @@ pub(crate) struct BuiltNetwork {
     /// `cost_scale == 1`. A solution's raw cost is
     /// `(cost - Σ flow(a)·tie_weights[a]) / cost_scale · cost_unit`.
     pub tie_weights: Vec<i64>,
+    /// Which arcs get the tie-break preference discount (chains and
+    /// hand-offs). Pure topology — [`refresh`] reuses it instead of
+    /// rebuilding the mask per sweep point.
+    pub preferred: Vec<bool>,
+    /// Weight resolution [`apply_tie_break`] picked (0 when the perturbation
+    /// was skipped). Cache key: when a refresh lands on the same resolution,
+    /// the splitmix64 weight vector is reused verbatim instead of re-hashed,
+    /// because every weight is a pure function of (arc index, bits,
+    /// preferred) and those are all topology-stable.
+    pub tie_bits: u32,
 }
 
 /// True if a hand-off from a read at `from` to a write at `to` is admitted
@@ -83,9 +93,37 @@ fn region_allows(regions: &[TickRange], from: Tick, to: Tick) -> bool {
     regions.get(i).is_none_or(|r| r.end >= to)
 }
 
+/// The Profile stage: the maximum-lifetime-density regions that gate
+/// hand-off arcs under [`GraphStyle::Regions`] (empty for
+/// [`GraphStyle::AllPairs`], which admits every compatible pair).
+pub(crate) fn profile_regions(
+    problem: &AllocationProblem,
+    segmentation: &Segmentation,
+) -> Vec<TickRange> {
+    match problem.style {
+        GraphStyle::Regions => DensityProfile::from_intervals(
+            segmentation.block_len(),
+            segmentation.iter().map(|(_, s)| (s.start(), s.end())),
+        )
+        .max_regions(),
+        GraphStyle::AllPairs => Vec::new(),
+    }
+}
+
 pub(crate) fn build(
     problem: &AllocationProblem,
     segmentation: &Segmentation,
+) -> Result<BuiltNetwork, CoreError> {
+    let regions = profile_regions(problem, segmentation);
+    build_with_regions(problem, segmentation, &regions)
+}
+
+/// The BuildNetwork stage proper: emits the §5.1 network over a
+/// [`Segmentation`] whose max-density `regions` were already profiled.
+pub(crate) fn build_with_regions(
+    problem: &AllocationProblem,
+    segmentation: &Segmentation,
+    regions: &[TickRange],
 ) -> Result<BuiltNetwork, CoreError> {
     let costs = CostCalculator::new(
         &problem.energy,
@@ -94,14 +132,6 @@ pub(crate) fn build(
         &problem.carried_in_memory,
         &problem.carried_in_register,
     );
-    let regions = match problem.style {
-        GraphStyle::Regions => DensityProfile::from_intervals(
-            segmentation.block_len(),
-            segmentation.iter().map(|(_, s)| (s.start(), s.end())),
-        )
-        .max_regions(),
-        GraphStyle::AllPairs => Vec::new(),
-    };
     // t sits after every event; s before every event.
     let infinity = Tick(u32::MAX);
     let source_tick = Tick(0);
@@ -185,7 +215,7 @@ pub(crate) fn build(
             if to.var == from.var || register_carried_first[to_id.index()] {
                 continue;
             }
-            debug_assert!(region_allows(&regions, from_end, to_start));
+            debug_assert!(region_allows(regions, from_end, to_start));
             let cost =
                 exit_cost[from_id.index()] + enter_cost[to_id.index()] + costs.transition(from, to);
             debug_assert_eq!(cost, costs.handoff(from, to));
@@ -203,13 +233,13 @@ pub(crate) fn build(
     let mut source_of = Vec::new();
     let mut sink_of = Vec::new();
     for (id, seg) in segmentation.iter() {
-        let source_ok = region_allows(&regions, source_tick, seg.start());
+        let source_ok = region_allows(regions, source_tick, seg.start());
         let carried_register = seg.is_first && problem.carried_in_register.contains(&seg.var);
         if source_ok || carried_register || (problem.relief_arcs && seg.forced_register) {
             let arc = net.add_arc(s, write_node[id.index()], 1, costs.source(seg).raw())?;
             source_of.push((arc, id));
         }
-        let sink_ok = region_allows(&regions, seg.end(), infinity);
+        let sink_ok = region_allows(regions, seg.end(), infinity);
         if sink_ok || problem.relief_arcs {
             let arc = net.add_arc(read_node[id.index()], t, 1, costs.sink(seg).raw())?;
             sink_of.push((arc, id));
@@ -228,7 +258,8 @@ pub(crate) fn build(
     for &(arc, _) in &chain_of {
         preferred[arc.index()] = true;
     }
-    let (cost_scale, cost_unit, tie_weights) = apply_tie_break(&mut net, &preferred);
+    let (cost_scale, cost_unit, tie_weights, tie_bits) =
+        apply_tie_break(&mut net, &preferred, None);
 
     Ok(BuiltNetwork {
         net,
@@ -245,6 +276,8 @@ pub(crate) fn build(
         cost_scale,
         cost_unit,
         tie_weights,
+        preferred,
+        tie_bits,
     })
 }
 
@@ -308,17 +341,20 @@ pub(crate) fn refresh(
         let cost = costs.sink(segmentation.segment(seg));
         built.net.set_arc_cost(arc, cost.raw());
     }
-    let mut preferred = vec![false; built.net.arc_count()];
-    for &(arc, _, _) in &built.handoff_of {
-        preferred[arc.index()] = true;
-    }
-    for &(arc, _) in &built.chain_of {
-        preferred[arc.index()] = true;
-    }
-    let (cost_scale, cost_unit, tie_weights) = apply_tie_break(&mut built.net, &preferred);
+    // The preference mask is topology-only and the splitmix64 weights are a
+    // pure function of (arc index, resolution, preference), so both carry
+    // over from the previous point. Only the resolution choice depends on
+    // the new costs; when it lands on the same width — the common case in a
+    // sweep — the cached weight vector is reused bit-for-bit and the refresh
+    // reduces to the arc-cost rewrite.
+    let cached =
+        (built.tie_bits > 0).then(|| (built.tie_bits, std::mem::take(&mut built.tie_weights)));
+    let (cost_scale, cost_unit, tie_weights, tie_bits) =
+        apply_tie_break(&mut built.net, &built.preferred, cached);
     built.cost_scale = cost_scale;
     built.cost_unit = cost_unit;
     built.tie_weights = tie_weights;
+    built.tie_bits = tie_bits;
     Ok(())
 }
 
@@ -366,10 +402,20 @@ fn gcd(a: i64, b: i64) -> i64 {
 /// bits whose scaled magnitudes leave the solver's `i64` arithmetic ample
 /// headroom. Wider weights make an aggregate hash collision — two tied
 /// flows whose weight sums also tie — exponentially less likely. Returns
-/// `(scale, unit, weights)`; `(1, 1, [])` when even 1-bit weights would not
-/// fit, in which case the costs are left untouched. Every decision depends
-/// only on the network, so all solvers see the same costs for a problem.
-fn apply_tie_break(net: &mut FlowNetwork, preferred: &[bool]) -> (i64, i64, Vec<i64>) {
+/// `(scale, unit, weights, bits)`; `(1, 1, [], 0)` when even 1-bit weights
+/// would not fit, in which case the costs are left untouched. Every decision
+/// depends only on the network, so all solvers see the same costs for a
+/// problem.
+///
+/// `cached` may carry a previous application's `(bits, weights)` over the
+/// same topology: when the freshly-chosen resolution matches, the weight
+/// vector is reused instead of re-hashed — bit-identical by construction,
+/// since weights depend only on arc index, resolution and preference.
+fn apply_tie_break(
+    net: &mut FlowNetwork,
+    preferred: &[bool],
+    cached: Option<(u32, Vec<i64>)>,
+) -> (i64, i64, Vec<i64>, u32) {
     let unit = net.arcs().fold(0i64, |g, (_, arc)| gcd(g, arc.cost)).max(1);
     // Σ cap·|c/unit| ≥ any flow's |cost| total, in quanta.
     let cost_magnitude = net.arcs().fold(0i64, |m, (_, arc)| {
@@ -390,11 +436,20 @@ fn apply_tie_break(net: &mut FlowNetwork, preferred: &[bool]) -> (i64, i64, Vec<
             .and_then(|v| v.checked_add(bound))
             .is_some_and(|total| total < headroom)
     }) else {
-        return (1, 1, Vec::new());
+        return (1, 1, Vec::new(), 0);
     };
-    let weights: Vec<i64> = (0..net.arc_count())
-        .map(|a| tie_weight(a, bits, preferred[a]))
-        .collect();
+    let weights: Vec<i64> = match cached {
+        Some((cached_bits, weights)) if cached_bits == bits && weights.len() == net.arc_count() => {
+            debug_assert!(weights
+                .iter()
+                .enumerate()
+                .all(|(a, &w)| w == tie_weight(a, bits, preferred[a])));
+            weights
+        }
+        _ => (0..net.arc_count())
+            .map(|a| tie_weight(a, bits, preferred[a]))
+            .collect(),
+    };
     // Σ cap·|w| ≥ any |Σ Δf·w| over flow pairs.
     let weight_total = net.arcs().fold(0i64, |t, (id, arc)| {
         t.saturating_add(arc.capacity.saturating_mul(weights[id.index()].abs()))
@@ -407,7 +462,7 @@ fn apply_tie_break(net: &mut FlowNetwork, preferred: &[bool]) -> (i64, i64, Vec<
     for (id, cost) in scaled {
         net.set_arc_cost(id, cost);
     }
-    (scale, unit, weights)
+    (scale, unit, weights, bits)
 }
 
 /// The §5.1 flow network of a problem together with its stable arc-handle
@@ -641,6 +696,53 @@ mod tests {
             assert_eq!(x.capacity, y.capacity);
             assert_eq!(x.cost, y.cost);
         }
+    }
+
+    #[test]
+    fn repeated_refresh_reuses_cached_tie_weights_bit_identically() {
+        // Drive one retained network through a sweep — voltage, register
+        // accounting and register-count moves (the last shifts `cap_total`,
+        // which can shift the tie-break resolution and force the re-hash
+        // path) — and compare every refresh against an uncached fresh build
+        // of the same point. The cached weight reuse must be invisible.
+        let table = figure1_table();
+        let points: Vec<crate::AllocationProblem> = [
+            (3.3, 2u32),
+            (2.4, 2),
+            (1.8, 5),
+            (1.2, 1_000_000_000),
+            (3.3, 2),
+        ]
+        .into_iter()
+        .map(|(volts, regs)| {
+            crate::AllocationProblem::new(table.clone(), regs)
+                .with_energy(lemra_energy::EnergyModel::default_16bit().with_memory_voltage(volts))
+        })
+        .collect();
+        let segs = Segmentation::new(&points[0].lifetimes, &points[0].split);
+        let mut retained = build(&points[0], &segs).unwrap();
+        let mut resolutions = vec![retained.tie_bits];
+        for p in &points[1..] {
+            refresh(p, &segs, &mut retained).unwrap();
+            resolutions.push(retained.tie_bits);
+            let fresh = build(p, &segs).unwrap();
+            assert_eq!(retained.cost_scale, fresh.cost_scale);
+            assert_eq!(retained.cost_unit, fresh.cost_unit);
+            assert_eq!(retained.tie_bits, fresh.tie_bits);
+            assert_eq!(retained.tie_weights, fresh.tie_weights);
+            assert_eq!(retained.preferred, fresh.preferred);
+            for ((_, x), (_, y)) in retained.net.arcs().zip(fresh.net.arcs()) {
+                assert_eq!((x.capacity, x.cost), (y.capacity, y.cost));
+            }
+        }
+        // The sweep must exercise both the cache-hit path (stable
+        // resolution between consecutive points) and the re-hash path (the
+        // register-count jump moves the resolution).
+        assert!(resolutions.windows(2).any(|w| w[0] == w[1]), "no cache hit");
+        assert!(
+            resolutions.windows(2).any(|w| w[0] != w[1]),
+            "resolution never moved: {resolutions:?}"
+        );
     }
 
     #[test]

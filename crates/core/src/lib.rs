@@ -25,6 +25,12 @@
 //! 5. [`AllocationReport`] replays the solution event-by-event for exact
 //!    access counts and energies, and [`validate`] audits the structure.
 //!
+//! Steps 1–4 are the typed stages of [`PipelineCx`]
+//! (`Segment → Profile → Build → Solve → Bind → Validate`), which owns the
+//! configured min-cost-flow [`Backend`](lemra_netflow::Backend), the
+//! warm-start state for sweeps, and per-stage timing/flow counters (see
+//! DESIGN.md §8).
+//!
 //! # Examples
 //!
 //! ```
@@ -62,6 +68,7 @@ mod events;
 mod modules;
 mod multiblock;
 mod offchip;
+mod pipeline;
 mod ports;
 mod problem;
 mod realloc;
@@ -71,13 +78,15 @@ mod synthesis;
 mod validate;
 mod viz;
 
-pub use allocator::{allocate, Allocation, Placement, SweepAllocator, COLD_ENV};
+pub use allocator::{allocate, Allocation, Placement, SweepAllocator};
 pub use build::{build_network, NetworkView};
 pub use codegen::{storage_plan, Operand, StorageInstr, StoragePlan};
 pub use events::{trace_var, MemAccess, VarTrace};
+pub use lemra_netflow::COLD_ENV;
 pub use modules::{partition_memory_modules, SleepPartition};
 pub use multiblock::{allocate_chain, BlockChain, ChainAllocation};
 pub use offchip::{assign_memory_tiers, OffchipModel, TieredAssignment};
+pub use pipeline::{pipeline_stats, PipelineCx, PipelineStats, Stage, StageTiming};
 pub use ports::{allocate_with_ports, PortLimits};
 pub use problem::{AllocationProblem, GraphStyle};
 pub use realloc::{reallocate_memory, MemoryReallocation};

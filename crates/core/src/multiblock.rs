@@ -14,6 +14,7 @@
 //! energy cost.
 
 use crate::allocator::{Allocation, Placement};
+use crate::pipeline::PipelineCx;
 use crate::problem::AllocationProblem;
 use crate::report::AllocationReport;
 use crate::CoreError;
@@ -92,6 +93,15 @@ impl ChainAllocation {
 ///   or reference variables that are not live-out / out of range.
 /// * Any error of [`allocate`](crate::allocate) on an individual block.
 pub fn allocate_chain(chain: &BlockChain) -> Result<ChainAllocation, CoreError> {
+    allocate_chain_with(&mut PipelineCx::new(), chain)
+}
+
+/// [`allocate_chain`] composed onto an existing [`PipelineCx`] (shared
+/// backend, cumulative per-stage counters across all blocks).
+pub(crate) fn allocate_chain_with(
+    cx: &mut PipelineCx,
+    chain: &BlockChain,
+) -> Result<ChainAllocation, CoreError> {
     if chain.blocks.is_empty() {
         return Err(CoreError::BadChain {
             reason: "chain has no blocks".to_owned(),
@@ -143,7 +153,7 @@ pub fn allocate_chain(chain: &BlockChain) -> Result<ChainAllocation, CoreError> 
                 }
             }
         }
-        let allocation = crate::allocate(&problem)?;
+        let allocation = cx.allocate(&problem)?;
         reports.push(AllocationReport::new(&problem, &allocation));
         allocations.push(allocation);
         problems.push(problem);

@@ -15,11 +15,11 @@
 
 use crate::allocator::Allocation;
 use crate::events::trace_var_carried;
+use crate::pipeline::{solve_chain_flow, ChainFlowSpec, PipelineCx};
 use crate::problem::AllocationProblem;
 use crate::CoreError;
 use lemra_energy::MicroEnergy;
 use lemra_ir::{Tick, VarId};
-use lemra_netflow::{min_cost_flow, ArcId, FlowNetwork, NetflowError};
 use std::collections::HashMap;
 
 /// Per-access energies of the off-chip memory, in the same units as
@@ -100,6 +100,24 @@ pub fn assign_memory_tiers(
     onchip_capacity: u32,
     offchip: &OffchipModel,
 ) -> Result<TieredAssignment, CoreError> {
+    assign_memory_tiers_with(
+        &mut PipelineCx::new(),
+        problem,
+        allocation,
+        onchip_capacity,
+        offchip,
+    )
+}
+
+/// [`assign_memory_tiers`] composed onto an existing [`PipelineCx`] (shared
+/// backend, cumulative counters).
+pub(crate) fn assign_memory_tiers_with(
+    cx: &mut PipelineCx,
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+    onchip_capacity: u32,
+    offchip: &OffchipModel,
+) -> Result<TieredAssignment, CoreError> {
     let seg = allocation.segmentation();
     // Memory residents with their traffic and residency intervals.
     struct Resident {
@@ -146,68 +164,39 @@ pub fn assign_memory_tiers(
         });
     }
 
-    // Min-cost flow: one flow unit = one on-chip location.
-    let mut net = FlowNetwork::new();
-    let s = net.add_node();
-    let t = net.add_node();
-    let mut resident_arc: Vec<ArcId> = Vec::with_capacity(residents.len());
-    let mut nodes = Vec::with_capacity(residents.len());
-    for r in &residents {
-        let w = net.add_node();
-        let rd = net.add_node();
-        // Bringing this variable on-chip saves the off-chip premium.
-        let saving = traffic_energy(r, offchip.read, offchip.write)
-            - traffic_energy(r, onchip_read, onchip_write);
-        resident_arc.push(net.add_arc(w, rd, 1, MicroEnergy::from_units(-saving).raw())?);
-        net.add_arc(s, w, 1, 0)?;
-        net.add_arc(rd, t, 1, 0)?;
-        nodes.push((w, rd));
-    }
-    let mut handoffs: Vec<(ArcId, usize, usize)> = Vec::new();
-    for (i, a) in residents.iter().enumerate() {
-        for (j, b) in residents.iter().enumerate() {
-            if i == j || a.interval.1 >= b.interval.0 {
-                continue;
-            }
-            let arc = net.add_arc(nodes[i].1, nodes[j].0, 1, 0)?;
-            handoffs.push((arc, i, j));
-        }
-    }
-    net.add_arc(s, t, i64::from(onchip_capacity), 0)?;
-
-    let sol = min_cost_flow(&net, s, t, i64::from(onchip_capacity)).map_err(|e| match e {
-        NetflowError::Infeasible { required, achieved } => CoreError::TooFewRegisters {
-            registers: onchip_capacity,
-            shortfall: required - achieved,
+    // Min-cost flow: one flow unit = one on-chip location. Bringing a
+    // variable on-chip saves the off-chip premium, so its arc carries the
+    // negated saving.
+    let intervals: Vec<(Tick, Tick)> = residents.iter().map(|r| r.interval).collect();
+    let item_cost: Vec<i64> = residents
+        .iter()
+        .map(|r| {
+            let saving = traffic_energy(r, offchip.read, offchip.write)
+                - traffic_energy(r, onchip_read, onchip_write);
+            MicroEnergy::from_units(-saving).raw()
+        })
+        .collect();
+    let source_cost = vec![0i64; residents.len()];
+    let outcome = solve_chain_flow(
+        cx,
+        &ChainFlowSpec {
+            intervals: &intervals,
+            item_cost: &item_cost,
+            source_cost: &source_cost,
+            handoff_cost: &|_, _| 0,
+            required: false,
+            capacity: onchip_capacity,
         },
-        other => CoreError::Flow(other),
-    })?;
+    )?;
 
-    // Extract on-chip chains = on-chip addresses.
-    let mut successor: Vec<Option<usize>> = vec![None; residents.len()];
-    let mut has_pred = vec![false; residents.len()];
-    for &(arc, i, j) in &handoffs {
-        if sol.flow(arc) == 1 {
-            successor[i] = Some(j);
-            has_pred[j] = true;
-        }
-    }
-    let selected: Vec<bool> = resident_arc.iter().map(|&a| sol.flow(a) == 1).collect();
+    // On-chip chains = on-chip addresses.
     let mut onchip = HashMap::new();
-    let mut next_addr = 0u32;
-    for start in 0..residents.len() {
-        if !selected[start] || has_pred[start] {
-            continue;
-        }
-        let addr = next_addr;
-        next_addr += 1;
-        let mut cur = Some(start);
-        while let Some(i) = cur {
-            debug_assert!(selected[i], "flow chains only visit selected residents");
-            onchip.insert(residents[i].var, addr);
-            cur = successor[i];
+    for (addr, chain) in outcome.chains.iter().enumerate() {
+        for &i in chain {
+            onchip.insert(residents[i].var, addr as u32);
         }
     }
+    let next_addr = outcome.chains.len() as u32;
 
     let mut tiered = reg_energy.as_units();
     let mut offchip_vars = Vec::new();

@@ -12,10 +12,10 @@
 //! minimal.
 
 use crate::allocator::Allocation;
+use crate::pipeline::{solve_chain_flow, ChainFlowSpec, PipelineCx};
 use crate::problem::AllocationProblem;
 use crate::CoreError;
 use lemra_ir::{ActivitySource, Tick, VarId};
-use lemra_netflow::{min_cost_flow, ArcId, FlowNetwork, NetflowError};
 use std::collections::HashMap;
 
 /// Result of the second-stage memory re-allocation.
@@ -58,8 +58,17 @@ pub struct MemoryReallocation {
 /// Returns [`CoreError::Flow`] if the internal flow problem fails (cannot
 /// happen for well-formed allocations; the interval family always admits a
 /// matching with `locations` addresses).
-#[allow(clippy::needless_range_loop)] // index drives parallel lookups
 pub fn reallocate_memory(
+    problem: &AllocationProblem,
+    allocation: &Allocation,
+) -> Result<MemoryReallocation, CoreError> {
+    reallocate_memory_with(&mut PipelineCx::new(), problem, allocation)
+}
+
+/// [`reallocate_memory`] composed onto an existing [`PipelineCx`] (shared
+/// backend, cumulative counters).
+pub(crate) fn reallocate_memory_with(
+    cx: &mut PipelineCx,
     problem: &AllocationProblem,
     allocation: &Allocation,
 ) -> Result<MemoryReallocation, CoreError> {
@@ -80,87 +89,47 @@ pub fn reallocate_memory(
     // its arc has lower bound 1. Hand-offs between all non-overlapping
     // residents; costs are pure Hamming terms (scaled ×10⁶ for integrality).
     const SCALE: f64 = 1e6;
-    let mut net = FlowNetwork::new();
-    let s = net.add_node();
-    let t = net.add_node();
-    let mut seg_arc: Vec<ArcId> = Vec::with_capacity(residents.len());
-    let mut nodes = Vec::with_capacity(residents.len());
-    for _ in &residents {
-        let w = net.add_node();
-        let r = net.add_node();
-        nodes.push((w, r));
-        seg_arc.push(
-            net.add_arc_bounded(w, r, 1, 1, 0)
-                .map_err(CoreError::Flow)?,
-        );
-    }
     let quant = |h: f64| (h * SCALE).round() as i64;
-    let mut handoffs: Vec<(ArcId, usize, usize)> = Vec::new();
-    for (i, (v1, (_, end1))) in residents.iter().enumerate() {
-        net.add_arc(s, nodes[i].0, 1, quant(initial_of(&problem.activity, *v1)))
-            .map_err(CoreError::Flow)?;
-        net.add_arc(nodes[i].1, t, 1, 0).map_err(CoreError::Flow)?;
-        for (j, (v2, (start2, _))) in residents.iter().enumerate() {
-            if i == j || *end1 >= *start2 {
-                continue;
-            }
-            let arc = net
-                .add_arc(
-                    nodes[i].1,
-                    nodes[j].0,
-                    1,
-                    quant(problem.activity.hamming(*v1, *v2)),
-                )
-                .map_err(CoreError::Flow)?;
-            handoffs.push((arc, i, j));
-        }
-    }
-    net.add_arc(s, t, i64::from(locations), 0)
-        .map_err(CoreError::Flow)?;
-
-    let sol = min_cost_flow(&net, s, t, i64::from(locations)).map_err(|e| match e {
-        NetflowError::Infeasible { required, achieved } => CoreError::TooFewRegisters {
-            registers: locations,
-            shortfall: required - achieved,
+    let intervals: Vec<(Tick, Tick)> = residents.iter().map(|&(_, r)| r).collect();
+    let item_cost = vec![0i64; residents.len()];
+    let source_cost: Vec<i64> = residents
+        .iter()
+        .map(|&(v, _)| quant(initial_of(&problem.activity, v)))
+        .collect();
+    let handoff_cost =
+        |i: usize, j: usize| quant(problem.activity.hamming(residents[i].0, residents[j].0));
+    let outcome = solve_chain_flow(
+        cx,
+        &ChainFlowSpec {
+            intervals: &intervals,
+            item_cost: &item_cost,
+            source_cost: &source_cost,
+            handoff_cost: &handoff_cost,
+            required: true,
+            capacity: locations,
         },
-        other => CoreError::Flow(other),
-    })?;
+    )?;
 
-    // Extract chains: successor per resident.
-    let mut successor: Vec<Option<usize>> = vec![None; residents.len()];
-    let mut has_predecessor = vec![false; residents.len()];
-    for &(arc, i, j) in &handoffs {
-        if sol.flow(arc) == 1 {
-            successor[i] = Some(j);
-            has_predecessor[j] = true;
-        }
-    }
+    // Each chain is one address; replay it for the exact (unquantised)
+    // switching total.
     let mut address_of = HashMap::new();
     let mut switching = 0.0;
-    let mut next_addr = 0u32;
-    for start in 0..residents.len() {
-        if has_predecessor[start] {
-            continue;
-        }
-        let addr = next_addr;
-        next_addr += 1;
-        let mut cur = Some(start);
+    for (addr, chain) in outcome.chains.iter().enumerate() {
         let mut prev_var: Option<VarId> = None;
-        while let Some(i) = cur {
+        for &i in chain {
             let v = residents[i].0;
-            address_of.insert(v, addr);
+            address_of.insert(v, addr as u32);
             switching += match prev_var {
                 None => initial_of(&problem.activity, v),
                 Some(p) => problem.activity.hamming(p, v),
             };
             prev_var = Some(v);
-            cur = successor[i];
         }
     }
 
     Ok(MemoryReallocation {
         address_of,
-        locations: next_addr,
+        locations: outcome.chains.len() as u32,
         switching,
     })
 }

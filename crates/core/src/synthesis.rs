@@ -16,9 +16,10 @@
 //! generation.
 
 use crate::codegen::{storage_plan, StoragePlan};
-use crate::multiblock::{allocate_chain, BlockChain, ChainAllocation};
+use crate::multiblock::{allocate_chain_with, BlockChain, ChainAllocation};
+use crate::pipeline::PipelineCx;
 use crate::problem::{AllocationProblem, GraphStyle};
-use crate::realloc::{reallocate_memory, MemoryReallocation};
+use crate::realloc::{reallocate_memory_with, MemoryReallocation};
 use crate::CoreError;
 use lemra_energy::{EnergyModel, RegisterEnergyKind};
 use lemra_ir::{
@@ -237,17 +238,23 @@ pub fn synthesize(
         id_links.push(resolved);
     }
 
-    // 4. Chained flow allocation with boundary threading.
-    let chain = allocate_chain(&BlockChain {
-        blocks: problems,
-        links: id_links,
-    })?;
+    // 4. Chained flow allocation with boundary threading. One pipeline
+    // context carries the configured backend and per-stage counters across
+    // every block and the second-stage flow passes below.
+    let mut cx = PipelineCx::new();
+    let chain = allocate_chain_with(
+        &mut cx,
+        &BlockChain {
+            blocks: problems,
+            links: id_links,
+        },
+    )?;
 
     // 5. Second-stage memory re-allocation and 6. instruction mapping.
     let mut reallocations = Vec::with_capacity(chain.allocations.len());
     let mut plans = Vec::with_capacity(chain.allocations.len());
     for (problem, allocation) in chain.problems.iter().zip(&chain.allocations) {
-        reallocations.push(reallocate_memory(problem, allocation)?);
+        reallocations.push(reallocate_memory_with(&mut cx, problem, allocation)?);
         plans.push(storage_plan(problem, allocation));
     }
 

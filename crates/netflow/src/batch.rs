@@ -6,8 +6,9 @@
 //! order regardless of scheduling, so batched output is byte-identical to a
 //! serial loop.
 
+use crate::config::LemraConfig;
 use crate::graph::{FlowNetwork, NodeId};
-use crate::ssp::min_cost_flow_with;
+use crate::solver::Backend;
 use crate::workspace::SolverWorkspace;
 use crate::{FlowSolution, NetflowError};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,33 +29,16 @@ pub struct BatchProblem<'a> {
     pub target: i64,
 }
 
-/// Environment variable overriding the worker-thread count (`1` forces a
-/// serial solve; useful for debugging and timing comparisons).
-pub const THREADS_ENV: &str = "LEMRA_THREADS";
-
-/// Worker count for a batch of `len` items: one per item up to the machine's
-/// parallelism, overridable via [`THREADS_ENV`].
-pub(crate) fn worker_count(len: usize) -> usize {
-    let hw = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-    hw.min(len).max(1)
-}
-
 /// Solves every problem of the batch, in parallel, returning results in
 /// input order (identical to mapping [`min_cost_flow`](crate::min_cost_flow)
 /// over the slice serially).
 ///
 /// Worker threads share nothing but an index counter; each owns a
 /// [`SolverWorkspace`] reused across the problems it picks up. Set the
-/// `LEMRA_THREADS` environment variable to bound the worker count (`1`
-/// forces serial execution on the calling thread).
+/// `LEMRA_THREADS` environment variable (read once into
+/// [`LemraConfig`](crate::LemraConfig)) to bound the worker count (`1`
+/// forces serial execution on the calling thread). Equivalent to
+/// [`solve_batch_on`] with [`Backend::Ssp`].
 ///
 /// # Examples
 ///
@@ -76,12 +60,24 @@ pub(crate) fn worker_count(len: usize) -> usize {
 /// # }
 /// ```
 pub fn solve_batch(problems: &[BatchProblem<'_>]) -> Vec<Result<FlowSolution, NetflowError>> {
-    let workers = worker_count(problems.len());
+    solve_batch_on(Backend::Ssp, problems)
+}
+
+/// [`solve_batch`] with an explicit [`Backend`] (including
+/// [`Backend::Auto`], resolved per problem against its network's shape).
+///
+/// Output order and per-problem results are identical to mapping
+/// [`Backend::solve`] over the slice serially.
+pub fn solve_batch_on(
+    backend: Backend,
+    problems: &[BatchProblem<'_>],
+) -> Vec<Result<FlowSolution, NetflowError>> {
+    let workers = LemraConfig::get().worker_count(problems.len());
     if workers <= 1 {
         let mut ws = SolverWorkspace::new();
         return problems
             .iter()
-            .map(|p| min_cost_flow_with(p.net, p.s, p.t, p.target, &mut ws))
+            .map(|p| backend.solve_with(p.net, p.s, p.t, p.target, &mut ws))
             .collect();
     }
 
@@ -96,7 +92,7 @@ pub fn solve_batch(problems: &[BatchProblem<'_>]) -> Vec<Result<FlowSolution, Ne
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(p) = problems.get(i) else { break };
-                    let result = min_cost_flow_with(p.net, p.s, p.t, p.target, &mut ws);
+                    let result = backend.solve_with(p.net, p.s, p.t, p.target, &mut ws);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
@@ -188,5 +184,28 @@ mod tests {
     #[test]
     fn empty_batch() {
         assert!(solve_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_on_any_backend_matches_serial() {
+        let nets: Vec<_> = (2..8).map(|n| chain(n, 4, 1)).collect();
+        let problems: Vec<BatchProblem> = nets
+            .iter()
+            .map(|(net, s, t)| BatchProblem {
+                net,
+                s: *s,
+                t: *t,
+                target: 2,
+            })
+            .collect();
+        for backend in Backend::ALL.into_iter().chain([Backend::Auto]) {
+            let batched = solve_batch_on(backend, &problems);
+            for (p, got) in problems.iter().zip(&batched) {
+                let serial = backend.solve(p.net, p.s, p.t, p.target).unwrap();
+                let got = got.as_ref().unwrap();
+                assert_eq!(serial.cost, got.cost, "{backend}");
+                assert_eq!(serial.flows, got.flows, "{backend}");
+            }
+        }
     }
 }

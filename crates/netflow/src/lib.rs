@@ -78,6 +78,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod config;
 mod cycle_cancel;
 mod dinic;
 mod dot;
@@ -88,10 +89,12 @@ mod residual;
 mod scaling;
 mod simplex;
 mod solution;
+mod solver;
 mod ssp;
 mod workspace;
 
-pub use batch::{solve_batch, BatchProblem, THREADS_ENV};
+pub use batch::{solve_batch, solve_batch_on, BatchProblem};
+pub use config::{LemraConfig, BACKEND_ENV, COLD_ENV, THREADS_ENV};
 pub use cycle_cancel::min_cost_flow_cycle_canceling;
 pub use dinic::max_flow;
 pub use dot::to_dot;
@@ -100,8 +103,9 @@ pub use reopt::Reoptimizer;
 pub use scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
 pub use simplex::min_cost_flow_network_simplex;
 pub use solution::{validate, FlowSolution};
+pub use solver::{Backend, CapacityScaling, CycleCancelling, McfSolver, NetworkSimplex, Ssp};
 pub use ssp::{min_cost_flow, min_cost_flow_with};
-pub use workspace::SolverWorkspace;
+pub use workspace::{thread_solver_stats, SolverStats, SolverWorkspace};
 
 /// Errors produced by network construction and the solvers.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -170,6 +170,16 @@ impl Reoptimizer {
         self.cold_solves
     }
 
+    /// Cumulative shortest-path effort of the retained workspace (zero while
+    /// no state is retained; counters survive warm/cold transitions because
+    /// the workspace's buffers are reused across them).
+    pub fn stats(&self) -> crate::SolverStats {
+        self.state
+            .as_ref()
+            .map(|s| s.ws.stats())
+            .unwrap_or_default()
+    }
+
     fn cold(
         &mut self,
         net: &FlowNetwork,
@@ -489,6 +499,7 @@ impl State {
                 self.res.push(e, amount);
                 v = self.res.tail(e);
             }
+            self.ws.pushed_units += amount as u64;
             self.excess[v] -= amount;
             self.excess[sink] += amount;
         }

@@ -23,13 +23,8 @@ use crate::ssp::{
     augment, check_endpoints, dijkstra_round, initial_potentials, solution_from_residual,
     transform, update_potentials, Transformed,
 };
-use crate::workspace::{SolverWorkspace, INF};
+use crate::workspace::{with_thread_workspace, SolverWorkspace, INF};
 use crate::{FlowSolution, NetflowError};
-use std::cell::RefCell;
-
-thread_local! {
-    static SHARED_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
-}
 
 /// Solves for a minimum-cost flow of exactly `target` units from `s` to
 /// `t` with capacity scaling, honouring arc lower bounds.
@@ -65,7 +60,7 @@ pub fn min_cost_flow_scaling(
     t: NodeId,
     target: i64,
 ) -> Result<FlowSolution, NetflowError> {
-    SHARED_WORKSPACE.with(|ws| min_cost_flow_scaling_with(net, s, t, target, &mut ws.borrow_mut()))
+    with_thread_workspace(|ws| min_cost_flow_scaling_with(net, s, t, target, ws))
 }
 
 /// [`min_cost_flow_scaling`] with an explicit [`SolverWorkspace`].

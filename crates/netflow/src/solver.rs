@@ -1,0 +1,479 @@
+//! The unified solver interface: one trait, four algorithms, one selector.
+//!
+//! Every min-cost-flow implementation in this crate — successive shortest
+//! paths ([`Ssp`]), capacity scaling ([`CapacityScaling`]), cycle cancelling
+//! ([`CycleCancelling`]), network simplex ([`NetworkSimplex`]) and the
+//! warm-start [`Reoptimizer`] — answers the same question: route exactly
+//! `target` units from `s` to `t` at minimum cost, honouring lower bounds.
+//! [`McfSolver`] captures that contract so callers can hold *a* solver
+//! instead of hard-coding one of the free functions, and [`Backend`] names
+//! the algorithms as data so the choice can travel through configuration
+//! (`LEMRA_BACKEND`, CLI flags) instead of through call sites.
+//!
+//! [`Backend::Auto`] picks by network shape: cycle-cancelling when negative
+//! costs sit on a cyclic graph (the one case the SSP family must refuse),
+//! capacity scaling when capacities are large enough that bulk
+//! augmentations pay off, plain SSP otherwise — the right default for the
+//! unit-capacity DAGs the allocator builds.
+
+use crate::cycle_cancel::min_cost_flow_cycle_canceling;
+use crate::graph::{FlowNetwork, NodeId};
+use crate::reopt::Reoptimizer;
+use crate::scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
+use crate::simplex::min_cost_flow_network_simplex;
+use crate::ssp::{min_cost_flow, min_cost_flow_with};
+use crate::workspace::SolverWorkspace;
+use crate::{FlowSolution, NetflowError};
+
+/// A minimum-cost-flow algorithm.
+///
+/// The contract is exactly [`min_cost_flow`](crate::min_cost_flow)'s: an
+/// exact flow of `target` units from `s` to `t`, arc lower bounds honoured,
+/// identical error vocabulary. The workspace parameter lets sweeps reuse
+/// scratch buffers; solvers that keep no per-node scratch (cycle
+/// cancelling, network simplex) or retain their own ([`Reoptimizer`])
+/// simply ignore it.
+///
+/// `solve` takes `&mut self` so stateful solvers (the [`Reoptimizer`]) can
+/// retain residual state between calls; the stateless algorithm structs are
+/// zero-sized and free to construct per call.
+pub trait McfSolver {
+    /// Stable lower-case name of the algorithm (for reports and logs).
+    fn name(&self) -> &'static str;
+
+    /// Solves for a minimum-cost flow of exactly `target` units `s → t`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`min_cost_flow`](crate::min_cost_flow): infeasibility,
+    /// negative cycles (SSP-family solvers only), invalid endpoints.
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError>;
+}
+
+/// Successive shortest paths with node potentials (the production solver).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ssp;
+
+impl McfSolver for Ssp {
+    fn name(&self) -> &'static str {
+        "ssp"
+    }
+
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        min_cost_flow_with(net, s, t, target, ws)
+    }
+}
+
+/// Capacity-scaling successive shortest paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapacityScaling;
+
+impl McfSolver for CapacityScaling {
+    fn name(&self) -> &'static str {
+        "scaling"
+    }
+
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        min_cost_flow_scaling_with(net, s, t, target, ws)
+    }
+}
+
+/// Negative-cycle cancelling (handles negative-cost cycles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleCancelling;
+
+impl McfSolver for CycleCancelling {
+    fn name(&self) -> &'static str {
+        "cycle"
+    }
+
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        _ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        min_cost_flow_cycle_canceling(net, s, t, target)
+    }
+}
+
+/// The classical network simplex (handles negative-cost cycles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetworkSimplex;
+
+impl McfSolver for NetworkSimplex {
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        _ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        min_cost_flow_network_simplex(net, s, t, target)
+    }
+}
+
+impl McfSolver for Reoptimizer {
+    fn name(&self) -> &'static str {
+        "reopt"
+    }
+
+    /// Warm-start solve; the workspace parameter is ignored — the
+    /// reoptimizer retains its own workspace whose potentials certify the
+    /// retained residual graph.
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        _ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        Reoptimizer::solve(self, net, s, t, target)
+    }
+}
+
+/// Capacities at or above this make [`Backend::Auto`] prefer capacity
+/// scaling: bulk augmentations start beating one-path-per-unit SSP.
+const AUTO_SCALING_CAPACITY: i64 = 1 << 12;
+
+/// A named min-cost-flow algorithm choice, selectable via configuration.
+///
+/// `Backend` is the data-level counterpart of [`McfSolver`]: it travels
+/// through [`LemraConfig`](crate::LemraConfig) (the `LEMRA_BACKEND`
+/// environment variable, CLI flags) and is resolved to an algorithm at the
+/// solve site. [`Backend::Auto`] defers the choice to the network's shape.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_netflow::{Backend, FlowNetwork};
+///
+/// # fn main() -> Result<(), lemra_netflow::NetflowError> {
+/// let mut net = FlowNetwork::new();
+/// let (s, t) = (net.add_node(), net.add_node());
+/// net.add_arc(s, t, 4, 3)?;
+/// for backend in Backend::ALL {
+///     assert_eq!(backend.solve(&net, s, t, 2)?.cost, 6);
+/// }
+/// assert_eq!("scaling".parse::<Backend>()?, Backend::Scaling);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Successive shortest paths (the production default).
+    #[default]
+    Ssp,
+    /// Capacity-scaling SSP.
+    Scaling,
+    /// Negative-cycle cancelling.
+    CycleCancel,
+    /// Network simplex.
+    Simplex,
+    /// Pick by network shape at each solve; see [`Backend::select`].
+    Auto,
+}
+
+impl Backend {
+    /// Every concrete algorithm (excludes [`Backend::Auto`], which resolves
+    /// to one of these).
+    pub const ALL: [Backend; 4] = [
+        Backend::Ssp,
+        Backend::Scaling,
+        Backend::CycleCancel,
+        Backend::Simplex,
+    ];
+
+    /// Stable lower-case name (`ssp`, `scaling`, `cycle`, `simplex`,
+    /// `auto`); [`str::parse`] accepts exactly these.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Ssp => "ssp",
+            Backend::Scaling => "scaling",
+            Backend::CycleCancel => "cycle",
+            Backend::Simplex => "simplex",
+            Backend::Auto => "auto",
+        }
+    }
+
+    /// Resolves [`Backend::Auto`] against `net`'s shape; concrete variants
+    /// return themselves.
+    ///
+    /// The policy, in order:
+    ///
+    /// 1. negative arc costs on a **cyclic** positive-capacity graph →
+    ///    [`Backend::CycleCancel`] (the SSP family must refuse negative
+    ///    cycles, and cyclicity is the cheap sound over-approximation);
+    /// 2. any capacity ≥ 2¹² → [`Backend::Scaling`] (fat augmentations);
+    /// 3. otherwise → [`Backend::Ssp`] — the unit-capacity DAGs the
+    ///    allocator builds always land here.
+    pub fn select(self, net: &FlowNetwork) -> Backend {
+        if self != Backend::Auto {
+            return self;
+        }
+        let mut negative = false;
+        let mut max_capacity = 0i64;
+        for (_, arc) in net.arcs() {
+            negative |= arc.cost < 0;
+            max_capacity = max_capacity.max(arc.capacity);
+        }
+        if negative && !is_positive_capacity_dag(net) {
+            Backend::CycleCancel
+        } else if max_capacity >= AUTO_SCALING_CAPACITY {
+            Backend::Scaling
+        } else {
+            Backend::Ssp
+        }
+    }
+
+    /// The algorithm as a boxed [`McfSolver`] (resolving [`Backend::Auto`]
+    /// against `net` first) — for callers that store the solver.
+    pub fn solver(self, net: &FlowNetwork) -> Box<dyn McfSolver + Send> {
+        match self.select(net) {
+            Backend::Ssp => Box::new(Ssp),
+            Backend::Scaling => Box::new(CapacityScaling),
+            Backend::CycleCancel => Box::new(CycleCancelling),
+            Backend::Simplex => Box::new(NetworkSimplex),
+            Backend::Auto => unreachable!("select() resolves Auto"),
+        }
+    }
+
+    /// Solves with this backend, reusing the calling thread's shared
+    /// workspace (like [`min_cost_flow`](crate::min_cost_flow)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`min_cost_flow`](crate::min_cost_flow).
+    pub fn solve(
+        self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+    ) -> Result<FlowSolution, NetflowError> {
+        match self.select(net) {
+            Backend::Ssp => min_cost_flow(net, s, t, target),
+            Backend::Scaling => min_cost_flow_scaling(net, s, t, target),
+            Backend::CycleCancel => min_cost_flow_cycle_canceling(net, s, t, target),
+            Backend::Simplex => min_cost_flow_network_simplex(net, s, t, target),
+            Backend::Auto => unreachable!("select() resolves Auto"),
+        }
+    }
+
+    /// Solves with this backend and an explicit workspace (ignored by the
+    /// cycle-cancelling and simplex algorithms, which keep no scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`min_cost_flow`](crate::min_cost_flow).
+    pub fn solve_with(
+        self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        match self.select(net) {
+            Backend::Ssp => min_cost_flow_with(net, s, t, target, ws),
+            Backend::Scaling => min_cost_flow_scaling_with(net, s, t, target, ws),
+            Backend::CycleCancel => min_cost_flow_cycle_canceling(net, s, t, target),
+            Backend::Simplex => min_cost_flow_network_simplex(net, s, t, target),
+            Backend::Auto => unreachable!("select() resolves Auto"),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = NetflowError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ssp" => Ok(Backend::Ssp),
+            "scaling" => Ok(Backend::Scaling),
+            "cycle" | "cycle-cancel" | "cycle_cancel" => Ok(Backend::CycleCancel),
+            "simplex" => Ok(Backend::Simplex),
+            "auto" => Ok(Backend::Auto),
+            other => Err(NetflowError::InvalidArc {
+                reason: format!(
+                    "unknown backend `{other}` (expected ssp, scaling, cycle, simplex or auto)"
+                ),
+            }),
+        }
+    }
+}
+
+/// True if the subgraph of positive-capacity arcs is acyclic (Kahn's
+/// algorithm). Residual arcs don't matter here: before any flow moves, only
+/// forward arcs have capacity, and a negative cycle needs capacity on every
+/// arc.
+fn is_positive_capacity_dag(net: &FlowNetwork) -> bool {
+    let n = net.node_count();
+    let mut indegree = vec![0u32; n];
+    for (_, arc) in net.arcs() {
+        if arc.capacity > 0 {
+            indegree[arc.to.index()] += 1;
+        }
+    }
+    // Bucket arcs by tail once so the peel is O(V + E).
+    let mut head: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (_, arc) in net.arcs() {
+        if arc.capacity > 0 {
+            head[arc.from.index()].push(arc.to.index() as u32);
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &head[u] {
+            indegree[v as usize] -= 1;
+            if indegree[v as usize] == 0 {
+                queue.push(v as usize);
+            }
+        }
+    }
+    seen == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 1).unwrap();
+        net.add_arc(a, t, 1, 1).unwrap();
+        net.add_arc(s, b, 1, 3).unwrap();
+        net.add_arc(b, t, 1, 3).unwrap();
+        (net, s, t)
+    }
+
+    #[test]
+    fn every_backend_agrees_on_the_diamond() {
+        let (net, s, t) = diamond();
+        let mut ws = SolverWorkspace::new();
+        for backend in Backend::ALL {
+            assert_eq!(backend.solve(&net, s, t, 2).unwrap().cost, 8, "{backend}");
+            assert_eq!(
+                backend.solve_with(&net, s, t, 2, &mut ws).unwrap().cost,
+                8,
+                "{backend} (with workspace)"
+            );
+            let mut solver = backend.solver(&net);
+            assert_eq!(solver.solve(&net, s, t, 2, &mut ws).unwrap().cost, 8);
+            assert_eq!(solver.name(), backend.name());
+        }
+    }
+
+    #[test]
+    fn reoptimizer_is_a_solver() {
+        let (net, s, t) = diamond();
+        let mut ws = SolverWorkspace::new();
+        let mut reopt = Reoptimizer::new();
+        let sol = McfSolver::solve(&mut reopt, &net, s, t, 1, &mut ws).unwrap();
+        assert_eq!(sol.cost, 2);
+        McfSolver::solve(&mut reopt, &net, s, t, 2, &mut ws).unwrap();
+        assert_eq!(reopt.warm_solves(), 1);
+        assert_eq!(McfSolver::name(&reopt), "reopt");
+    }
+
+    #[test]
+    fn auto_picks_ssp_for_unit_capacity_dags() {
+        let (net, _, _) = diamond();
+        assert_eq!(Backend::Auto.select(&net), Backend::Ssp);
+    }
+
+    #[test]
+    fn auto_picks_scaling_for_large_capacities() {
+        let mut net = FlowNetwork::new();
+        let (s, t) = (net.add_node(), net.add_node());
+        net.add_arc(s, t, 1 << 20, 1).unwrap();
+        assert_eq!(Backend::Auto.select(&net), Backend::Scaling);
+    }
+
+    #[test]
+    fn auto_picks_cycle_cancel_for_negative_cyclic_networks() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 0).unwrap();
+        net.add_arc(a, b, 2, -5).unwrap();
+        net.add_arc(b, a, 2, -5).unwrap(); // negative cycle a <-> b
+        net.add_arc(b, t, 1, 0).unwrap();
+        assert_eq!(Backend::Auto.select(&net), Backend::CycleCancel);
+        // The selected backend actually solves it.
+        assert!(Backend::Auto.solve(&net, s, t, 1).is_ok());
+    }
+
+    #[test]
+    fn auto_stays_ssp_when_negative_costs_sit_on_a_dag() {
+        let mut net = FlowNetwork::new();
+        let (s, a, t) = (net.add_node(), net.add_node(), net.add_node());
+        net.add_arc(s, a, 1, -2).unwrap();
+        net.add_arc(a, t, 1, -3).unwrap();
+        assert_eq!(Backend::Auto.select(&net), Backend::Ssp);
+    }
+
+    #[test]
+    fn concrete_backends_select_themselves() {
+        let (net, _, _) = diamond();
+        for backend in Backend::ALL {
+            assert_eq!(backend.select(&net), backend);
+        }
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        for backend in Backend::ALL.into_iter().chain([Backend::Auto]) {
+            assert_eq!(backend.name().parse::<Backend>().unwrap(), backend);
+            assert_eq!(backend.to_string(), backend.name());
+        }
+        assert_eq!(
+            "  CYCLE-CANCEL ".parse::<Backend>().unwrap(),
+            Backend::CycleCancel
+        );
+        assert!("bogus".parse::<Backend>().is_err());
+    }
+}

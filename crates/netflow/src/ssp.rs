@@ -18,15 +18,8 @@
 
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::{idx, Residual};
-use crate::workspace::{SolverWorkspace, INF};
+use crate::workspace::{with_thread_workspace, SolverWorkspace, INF};
 use crate::{FlowSolution, NetflowError};
-use std::cell::RefCell;
-
-thread_local! {
-    /// Default workspace for the plain entry points, one per thread, so
-    /// repeated solves in a sweep reuse buffers without any API change.
-    static SHARED_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
-}
 
 /// Solves for a minimum-cost flow of **exactly** `target` units from `s` to
 /// `t`, honouring arc lower bounds.
@@ -72,7 +65,7 @@ pub fn min_cost_flow(
     t: NodeId,
     target: i64,
 ) -> Result<FlowSolution, NetflowError> {
-    SHARED_WORKSPACE.with(|ws| min_cost_flow_with(net, s, t, target, &mut ws.borrow_mut()))
+    with_thread_workspace(|ws| min_cost_flow_with(net, s, t, target, ws))
 }
 
 /// [`min_cost_flow`] with an explicit [`SolverWorkspace`].
@@ -428,7 +421,7 @@ pub(crate) fn augment(
     res: &mut Residual,
     s: usize,
     t: usize,
-    ws: &SolverWorkspace,
+    ws: &mut SolverWorkspace,
     limit: i64,
 ) -> i64 {
     let amount = limit.min(ws.bottleneck_to[t]);
@@ -439,6 +432,7 @@ pub(crate) fn augment(
         res.push(e, amount);
         v = res.tail(e);
     }
+    ws.pushed_units += amount as u64;
     amount
 }
 

@@ -14,9 +14,60 @@
 //! increment instead of an O(V) fill.
 
 use crate::radix::RadixHeap;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 pub(crate) const INF: i64 = i64::MAX / 4;
+
+thread_local! {
+    /// Default workspace for the plain solver entry points, one per thread,
+    /// so repeated solves in a sweep reuse buffers without any API change.
+    /// Shared by every SSP-family solver on the thread.
+    static SHARED_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
+}
+
+/// Runs `f` with the calling thread's shared [`SolverWorkspace`].
+pub(crate) fn with_thread_workspace<R>(f: impl FnOnce(&mut SolverWorkspace) -> R) -> R {
+    SHARED_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+/// Snapshot of the calling thread's shared-workspace [`SolverStats`] — the
+/// counters accumulated by every plain (workspace-less) solver entry point
+/// run on this thread. Diff two snapshots around a solve to attribute work.
+pub fn thread_solver_stats() -> SolverStats {
+    SHARED_WORKSPACE.with(|ws| ws.borrow().stats())
+}
+
+/// Cumulative solver-effort counters of a [`SolverWorkspace`].
+///
+/// Counters never reset; subtract snapshots to scope them to a solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Shortest-path rounds run (Dijkstra frontiers started).
+    pub dijkstra_rounds: u64,
+    /// Flow units pushed along augmenting paths.
+    pub pushed_units: u64,
+}
+
+impl std::ops::Sub for SolverStats {
+    type Output = SolverStats;
+    fn sub(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            dijkstra_rounds: self.dijkstra_rounds.saturating_sub(rhs.dijkstra_rounds),
+            pushed_units: self.pushed_units.saturating_sub(rhs.pushed_units),
+        }
+    }
+}
+
+impl std::ops::Add for SolverStats {
+    type Output = SolverStats;
+    fn add(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            dijkstra_rounds: self.dijkstra_rounds + rhs.dijkstra_rounds,
+            pushed_units: self.pushed_units + rhs.pushed_units,
+        }
+    }
+}
 
 /// Reusable scratch buffers for [`min_cost_flow`](crate::min_cost_flow) and
 /// [`min_cost_flow_scaling`](crate::min_cost_flow_scaling).
@@ -71,6 +122,10 @@ pub struct SolverWorkspace {
     pub(crate) indegree: Vec<u32>,
     /// Topological order buffer.
     pub(crate) order: Vec<u32>,
+    /// Shortest-path rounds started, cumulative across solves.
+    pub(crate) dijkstra_rounds: u64,
+    /// Flow units pushed along augmenting paths, cumulative across solves.
+    pub(crate) pushed_units: u64,
 }
 
 impl SolverWorkspace {
@@ -104,9 +159,19 @@ impl SolverWorkspace {
         self.order.clear();
     }
 
+    /// Cumulative effort counters (never reset by [`Self::prepare`]; diff
+    /// snapshots to scope them to a solve).
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            dijkstra_rounds: self.dijkstra_rounds,
+            pushed_units: self.pushed_units,
+        }
+    }
+
     /// Starts a new shortest-path round: invalidates all distance labels in
     /// O(1) by bumping the epoch.
     pub(crate) fn begin_round(&mut self) {
+        self.dijkstra_rounds += 1;
         self.epoch = match self.epoch.checked_add(1) {
             Some(e) => e,
             None => {

@@ -5,7 +5,8 @@
 
 use lemra_netflow::{
     max_flow, min_cost_flow, min_cost_flow_cycle_canceling, min_cost_flow_network_simplex,
-    min_cost_flow_scaling, validate, ArcId, FlowNetwork, NetflowError, NodeId, Reoptimizer,
+    min_cost_flow_scaling, validate, ArcId, Backend, FlowNetwork, NetflowError, NodeId,
+    Reoptimizer,
 };
 use proptest::prelude::*;
 
@@ -217,6 +218,79 @@ proptest! {
             }
             if let Err(e) = check(&mut reopt, &net, target) {
                 prop_assert!(false, "delta step diverged: {e}");
+            }
+        }
+    }
+
+    /// Every [`Backend`] — the four concrete solvers, the `Auto` policy and
+    /// the warm [`Reoptimizer`] — agrees on feasibility and optimal
+    /// objective, and every returned flow validates.
+    #[test]
+    fn every_backend_agrees_on_objective(dag in random_dag(false), target in 0i64..8) {
+        let (net, s, t) = build(&dag);
+        let mut reopt = Reoptimizer::new();
+        let mut results: Vec<(&str, Result<_, NetflowError>)> = Backend::ALL
+            .iter()
+            .map(|b| (b.name(), b.solve(&net, s, t, target)))
+            .collect();
+        results.push(("auto", Backend::Auto.solve(&net, s, t, target)));
+        results.push(("reopt", reopt.solve(&net, s, t, target)));
+        let (base_name, base) = &results[0];
+        for (name, result) in &results[1..] {
+            match (base, result) {
+                (Ok(a), Ok(b)) => {
+                    validate(&net, s, t, b).unwrap();
+                    prop_assert_eq!(
+                        a.cost, b.cost,
+                        "{} cost {} != {} cost {}", base_name, a.cost, name, b.cost
+                    );
+                    prop_assert_eq!(b.value, target);
+                }
+                (Err(NetflowError::Infeasible { .. }), Err(NetflowError::Infeasible { .. })) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "{base_name} and {name} disagree: {a:?} vs {b:?}"
+                ),
+            }
+        }
+    }
+
+    /// On unit-capacity networks whose costs carry distinct power-of-two
+    /// offsets the optimal flow is *unique* (the offset sum encodes the used
+    /// arc set injectively, as in `lemra-core`'s deterministic tie-breaking)
+    /// — so every backend must agree arc-by-arc on the placement, not just
+    /// on the objective.
+    #[test]
+    fn backends_agree_on_placements_when_tie_broken(
+        dag in random_dag(false),
+        target in 1i64..5,
+    ) {
+        // Σ 2^i over ≤24 arcs < 2^25, so scaling base costs by 2^25 keeps
+        // the base objective dominant and the offsets a pure tie-break.
+        let mut net = FlowNetwork::new();
+        let ids = net.add_nodes(dag.nodes);
+        for (i, &(f, t_, _, _, cost)) in dag.arcs.iter().take(24).enumerate() {
+            net.add_arc(ids[f], ids[t_], 1, cost * (1i64 << 25) + (1i64 << i))
+                .expect("valid arc");
+        }
+        let (s, t) = (ids[0], ids[dag.nodes - 1]);
+        let mut reopt = Reoptimizer::new();
+        let base = Backend::Ssp.solve(&net, s, t, target);
+        let mut others: Vec<(&str, Result<_, NetflowError>)> = Backend::ALL[1..]
+            .iter()
+            .map(|b| (b.name(), b.solve(&net, s, t, target)))
+            .collect();
+        others.push(("reopt", reopt.solve(&net, s, t, target)));
+        for (name, result) in others {
+            match (&base, result) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(
+                        &a.flows, &b.flows,
+                        "ssp and {} placed flow differently", name
+                    );
+                }
+                (Err(NetflowError::Infeasible { .. }), Err(NetflowError::Infeasible { .. })) => {}
+                (a, b) => prop_assert!(false, "ssp and {name} disagree: {a:?} vs {b:?}"),
             }
         }
     }

@@ -3,22 +3,28 @@
 //!
 //! ```text
 //! lemra <file.lt> [--registers N] [--period C] [--all-pairs]
-//!                 [--activity-model] [--codegen] [--simulate] [--json]
+//!                 [--activity-model] [--backend B] [--timings]
+//!                 [--codegen] [--simulate] [--json]
 //! ```
 //!
-//! With `-` as the file, the spec is read from standard input.
+//! With `-` as the file, the spec is read from standard input. `--backend`
+//! selects the min-cost-flow solver (`ssp`, `scaling`, `cycle`, `simplex`,
+//! `auto`; also settable via `LEMRA_BACKEND`); `--timings` prints per-stage
+//! pipeline timings to stderr.
 
 use lemra::core::{
     allocate, render_allocation, storage_plan, AllocationProblem, AllocationReport, GraphStyle,
 };
 use lemra::energy::RegisterEnergyKind;
 use lemra::ir::parse_block_spec;
+use lemra::netflow::LemraConfig;
 use lemra::simulator::simulate;
 use std::io::Read;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: lemra <file.lt | -> [--registers N] [--period C] \
-[--all-pairs] [--activity-model] [--codegen] [--simulate]";
+[--all-pairs] [--activity-model] [--backend ssp|scaling|cycle|simplex|auto] \
+[--timings] [--codegen] [--simulate]";
 
 fn main() -> ExitCode {
     match run() {
@@ -39,6 +45,7 @@ fn run() -> Result<(), String> {
     let mut kind = RegisterEnergyKind::Static;
     let mut codegen = false;
     let mut run_sim = false;
+    let mut config = LemraConfig::from_env();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,6 +58,15 @@ fn run() -> Result<(), String> {
             }
             "--all-pairs" => style = GraphStyle::AllPairs,
             "--activity-model" => kind = RegisterEnergyKind::Activity,
+            "--backend" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| "--backend needs a value".to_owned())?;
+                config.backend = name
+                    .parse()
+                    .map_err(|_| format!("unknown backend `{name}`\n{USAGE}"))?;
+            }
+            "--timings" => config.timings = true,
             "--codegen" => codegen = true,
             "--simulate" => run_sim = true,
             "--help" | "-h" => {
@@ -63,6 +79,8 @@ fn run() -> Result<(), String> {
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
+    let timings = config.timings;
+    config.install();
     let file = file.ok_or_else(|| format!("no input file\n{USAGE}"))?;
     let input = if file == "-" {
         let mut buf = String::new();
@@ -116,6 +134,26 @@ fn run() -> Result<(), String> {
             sim.mem_reads + sim.mem_writes,
             sim.reg_reads + sim.reg_writes,
             sim.reads_verified
+        );
+    }
+    if timings {
+        let stats = lemra::core::pipeline_stats();
+        eprintln!("-- pipeline stage timings --");
+        for stage in lemra::core::Stage::ALL {
+            let t = stats.stage(stage);
+            eprintln!(
+                "  {:<10} {:>4} runs {:>10.3} ms",
+                stage.name(),
+                t.runs,
+                t.nanos as f64 / 1e6
+            );
+        }
+        eprintln!(
+            "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed",
+            stats.warm_solves,
+            stats.cold_solves,
+            stats.solver.dijkstra_rounds,
+            stats.solver.pushed_units
         );
     }
     Ok(())

@@ -4,7 +4,7 @@
 
 use lemra::core::{allocate, validate, Allocation, AllocationProblem, CoreError};
 use lemra::ir::LifetimeTable;
-use lemra::netflow::{min_cost_flow, validate as validate_flow, FlowNetwork, NetflowError};
+use lemra::netflow::{validate as validate_flow, Backend, FlowNetwork, NetflowError};
 
 fn problem() -> AllocationProblem {
     let table = LifetimeTable::from_intervals(
@@ -73,7 +73,7 @@ fn flow_validator_catches_every_corruption_class() {
     let t = net.add_node();
     net.add_arc(s, a, 2, 1).unwrap();
     net.add_arc_bounded(a, t, 1, 2, 1).unwrap();
-    let sol = min_cost_flow(&net, s, t, 2).unwrap();
+    let sol = Backend::Ssp.solve(&net, s, t, 2).unwrap();
     validate_flow(&net, s, t, &sol).unwrap();
 
     // Capacity violation.
