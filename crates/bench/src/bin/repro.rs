@@ -12,7 +12,10 @@
 //!
 //! `--timings` additionally prints per-stage pipeline timings and solver
 //! counters to **stderr** (stdout — including `--json` — is byte-identical
-//! with or without the flag).
+//! with or without the flag). `--backend <ssp|scaling|cycle|simplex|auto>`
+//! overrides the solver backend (same values as `LEMRA_BACKEND`, which it
+//! takes precedence over); every backend reaches the same optimal
+//! objectives, and tie-broken sections commit identical allocations.
 
 use lemra_bench::experiments::{
     run_figure3, run_figure4, run_headline, run_offchip, run_sizing, run_table1, Figure3Result,
@@ -24,15 +27,38 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let timings = args.iter().any(|a| a == "--timings");
+    let base = LemraConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        std::process::exit(2);
+    });
+    // `--backend x` or `--backend=x`, overriding LEMRA_BACKEND.
+    let mut backend = base.backend;
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--backend" {
+            args.get(i + 1).cloned().unwrap_or_default()
+        } else if let Some(v) = a.strip_prefix("--backend=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        backend = value.parse().unwrap_or_else(|e| {
+            eprintln!("repro: --backend: {e}");
+            std::process::exit(2);
+        });
+    }
     LemraConfig {
         timings,
-        ..LemraConfig::from_env()
+        backend,
+        ..base
     }
     .install();
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        // Skip flags and the value consumed by a space-separated
+        // `--backend`.
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--backend"))
+        .map(|(_, a)| a.as_str())
         .collect();
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);

@@ -17,6 +17,9 @@ fn sweep_commits_identical_allocations(vars: usize) {
     let table = random_lifetimes(&RandomConfig::scaled(vars, 1));
     let activity = random_patterns(vars, 1);
     let mut sweep = SweepAllocator::new();
+    let mut prev_placements: Option<Vec<lemra_core::Placement>> = None;
+    let mut units_after_cold = 0u64;
+    let mut churn = 0u64;
     for volts in voltages() {
         let problem = AllocationProblem::new(table.clone(), (vars / 8) as u32)
             .with_energy(EnergyModel::default_16bit().with_memory_voltage(volts))
@@ -39,6 +42,21 @@ fn sweep_commits_identical_allocations(vars: usize) {
             cold.chains(),
             "register chains diverged at {vars} vars, {volts} V"
         );
+        match &prev_placements {
+            // Placement churn between consecutive points: the flow a
+            // perfectly incremental repair would have to move.
+            Some(prev) => {
+                churn += prev
+                    .iter()
+                    .zip(warm.placements())
+                    .filter(|(a, b)| a != b)
+                    .count() as u64;
+            }
+            // First point is the cold solve; effort counters after it
+            // baseline the warm repairs that follow.
+            None => units_after_cold = sweep.solver_stats().pushed_units,
+        }
+        prev_placements = Some(warm.placements().to_vec());
     }
     // All but the first of the twenty-four points must have warm-started.
     assert!(
@@ -46,6 +64,15 @@ fn sweep_commits_identical_allocations(vars: usize) {
         "expected warm-start reuse at {vars} vars, got {} warm / {} cold",
         sweep.warm_solves(),
         sweep.cold_solves()
+    );
+    // The repairs must be incremental, not re-solves in disguise: the flow
+    // the twenty-three warm points moved (drained excess plus cancelled
+    // cycles) stays within 2× of the placement churn they committed.
+    let moved = sweep.solver_stats().pushed_units - units_after_cold;
+    assert!(
+        moved <= 2 * churn,
+        "warm repairs over-routed at {vars} vars: moved {moved} units \
+         against {churn} churned placements"
     );
 }
 

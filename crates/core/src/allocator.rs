@@ -387,6 +387,15 @@ impl SweepAllocator {
     pub fn cold_solves(&self) -> u64 {
         self.cx.cold_solves()
     }
+
+    /// Cumulative effort counters of the warm-start engine. The
+    /// `pushed_units` delta across a run of warm points is the flow the
+    /// repairs actually moved (drained excess plus cancelled cycles) — the
+    /// figure to compare against placement churn when judging how
+    /// incremental a sweep really was.
+    pub fn solver_stats(&self) -> lemra_netflow::SolverStats {
+        self.cx.solver_stats()
+    }
 }
 
 /// Memory-residency interval per variable: from its first memory write to

@@ -32,6 +32,7 @@ use crate::build::{build_with_regions, profile_regions, refresh, BuiltNetwork};
 use crate::problem::{AllocationProblem, GraphStyle};
 use crate::segment::{Segmentation, SplitOptions};
 use crate::CoreError;
+use lemra_energy::RegisterEnergyKind;
 use lemra_ir::{Tick, TickRange, VarId};
 use lemra_netflow::{
     thread_solver_stats, Backend, FlowNetwork, FlowSolution, LemraConfig, NetflowError,
@@ -222,12 +223,14 @@ pub struct PipelineCx {
     force_cold: bool,
     timings_on: bool,
     reopt: Reoptimizer,
-    /// `(cost_scale, cost_unit, raw memory-read energy)` of the previous
-    /// warm point: when the tie-break encoding or the memory operating point
-    /// shifts between points, the reoptimizer's retained potentials are
-    /// rescaled by the combined ratio so they track the new costs'
-    /// magnitudes instead of certifying last point's.
-    prev_basis: Option<(i64, i64, i64)>,
+    /// `(cost_scale, cost_unit, raw memory-read energy, raw register
+    /// energy)` of the previous warm point: when the tie-break encoding or
+    /// an operating point shifts between points, the reoptimizer's retained
+    /// potentials are rescaled per arc class so they track the new costs'
+    /// magnitudes instead of certifying last point's. Memory and register
+    /// terms derate independently (distinct supply voltages), hence the two
+    /// energy entries.
+    prev_basis: Option<(i64, i64, i64, i64)>,
     cache: Option<RetainedNetwork>,
     stats: PipelineStats,
 }
@@ -295,6 +298,15 @@ impl PipelineCx {
     /// Warm-path solves that had to (re)build solver state from scratch.
     pub fn cold_solves(&self) -> u64 {
         self.reopt.cold_solves()
+    }
+
+    /// Cumulative effort counters of the warm-start engine's retained
+    /// workspace (unlike [`Self::stats`], live even without
+    /// [`LemraConfig::timings`]). Diff snapshots to scope them: the
+    /// `pushed_units` delta across a run of warm points is the flow the
+    /// repairs actually moved — drained excess plus cancelled cycles.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.reopt.stats()
     }
 
     fn clock(&self) -> Option<Instant> {
@@ -452,21 +464,54 @@ impl PipelineCx {
         let cache = self.cache.as_ref().expect("cache populated above");
         let built = &cache.built;
         let target = i64::from(problem.registers);
-        // Solver-unit costs are raw energies times scale/unit, and the raw
-        // energies themselves are dominated by memory-access terms that
-        // derate uniformly with the memory voltage. When either factor
-        // moves between points, every arc cost jumps by (roughly) the
-        // combined ratio — hint the reoptimizer so its retained potentials
-        // jump with them, keeping the repair incremental. Register-energy
-        // terms don't follow the memory ratio; the repair absorbs the
-        // residue.
+        // Solver-unit costs are raw energies times scale/unit. The raw
+        // energies split by arc class: chain, sink, segment and bypass
+        // costs are pure memory-access deltas that derate with the memory
+        // voltage, while hand-off and source arcs also carry the register
+        // (Hamming or static access) term, which follows the register
+        // voltage instead. When any factor moves between points, hint the
+        // reoptimizer with a per-class ratio so its retained potentials
+        // jump with their local costs, keeping the repair incremental; the
+        // repair absorbs whatever residue the class approximation leaves.
         let mem = problem.energy.e_mem_read().raw();
-        let basis = (built.cost_scale, built.cost_unit, mem);
-        if let Some((prev_scale, prev_unit, prev_mem)) = self.prev_basis.replace(basis) {
-            if (prev_scale, prev_unit, prev_mem) != basis && prev_mem > 0 && mem > 0 {
-                let ratio = (built.cost_scale as f64 * prev_unit as f64 * mem as f64)
-                    / (prev_scale as f64 * built.cost_unit as f64 * prev_mem as f64);
-                self.reopt.costs_rescaled(ratio);
+        let reg = match problem.register_energy {
+            // Half the bits of the 16-bit word switch — the paper's own
+            // time-zero assumption — as the representative overwrite.
+            RegisterEnergyKind::Activity => problem.energy.e_reg_activity(8.0).raw(),
+            RegisterEnergyKind::Static => {
+                (problem.energy.e_reg_write() + problem.energy.e_reg_read()).raw()
+            }
+        };
+        let basis = (built.cost_scale, built.cost_unit, mem, reg);
+        if let Some((prev_scale, prev_unit, prev_mem, prev_reg)) = self.prev_basis.replace(basis) {
+            if (prev_scale, prev_unit, prev_mem, prev_reg) != basis && prev_mem > 0 && mem > 0 {
+                let base = (built.cost_scale as f64 * prev_unit as f64)
+                    / (prev_scale as f64 * built.cost_unit as f64);
+                let mem_ratio = base * mem as f64 / prev_mem as f64;
+                let reg_ratio = if prev_reg > 0 && reg > 0 {
+                    base * reg as f64 / prev_reg as f64
+                } else {
+                    mem_ratio
+                };
+                // Mixed-class arcs blend the two ratios by the energy
+                // magnitudes behind each part: roughly two memory terms
+                // (exit + enter) against one register term.
+                let mixed = (2.0 * prev_mem as f64 * mem_ratio + prev_reg as f64 * reg_ratio)
+                    / (2.0 * prev_mem as f64 + prev_reg as f64);
+                let mut ratio = vec![mem_ratio; built.net.arc_count()];
+                for &(arc, _, _) in &built.handoff_of {
+                    ratio[arc.index()] = mixed;
+                }
+                for &(arc, _) in &built.source_of {
+                    ratio[arc.index()] = mixed;
+                }
+                // The reoptimizer queries by *snapshot* arc index; after a
+                // topology change its retained snapshot can be larger than
+                // the current network (the solve below falls back cold),
+                // so out-of-table arcs get an unusable entry rather than a
+                // panic.
+                self.reopt
+                    .costs_rescaled_per_arc(|i| ratio.get(i).copied().unwrap_or(f64::NAN));
             }
         }
         let solution = self

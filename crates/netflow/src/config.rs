@@ -7,8 +7,13 @@
 //! (or installed explicitly by a binary's flag parser before first use).
 //! Every consumer reads the same snapshot, so a sweep driver and the batch
 //! solver can never disagree about the thread count mid-run.
+//!
+//! Parsing is strict: a malformed variable is an error carrying the list of
+//! accepted values, never a silent fallback (a mistyped
+//! `LEMRA_BACKEND=simplx` used to run `Ssp` without a word).
 
 use crate::solver::Backend;
+use crate::NetflowError;
 use std::sync::OnceLock;
 
 /// Environment variable selecting the min-cost-flow [`Backend`]
@@ -23,6 +28,12 @@ pub const THREADS_ENV: &str = "LEMRA_THREADS";
 /// cold-solve every point (escape hatch for debugging and for timing
 /// comparisons against the warm path).
 pub const COLD_ENV: &str = "LEMRA_COLD";
+
+/// Environment variable overriding the network-simplex entering-arc block
+/// size (positive integer; unset picks `max(⌈√arcs⌉, 10)` per solve).
+/// Block size 1 degenerates to a first-eligible rule, useful for pivot
+/// sequence comparisons.
+pub const SIMPLEX_BLOCK_ENV: &str = "LEMRA_SIMPLEX_BLOCK";
 
 /// The process-wide configuration snapshot.
 ///
@@ -52,6 +63,9 @@ pub struct LemraConfig {
     /// Whether the `validate` cargo feature (in-solve invariant auditing)
     /// is compiled in — informational, for reports.
     pub validate: bool,
+    /// Entering-arc block size for the network-simplex backend; `None`
+    /// lets each solve pick `max(⌈√arcs⌉, 10)`.
+    pub simplex_block: Option<usize>,
 }
 
 impl Default for LemraConfig {
@@ -62,6 +76,7 @@ impl Default for LemraConfig {
             cold: false,
             timings: false,
             validate: cfg!(feature = "validate"),
+            simplex_block: None,
         }
     }
 }
@@ -70,31 +85,84 @@ static CONFIG: OnceLock<LemraConfig> = OnceLock::new();
 
 impl LemraConfig {
     /// Builds a configuration from the environment ([`BACKEND_ENV`],
-    /// [`THREADS_ENV`], [`COLD_ENV`]); unset or unparsable variables fall
-    /// back to the defaults. Timings are flag-only (no env variable), so
-    /// they default to off.
-    pub fn from_env() -> Self {
-        let backend = std::env::var(BACKEND_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_default();
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0);
-        let cold = std::env::var(COLD_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
-        Self {
+    /// [`THREADS_ENV`], [`COLD_ENV`], [`SIMPLEX_BLOCK_ENV`]); unset
+    /// variables fall back to the defaults. Timings are flag-only (no env
+    /// variable), so they default to off.
+    ///
+    /// # Errors
+    ///
+    /// [`NetflowError::InvalidArc`] naming the offending variable and the
+    /// accepted values when one is set but malformed — a typo'd
+    /// `LEMRA_BACKEND` must fail loudly, not silently run a different
+    /// solver than the one the measurement was labelled with.
+    pub fn from_env() -> Result<Self, NetflowError> {
+        Self::from_vars(
+            std::env::var(BACKEND_ENV).ok().as_deref(),
+            std::env::var(THREADS_ENV).ok().as_deref(),
+            std::env::var(COLD_ENV).ok().as_deref(),
+            std::env::var(SIMPLEX_BLOCK_ENV).ok().as_deref(),
+        )
+    }
+
+    /// [`from_env`](Self::from_env) over explicit values (`None` = unset),
+    /// so parsing is testable without racy process-environment mutation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_env`](Self::from_env).
+    pub fn from_vars(
+        backend: Option<&str>,
+        threads: Option<&str>,
+        cold: Option<&str>,
+        simplex_block: Option<&str>,
+    ) -> Result<Self, NetflowError> {
+        let backend = backend.map_or(Ok(Backend::default()), str::parse)?;
+        let threads = threads
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| NetflowError::InvalidArc {
+                        reason: format!("{THREADS_ENV}=`{v}` is not a positive thread count"),
+                    })
+            })
+            .transpose()?;
+        let cold = cold.is_some_and(|v| !v.is_empty() && v != "0");
+        let simplex_block = simplex_block
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| NetflowError::InvalidArc {
+                        reason: format!("{SIMPLEX_BLOCK_ENV}=`{v}` is not a positive block size"),
+                    })
+            })
+            .transpose()?;
+        Ok(Self {
             backend,
             threads,
             cold,
+            simplex_block,
             ..Self::default()
-        }
+        })
     }
 
     /// The process-wide snapshot, initialised from the environment on first
     /// call (unless a binary [`install`](Self::install)ed one earlier).
+    ///
+    /// # Panics
+    ///
+    /// On a malformed environment variable (see
+    /// [`from_env`](Self::from_env)) — library code has no channel to
+    /// surface the error, and proceeding with a silently-substituted
+    /// default would falsify any measurement keyed on the variable.
+    /// Binaries that want a graceful message call `from_env` themselves and
+    /// install the result.
     pub fn get() -> &'static LemraConfig {
-        CONFIG.get_or_init(Self::from_env)
+        CONFIG.get_or_init(|| match Self::from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid lemra environment: {e}"),
+        })
     }
 
     /// Installs `self` as the process-wide snapshot. Must run before the
@@ -128,6 +196,7 @@ mod tests {
         assert!(!cfg.cold);
         assert!(!cfg.timings);
         assert_eq!(cfg.threads, None);
+        assert_eq!(cfg.simplex_block, None);
     }
 
     #[test]
@@ -149,5 +218,36 @@ mod tests {
     #[test]
     fn get_returns_a_stable_snapshot() {
         assert_eq!(LemraConfig::get(), LemraConfig::get());
+    }
+
+    #[test]
+    fn from_vars_parses_each_knob() {
+        let cfg = LemraConfig::from_vars(Some("simplex"), Some("3"), Some("1"), Some("8")).unwrap();
+        assert_eq!(cfg.backend, Backend::Simplex);
+        assert_eq!(cfg.threads, Some(3));
+        assert!(cfg.cold);
+        assert_eq!(cfg.simplex_block, Some(8));
+        let unset = LemraConfig::from_vars(None, None, None, None).unwrap();
+        assert_eq!(unset, LemraConfig::default());
+        let off = LemraConfig::from_vars(None, None, Some("0"), None).unwrap();
+        assert!(!off.cold);
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error_listing_valid_names() {
+        let err = LemraConfig::from_vars(Some("simplx"), None, None, None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("simplx"), "names the offender: {msg}");
+        for name in ["ssp", "scaling", "cycle", "simplex", "auto"] {
+            assert!(msg.contains(name), "lists `{name}`: {msg}");
+        }
+    }
+
+    #[test]
+    fn malformed_numeric_knobs_are_errors() {
+        assert!(LemraConfig::from_vars(None, Some("zero"), None, None).is_err());
+        assert!(LemraConfig::from_vars(None, Some("0"), None, None).is_err());
+        assert!(LemraConfig::from_vars(None, None, None, Some("-1")).is_err());
+        assert!(LemraConfig::from_vars(None, None, None, Some("0")).is_err());
     }
 }

@@ -12,12 +12,14 @@
 //! * [`min_cost_flow`] — successive shortest paths with node potentials; the
 //!   production solver, polynomial time, requires the network to be free of
 //!   negative-cost cycles (allocation networks are DAGs, so this holds).
-//! * [`min_cost_flow_cycle_canceling`] — a slower negative-cycle-cancelling
-//!   solver used as a cross-check and for cyclic networks.
+//! * [`min_cost_flow_cycle_canceling`] — minimum-mean cycle cancelling
+//!   (Howard's policy iteration); the solver of choice for networks with
+//!   negative-cost cycles, and a cross-check elsewhere.
 //! * [`min_cost_flow_scaling`] — a capacity-scaling variant for networks
 //!   with large capacities; a third independent implementation.
-//! * [`min_cost_flow_network_simplex`] — the classical network simplex,
-//!   handling negative-cost cycles; a fourth independent implementation.
+//! * [`min_cost_flow_network_simplex`] — the classical network simplex with
+//!   block-search pivoting and a strongly feasible basis, handling
+//!   negative-cost cycles; a fourth independent implementation.
 //!
 //! Plus [`max_flow`] (Dinic), [`validate`] for auditing any solution, and
 //! [`FlowSolution::decompose_paths`] to extract the register chains.
@@ -49,6 +51,21 @@
 //! `allocate_scaling` sweep improve 2.2–2.8×, the raw SSP solve 2.3× and the
 //! capacity-scaling solve 3.0× (criterion medians, recorded in
 //! `BENCH_solver.json` at the repository root).
+//!
+//! The two cross-check backends are tuned rather than merely correct.
+//! Cycle cancelling replaces the old fresh O(V·E) Bellman–Ford per cycle
+//! with three cooperating phases over the residual CSR: a greedy bulk
+//! phase that sweeps the cheapest-out-edge policy and cancels its negative
+//! cycles at O(V) a sweep, Howard's minimum-mean policy iteration per SCC
+//! with *eager* cancellation and incremental policy repair (Karp's
+//! recurrence backs the extraction when Howard's round budget trips), and
+//! one whole-graph Bellman–Ford pass whose converged distances are
+//! feasible potentials — an exact certificate of emptiness that costs a
+//! few linear sweeps instead of another SCC + convergence round. The
+//! network simplex picks entering arcs by a resumable block search while
+//! maintaining a strongly feasible basis that relabels only the smaller
+//! subtree per pivot ([`min_cost_flow_network_simplex_with_block`] pins the
+//! block size; `LEMRA_SIMPLEX_BLOCK` tunes the default).
 //!
 //! Enabling the `validate` cargo feature arms a per-edge reduced-cost check
 //! inside Dijkstra that turns a violated optimality invariant into
@@ -94,14 +111,14 @@ mod ssp;
 mod workspace;
 
 pub use batch::{solve_batch, solve_batch_on, BatchProblem};
-pub use config::{LemraConfig, BACKEND_ENV, COLD_ENV, THREADS_ENV};
-pub use cycle_cancel::min_cost_flow_cycle_canceling;
+pub use config::{LemraConfig, BACKEND_ENV, COLD_ENV, SIMPLEX_BLOCK_ENV, THREADS_ENV};
+pub use cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
 pub use dinic::max_flow;
 pub use dot::to_dot;
 pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
 pub use reopt::Reoptimizer;
 pub use scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
-pub use simplex::min_cost_flow_network_simplex;
+pub use simplex::{min_cost_flow_network_simplex, min_cost_flow_network_simplex_with_block};
 pub use solution::{validate, FlowSolution};
 pub use solver::{Backend, CapacityScaling, CycleCancelling, McfSolver, NetworkSimplex, Ssp};
 pub use ssp::{min_cost_flow, min_cost_flow_with};

@@ -15,11 +15,14 @@
 //!    is stripped off the arc, leaving an excess at its tail and a deficit
 //!    at its head. A changed flow target `F` becomes an excess at `s` and a
 //!    deficit at `t` (or the reverse for a decrease).
-//! 2. **Saturate violated edges.** Any touched residual edge whose reduced
-//!    cost went negative is pushed to saturation, converting the local
-//!    optimality violation into flow imbalance. After this pass reduced-cost
-//!    optimality holds everywhere again — untouched edges kept their
-//!    certificates, saturated edges have no residual capacity left.
+//! 2. **Re-certify.** Price refinement first: cost drift that does not move
+//!    the optimal flow is absorbed into the potentials alone. If negative
+//!    residual cycles survive (the optimum genuinely moved), they are
+//!    cancelled in place — flow moves only around the cycles the drift
+//!    created — and the prices refined again. Only when that still leaves
+//!    frozen nodes is a violated edge pushed to saturation, converting the
+//!    local optimality violation into flow imbalance. After this pass
+//!    reduced-cost optimality holds everywhere again.
 //! 3. **Drain the imbalance.** Multi-source Dijkstra rounds over reduced
 //!    costs route each unit of excess to the nearest deficit, updating the
 //!    potentials exactly like the cold solver's augmentation rounds. Each
@@ -243,6 +246,60 @@ impl Reoptimizer {
             state.recheck_all = true;
         }
     }
+
+    /// Per-arc variant of [`Self::costs_rescaled`] for sweeps whose arc
+    /// costs do not all move by one factor — e.g. an operating-point change
+    /// that derates memory-access terms but leaves register terms alone.
+    /// `ratio_of(i)` is the expected cost ratio of arc `i` (indices of the
+    /// snapshot network, i.e. the network last solved). A potential tracks
+    /// the magnitude of the costs around its node, so each node is scaled
+    /// by the |cost|-weighted blend of its incident arcs' ratios; nodes
+    /// with no weighted incident arc — and the flow transform's super
+    /// nodes — use the global blend. Non-finite, non-positive or zero-cost
+    /// entries contribute nothing. Like the uniform variant, an imprecise
+    /// hint costs repair time, never correctness: the next warm attempt
+    /// re-proves the certificate on every residual edge.
+    pub fn costs_rescaled_per_arc(&mut self, ratio_of: impl Fn(usize) -> f64) {
+        let Some(state) = self.state.as_mut() else {
+            return;
+        };
+        let n = state.snapshot.node_count();
+        let mut weight = vec![0.0f64; n];
+        let mut scaled = vec![0.0f64; n];
+        let (mut total_w, mut total_s) = (0.0f64, 0.0f64);
+        for (id, arc) in state.snapshot.arcs() {
+            let r = ratio_of(id.index());
+            if !r.is_finite() || r <= 0.0 {
+                continue;
+            }
+            let w = arc.cost.unsigned_abs() as f64;
+            if w == 0.0 {
+                continue;
+            }
+            for v in [arc.from.index(), arc.to.index()] {
+                weight[v] += w;
+                scaled[v] += w * r;
+            }
+            total_w += w;
+            total_s += w * r;
+        }
+        if total_w == 0.0 {
+            return;
+        }
+        let global = total_s / total_w;
+        for (v, p) in state.ws.potential.iter_mut().enumerate() {
+            if *p >= INF {
+                continue;
+            }
+            let r = if v < n && weight[v] > 0.0 {
+                scaled[v] / weight[v]
+            } else {
+                global
+            };
+            *p = (*p as f64 * r).round() as i64;
+        }
+        state.recheck_all = true;
+    }
 }
 
 impl State {
@@ -329,13 +386,17 @@ impl State {
         // Step 2: re-certify. Price refinement first — cost drift that does
         // not change the optimal flow (the common case on a parameter
         // sweep) is absorbed into the potentials without disturbing the
-        // flow at all. Only if violations survive the sweeps (a negative
-        // residual cycle: the optimum genuinely moved) saturate the
-        // negative edges so the drain can re-route them; after the pass all
+        // flow at all. If violations survive the sweeps (a negative
+        // residual cycle: the optimum genuinely moved), cancel the cycles
+        // in place — flow moves only where the optimum did — and refine
+        // again; only when even that leaves frozen nodes (relaxation
+        // chains deeper than the refinement budget, or a region the
+        // potentials never covered) fall back to saturating the negative
+        // edges so the drain can re-route them. After either pass all
         // positive-capacity residual edges between reachable nodes have
         // non-negative reduced cost again.
         self.recheck_all = false;
-        if !self.refine_prices() {
+        if !self.refine_prices() && !self.cancel_retained_cycles() {
             for e in 0..self.res.cap.len() as u32 {
                 self.saturate_if_negative(e);
             }
@@ -437,6 +498,29 @@ impl State {
             relax(u, ws, &mut queue, &mut lowered, &mut in_queue, &mut frozen);
         }
         !frozen
+    }
+
+    /// Fallback for a failed price refinement: cancels every negative
+    /// residual cycle directly on the retained residual, then refines
+    /// again. A cycle push moves flow only around cycles the cost drift
+    /// actually created — unlike saturating each violated edge, which
+    /// converts whole swaths of the graph into excess for the drain to
+    /// re-route (the over-routing a sweep's drained-unit counters used to
+    /// show). Cancellation is free to route through *any* node, so it is
+    /// only sound when the potentials cover all of them — an uncovered
+    /// node would dodge the re-refined certificate; returns `false` (the
+    /// caller saturates instead) in that case or when the re-refinement
+    /// still freezes.
+    fn cancel_retained_cycles(&mut self) -> bool {
+        if self.ws.potential.iter().any(|&p| p >= INF) {
+            return false;
+        }
+        // The cancellation machinery re-prepares the workspace, which
+        // resets potentials; park them across the call.
+        let saved = std::mem::take(&mut self.ws.potential);
+        crate::cycle_cancel::cancel_all_negative_cycles(&mut self.res, &mut self.ws);
+        self.ws.potential = saved;
+        self.refine_prices()
     }
 
     /// Saturates residual edge `e` if its reduced cost is negative,
@@ -680,6 +764,32 @@ mod tests {
         let second = reopt.solve(&net, s, t, 2).unwrap();
         assert_eq!(first.flows, second.flows);
         assert_eq!(reopt.warm_solves(), 1);
+    }
+
+    #[test]
+    fn per_arc_rescale_keeps_sweep_warm_and_exact() {
+        let (mut net, s, t, sa, at, st) = sweep_net();
+        let mut reopt = Reoptimizer::new();
+        assert_eq!(reopt.solve(&net, s, t, 2).unwrap().cost, 4);
+        // Double the chain-path costs, leave the bypass alone — the shape a
+        // per-class hint describes exactly.
+        net.set_arc_cost(sa, 2);
+        net.set_arc_cost(at, 2);
+        let bypass = st.index();
+        reopt.costs_rescaled_per_arc(|i| if i == bypass { 1.0 } else { 2.0 });
+        assert_matches_cold(&mut reopt, &net, s, t, 2);
+        assert_eq!(reopt.warm_solves(), 1);
+    }
+
+    #[test]
+    fn unusable_per_arc_hints_are_harmless() {
+        let (mut net, s, t, _, at, _) = sweep_net();
+        let mut reopt = Reoptimizer::new();
+        reopt.solve(&net, s, t, 2).unwrap();
+        net.set_arc_cost(at, 9);
+        // A nonsense hint may cost repair time, never correctness.
+        reopt.costs_rescaled_per_arc(|i| if i % 2 == 0 { f64::NAN } else { -3.0 });
+        assert_matches_cold(&mut reopt, &net, s, t, 2);
     }
 
     #[test]

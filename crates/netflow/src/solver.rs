@@ -11,12 +11,17 @@
 //! (`LEMRA_BACKEND`, CLI flags) instead of through call sites.
 //!
 //! [`Backend::Auto`] picks by network shape: cycle-cancelling when negative
-//! costs sit on a cyclic graph (the one case the SSP family must refuse),
-//! capacity scaling when capacities are large enough that bulk
-//! augmentations pay off, plain SSP otherwise — the right default for the
-//! unit-capacity DAGs the allocator builds.
+//! costs sit on a cyclic graph (the one case the SSP family must refuse —
+//! and since its rebuild on minimum-mean cancellation, an efficient choice
+//! for dense negative-cost nets rather than a last resort), capacity
+//! scaling when capacities are large enough that bulk augmentations pay
+//! off, plain SSP otherwise — the right default for the unit-capacity DAGs
+//! the allocator builds. Block-pivot network simplex is never auto-selected
+//! but is fast enough (within a small factor of SSP at 512 variables) to
+//! serve as a routine cross-check backend rather than a test-only
+//! curiosity.
 
-use crate::cycle_cancel::min_cost_flow_cycle_canceling;
+use crate::cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::reopt::Reoptimizer;
 use crate::scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
@@ -30,9 +35,9 @@ use crate::{FlowSolution, NetflowError};
 /// The contract is exactly [`min_cost_flow`](crate::min_cost_flow)'s: an
 /// exact flow of `target` units from `s` to `t`, arc lower bounds honoured,
 /// identical error vocabulary. The workspace parameter lets sweeps reuse
-/// scratch buffers; solvers that keep no per-node scratch (cycle
-/// cancelling, network simplex) or retain their own ([`Reoptimizer`])
-/// simply ignore it.
+/// scratch buffers; the network simplex (whose scratch is its basis
+/// arrays, a different shape) and the [`Reoptimizer`] (which retains its
+/// own workspace) ignore it.
 ///
 /// `solve` takes `&mut self` so stateful solvers (the [`Reoptimizer`]) can
 /// retain residual state between calls; the stateless algorithm structs are
@@ -99,7 +104,7 @@ impl McfSolver for CapacityScaling {
     }
 }
 
-/// Negative-cycle cancelling (handles negative-cost cycles).
+/// Minimum-mean cycle cancelling (handles negative-cost cycles).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CycleCancelling;
 
@@ -114,9 +119,9 @@ impl McfSolver for CycleCancelling {
         s: NodeId,
         t: NodeId,
         target: i64,
-        _ws: &mut SolverWorkspace,
+        ws: &mut SolverWorkspace,
     ) -> Result<FlowSolution, NetflowError> {
-        min_cost_flow_cycle_canceling(net, s, t, target)
+        min_cost_flow_cycle_canceling_with(net, s, t, target, ws)
     }
 }
 
@@ -230,12 +235,17 @@ impl Backend {
     ///
     /// The policy, in order:
     ///
-    /// 1. negative arc costs on a **cyclic** positive-capacity graph →
-    ///    [`Backend::CycleCancel`] (the SSP family must refuse negative
-    ///    cycles, and cyclicity is the cheap sound over-approximation);
-    /// 2. any capacity ≥ 2¹² → [`Backend::Scaling`] (fat augmentations);
-    /// 3. otherwise → [`Backend::Ssp`] — the unit-capacity DAGs the
-    ///    allocator builds always land here.
+    /// | shape | choice | why |
+    /// |---|---|---|
+    /// | negative costs on a cyclic positive-capacity graph | [`CycleCancel`](Backend::CycleCancel) | the SSP family must refuse negative cycles (cyclicity is the cheap sound over-approximation); minimum-mean cancellation with Howard's policy iteration makes this the *preferred* backend for dense negative-cost nets, not merely the correct one |
+    /// | any capacity ≥ 2¹² | [`Scaling`](Backend::Scaling) | bulk augmentations beat one-path-per-unit SSP |
+    /// | otherwise | [`Ssp`](Backend::Ssp) | the unit-capacity DAGs the allocator builds always land here |
+    ///
+    /// [`Simplex`](Backend::Simplex) is never auto-selected: it wins no
+    /// shape outright, but with block-search pivoting and
+    /// smaller-subtree relabelling it runs within a small factor of SSP at
+    /// 512+ variables, so `LEMRA_BACKEND=simplex` is a practical
+    /// whole-sweep cross-check at every size the benches measure.
     pub fn select(self, net: &FlowNetwork) -> Backend {
         if self != Backend::Auto {
             return self;
@@ -290,7 +300,7 @@ impl Backend {
     }
 
     /// Solves with this backend and an explicit workspace (ignored by the
-    /// cycle-cancelling and simplex algorithms, which keep no scratch).
+    /// simplex algorithm, whose scratch is its basis arrays).
     ///
     /// # Errors
     ///
@@ -306,7 +316,7 @@ impl Backend {
         match self.select(net) {
             Backend::Ssp => min_cost_flow_with(net, s, t, target, ws),
             Backend::Scaling => min_cost_flow_scaling_with(net, s, t, target, ws),
-            Backend::CycleCancel => min_cost_flow_cycle_canceling(net, s, t, target),
+            Backend::CycleCancel => min_cost_flow_cycle_canceling_with(net, s, t, target, ws),
             Backend::Simplex => min_cost_flow_network_simplex(net, s, t, target),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }

@@ -45,7 +45,7 @@ pub fn thread_solver_stats() -> SolverStats {
 pub struct SolverStats {
     /// Shortest-path rounds run (Dijkstra frontiers started).
     pub dijkstra_rounds: u64,
-    /// Flow units pushed along augmenting paths.
+    /// Flow units pushed along augmenting paths or cancelled cycles.
     pub pushed_units: u64,
 }
 

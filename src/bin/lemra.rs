@@ -45,7 +45,7 @@ fn run() -> Result<(), String> {
     let mut kind = RegisterEnergyKind::Static;
     let mut codegen = false;
     let mut run_sim = false;
-    let mut config = LemraConfig::from_env();
+    let mut config = LemraConfig::from_env().map_err(|e| e.to_string())?;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
