@@ -131,11 +131,12 @@ fn print_timings() {
         );
     }
     eprintln!(
-        "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed",
+        "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed, {} incidents",
         stats.warm_solves,
         stats.cold_solves,
         stats.solver.dijkstra_rounds,
-        stats.solver.pushed_units
+        stats.solver.pushed_units,
+        stats.solver.incidents
     );
 }
 

@@ -388,13 +388,28 @@ impl SweepAllocator {
         self.cx.cold_solves()
     }
 
-    /// Cumulative effort counters of the warm-start engine. The
-    /// `pushed_units` delta across a run of warm points is the flow the
+    /// Cumulative effort counters of the warm-start engine, with absorbed
+    /// solver incidents folded into
+    /// [`SolverStats::incidents`](lemra_netflow::SolverStats::incidents).
+    /// The `pushed_units` delta across a run of warm points is the flow the
     /// repairs actually moved (drained excess plus cancelled cycles) — the
     /// figure to compare against placement churn when judging how
     /// incremental a sweep really was.
     pub fn solver_stats(&self) -> lemra_netflow::SolverStats {
         self.cx.solver_stats()
+    }
+
+    /// Every solver failure the sweep absorbed via its fallback chain
+    /// (budget exhaustion, overflow guards, contained panics), oldest
+    /// first. A non-empty log means some points were answered by a
+    /// fallback backend — still optimal, but without warm-start reuse.
+    pub fn incidents(&self) -> &[lemra_netflow::SolverIncident] {
+        self.cx.incidents()
+    }
+
+    /// Number of solver failures absorbed via the fallback chain.
+    pub fn incident_count(&self) -> u64 {
+        self.cx.incident_count()
     }
 }
 

@@ -36,7 +36,7 @@ use lemra_energy::RegisterEnergyKind;
 use lemra_ir::{Tick, TickRange, VarId};
 use lemra_netflow::{
     thread_solver_stats, Backend, FlowNetwork, FlowSolution, LemraConfig, NetflowError,
-    Reoptimizer, SolverStats,
+    Reoptimizer, ResilientSolver, SolveBudget, SolverIncident, SolverStats,
 };
 use std::sync::Mutex;
 use std::time::Instant;
@@ -133,6 +133,7 @@ impl PipelineStats {
         solver: SolverStats {
             dijkstra_rounds: 0,
             pushed_units: 0,
+            incidents: 0,
         },
         warm_solves: 0,
         cold_solves: 0,
@@ -223,6 +224,7 @@ pub struct PipelineCx {
     force_cold: bool,
     timings_on: bool,
     reopt: Reoptimizer,
+    resilient: ResilientSolver,
     /// `(cost_scale, cost_unit, raw memory-read energy, raw register
     /// energy)` of the previous warm point: when the tie-break encoding or
     /// an operating point shifts between points, the reoptimizer's retained
@@ -273,6 +275,7 @@ impl PipelineCx {
             force_cold,
             timings_on,
             reopt: Reoptimizer::new(),
+            resilient: ResilientSolver::new(backend),
             prev_basis: None,
             cache: None,
             stats: PipelineStats::ZERO,
@@ -302,11 +305,33 @@ impl PipelineCx {
 
     /// Cumulative effort counters of the warm-start engine's retained
     /// workspace (unlike [`Self::stats`], live even without
-    /// [`LemraConfig::timings`]). Diff snapshots to scope them: the
-    /// `pushed_units` delta across a run of warm points is the flow the
-    /// repairs actually moved — drained excess plus cancelled cycles.
+    /// [`LemraConfig::timings`]), with this context's absorbed-incident
+    /// count folded into [`SolverStats::incidents`]. Diff snapshots to
+    /// scope them: the `pushed_units` delta across a run of warm points is
+    /// the flow the repairs actually moved — drained excess plus cancelled
+    /// cycles.
     pub fn solver_stats(&self) -> SolverStats {
-        self.reopt.stats()
+        let mut stats = self.reopt.stats();
+        stats.incidents += self.resilient.incident_count();
+        stats
+    }
+
+    /// Every solver failure this context absorbed via its fallback chain,
+    /// oldest first (live even without [`LemraConfig::timings`]).
+    pub fn incidents(&self) -> &[SolverIncident] {
+        self.resilient.incidents()
+    }
+
+    /// Number of solver failures absorbed via the fallback chain.
+    pub fn incident_count(&self) -> u64 {
+        self.resilient.incident_count()
+    }
+
+    /// Installs a [`SolveBudget`] applied to every subsequent solve attempt
+    /// (each link of the fallback chain gets the full budget), returning
+    /// the previous one.
+    pub fn set_solve_budget(&mut self, budget: SolveBudget) -> SolveBudget {
+        self.resilient.set_budget(budget)
     }
 
     fn clock(&self) -> Option<Instant> {
@@ -357,7 +382,8 @@ impl PipelineCx {
     }
 
     /// Solve stage, cold: route exactly `target` units `s → t` through the
-    /// configured backend, on the calling thread's shared workspace.
+    /// configured backend's fallback chain, on the calling thread's shared
+    /// workspace.
     pub(crate) fn solve(
         &mut self,
         net: &FlowNetwork,
@@ -366,10 +392,13 @@ impl PipelineCx {
         target: i64,
     ) -> Result<FlowSolution, NetflowError> {
         let t0 = self.clock();
-        let before = self.timings_on.then(thread_solver_stats);
-        let solution = self.backend.solve(net, s, t, target);
-        if let Some(before) = before {
-            self.stats.solver = self.stats.solver + (thread_solver_stats() - before);
+        let before = self
+            .timings_on
+            .then(|| (thread_solver_stats(), self.resilient.incident_count()));
+        let solution = self.resilient.solve(net, s, t, target);
+        if let Some((stats, incidents)) = before {
+            self.stats.solver = self.stats.solver + (thread_solver_stats() - stats);
+            self.stats.solver.incidents += self.resilient.incident_count() - incidents;
             self.stats.cold_solves += 1;
         }
         self.record(Stage::Solve, t0);
@@ -514,10 +543,24 @@ impl PipelineCx {
                     .costs_rescaled_per_arc(|i| ratio.get(i).copied().unwrap_or(f64::NAN));
             }
         }
-        let solution = self
-            .reopt
-            .solve(&built.net, built.s, built.t, target)
-            .map_err(|e| flow_error(problem, e))?;
+        let incidents_before = self.resilient.incident_count();
+        let solution = self.resilient.solve_with_fallback(
+            &mut self.reopt,
+            &built.net,
+            built.s,
+            built.t,
+            target,
+        );
+        if self.resilient.incident_count() > incidents_before {
+            // The warm primary failed mid-solve (possibly mid-mutation
+            // after a contained panic): drop its retained residual state
+            // and the rescale basis so the next point rebuilds cleanly.
+            // The returned solution, if any, came from a stateless fallback
+            // backend and is unaffected.
+            self.reopt.reset();
+            self.prev_basis = None;
+        }
+        let solution = solution.map_err(|e| flow_error(problem, e))?;
         #[cfg(feature = "validate")]
         {
             let cold = self
@@ -532,6 +575,7 @@ impl PipelineCx {
         }
         if let Some((stats, warm, cold)) = reopt_before {
             self.stats.solver = self.stats.solver + (self.reopt.stats() - stats);
+            self.stats.solver.incidents += self.resilient.incident_count() - incidents_before;
             self.stats.warm_solves += self.reopt.warm_solves() - warm;
             self.stats.cold_solves += self.reopt.cold_solves() - cold;
         }

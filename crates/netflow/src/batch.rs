@@ -107,6 +107,9 @@ pub fn solve_batch_on(
     for (i, result) in rx {
         out[i] = Some(result);
     }
+    // Invariant: the workers partition 0..problems.len() exactly — each
+    // index is sent on `tx` once, and a panicking worker propagates out of
+    // `thread::scope` before this line runs, so every slot is `Some`.
     out.into_iter()
         .map(|r| r.expect("every index solved exactly once"))
         .collect()

@@ -54,7 +54,11 @@ const INF128: i128 = i128::MAX / 4;
 ///
 /// * [`NetflowError::Infeasible`] if no feasible flow of value `target`
 ///   exists.
-/// * [`NetflowError::InvalidArc`] if `s` or `t` are out of range or equal.
+/// * [`NetflowError::InvalidArc`] / [`NetflowError::Overflow`] if
+///   [`FlowNetwork::validate_input`] rejects the instance.
+/// * [`NetflowError::BudgetExceeded`] if a workspace-carried
+///   [`SolveBudget`](crate::SolveBudget) runs out between cancellation
+///   rounds.
 ///
 /// [`Backend::select`]: crate::Backend::select
 pub fn min_cost_flow_cycle_canceling(
@@ -109,8 +113,16 @@ pub fn min_cost_flow_cycle_canceling_with(
         return Err(NetflowError::Infeasible { required, achieved });
     }
 
-    cancel_all_negative_cycles(&mut res, ws);
+    cancel_all_negative_cycles(&mut res, ws)?;
     Ok(solution_from_residual(net, &res, target))
+}
+
+/// Out-of-line budget check for the cancellation loop — see the call site
+/// for why this must not inline.
+#[cold]
+#[inline(never)]
+fn check_cancel_budget(ws: &SolverWorkspace, rounds: u64) -> Result<(), NetflowError> {
+    ws.budget.check_rounds("cycle", "cancel", rounds)
 }
 
 /// Repeatedly cancels negative residual cycles until none exists.
@@ -125,14 +137,23 @@ pub fn min_cost_flow_cycle_canceling_with(
 /// cycle that in-place cancellations hid from the stale partition surfaces
 /// there, is cancelled, and selection runs again on a fresh partition; the
 /// strictly decreasing integral flow cost bounds the loop.
-pub(crate) fn cancel_all_negative_cycles(res: &mut Residual, ws: &mut SolverWorkspace) {
+///
+/// # Errors
+///
+/// [`NetflowError::BudgetExceeded`] if the workspace carries a
+/// [`SolveBudget`](crate::SolveBudget) and its round limit or deadline runs
+/// out between cancellation rounds.
+pub(crate) fn cancel_all_negative_cycles(
+    res: &mut Residual,
+    ws: &mut SolverWorkspace,
+) -> Result<(), NetflowError> {
     let n = res.node_count();
     ws.prepare(n);
     let mut scratch = MeanScratch::new(n);
     // A negative cycle needs a negative edge; the common "nothing to do"
     // exit (DAG inputs after feasibility routing) costs one linear scan.
     if !has_active_negative_edge(res) {
-        return;
+        return Ok(());
     }
     // Howard's scaled values are bounded by 4*C*n^2 for the largest
     // absolute arc cost C: run the narrow (i64) instantiation when that
@@ -149,7 +170,17 @@ pub(crate) fn cancel_all_negative_cycles(res: &mut Residual, ws: &mut SolverWork
     // Bulk phase: the greedy policy's cycles soak up most cancellations at
     // O(V) per sweep before any exact machinery runs.
     greedy_cancel(res, ws, &mut scratch);
+    // Hoist the "is any limit set" decision out of the loop and keep the
+    // check itself out of line: inlining the budget machinery (notably the
+    // deadline's clock read) into the cancellation loop measurably perturbs
+    // its codegen, a bool test against a cold call does not.
+    let limited = !ws.budget.is_unlimited();
+    let mut rounds = 0u64;
     loop {
+        if limited {
+            check_cancel_budget(ws, rounds)?;
+            rounds += 1;
+        }
         let comps = strongly_connected_components(res, ws, &mut scratch);
         group_components(res, ws, &mut scratch, comps);
         for c in 0..comps {
@@ -165,7 +196,7 @@ pub(crate) fn cancel_all_negative_cycles(res: &mut Residual, ws: &mut SolverWork
         }
         let found = spfa_negative_cycles(res, ws, &mut scratch);
         match found {
-            None => return,
+            None => return Ok(()),
             Some(cycles) => {
                 for cycle in &cycles {
                     ws.pushed_units += cancel_cycle(res, cycle) as u64;
@@ -758,14 +789,13 @@ fn find_min_mean_negative_cycle(
     // Best candidate so far; Karp-produced witnesses carry their edge list
     // (there is no converged policy to re-walk in that case).
     let mut best: Option<(BestCycle<i128>, Option<Vec<u32>>)> = None;
-    let consider =
-        |found: BestCycle<i128>,
-         edges: Option<Vec<u32>>,
-         best: &mut Option<(BestCycle<i128>, Option<Vec<u32>>)>| {
-            if found.cost < 0 && best.as_ref().is_none_or(|(b, _)| b.beats(&found)) {
-                *best = Some((found, edges));
-            }
-        };
+    let consider = |found: BestCycle<i128>,
+                    edges: Option<Vec<u32>>,
+                    best: &mut Option<(BestCycle<i128>, Option<Vec<u32>>)>| {
+        if found.cost < 0 && best.as_ref().is_none_or(|(b, _)| b.beats(&found)) {
+            *best = Some((found, edges));
+        }
+    };
     for c in 0..comps {
         if !scratch.comp_neg[c] {
             continue;
@@ -1256,6 +1286,50 @@ mod tests {
         net.add_arc(b, t, 1, 0).unwrap();
         let sol = min_cost_flow_cycle_canceling(&net, s, t, 1).unwrap();
         // One unit s->a->b->t (-3) plus one residual cycle a->b->a (-2).
+        assert_eq!(sol.cost, -5);
+    }
+
+    #[test]
+    fn exhausted_round_budget_is_a_typed_error() {
+        // Same negative-cycle instance as `handles_negative_cycle`: the
+        // cancellation loop must run, so a zero-round budget trips before
+        // the first round, out-of-line check and `limited` guard included.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 0).unwrap();
+        net.add_arc(a, b, 2, -3).unwrap();
+        net.add_arc(b, a, 2, 1).unwrap();
+        net.add_arc(b, t, 1, 0).unwrap();
+        let err = crate::Backend::CycleCancel
+            .solve_with_budget(
+                &net,
+                s,
+                t,
+                1,
+                crate::SolveBudget::default().with_max_rounds(0),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetflowError::BudgetExceeded {
+                backend: "cycle",
+                phase: "cancel",
+                progress: 0,
+            }
+        ));
+        // An adequate budget leaves the optimum untouched.
+        let sol = crate::Backend::CycleCancel
+            .solve_with_budget(
+                &net,
+                s,
+                t,
+                1,
+                crate::SolveBudget::default().with_max_rounds(64),
+            )
+            .unwrap();
         assert_eq!(sol.cost, -5);
     }
 

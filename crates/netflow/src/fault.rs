@@ -1,0 +1,243 @@
+//! Deterministic fault injection for exercising the resilience layer
+//! (`fault-inject` cargo feature only).
+//!
+//! A [`FaultPlan`] names which solve should fail and how. Plans come from
+//! two places:
+//!
+//! * the [`FAULT_ENV`] (`LEMRA_FAULT`) environment variable — e.g.
+//!   `LEMRA_FAULT=panic@5` makes the 6th [`ResilientSolver`] solve panic in
+//!   its primary attempt; `budget@3,overflow@7:ssp` combines faults and can
+//!   pin one to a named backend;
+//! * programmatic [`FaultPlan::install`] for tests.
+//!
+//! Faults fire **once**: after a fault trips at its solve index, the
+//! fallback chain retries the same index unharmed, which is exactly the
+//! degradation path the plan exists to test. An unqualified fault targets
+//! only the first attempt (`attempt == 0`) of its solve; a
+//! backend-qualified fault (`kind@index:backend`) targets whichever attempt
+//! runs that backend.
+//!
+//! Injection happens inside [`ResilientSolver`]'s per-attempt
+//! `catch_unwind` region, so an injected panic exercises the genuine
+//! containment path, not a shortcut.
+//!
+//! [`ResilientSolver`]: crate::ResilientSolver
+
+use crate::NetflowError;
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable holding the fault specification
+/// (`kind@solve_index[:backend]`, comma-separated; kinds: `panic`,
+/// `budget`, `overflow`).
+pub const FAULT_ENV: &str = "LEMRA_FAULT";
+
+/// The kind of failure an injected fault simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the solve (contained by the resilience boundary).
+    Panic,
+    /// A [`NetflowError::BudgetExceeded`] as if a budget ran out.
+    Budget,
+    /// A [`NetflowError::Overflow`] as if the overflow pre-check tripped.
+    Overflow,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "budget" => Some(FaultKind::Budget),
+            "overflow" => Some(FaultKind::Overflow),
+            _ => None,
+        }
+    }
+}
+
+/// One planned fault: fail solve number `at` (0-based, counted per
+/// [`ResilientSolver`](crate::ResilientSolver)) with `kind`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fault {
+    kind: FaultKind,
+    at: u64,
+    /// Restrict to attempts running this backend; `None` hits the first
+    /// attempt of the solve regardless of backend.
+    backend: Option<String>,
+    fired: bool,
+}
+
+/// A deterministic schedule of injected solver faults.
+///
+/// # Examples
+///
+/// ```
+/// use lemra_netflow::FaultPlan;
+///
+/// let plan: FaultPlan = "panic@5,budget@3:ssp".parse().unwrap();
+/// plan.install();
+/// // ... run the sweep under test ...
+/// FaultPlan::clear();
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static ENV_LOADED: OnceLock<()> = OnceLock::new();
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault of `kind` at solve index `at`, hitting the solve's
+    /// first attempt.
+    #[must_use]
+    pub fn fail_at(mut self, kind: FaultKind, at: u64) -> Self {
+        self.faults.push(Fault {
+            kind,
+            at,
+            backend: None,
+            fired: false,
+        });
+        self
+    }
+
+    /// Adds a fault of `kind` at solve index `at`, hitting whichever
+    /// attempt runs the backend named `backend`.
+    #[must_use]
+    pub fn fail_backend_at(mut self, kind: FaultKind, at: u64, backend: &str) -> Self {
+        self.faults.push(Fault {
+            kind,
+            at,
+            backend: Some(backend.to_owned()),
+            fired: false,
+        });
+        self
+    }
+
+    /// Makes this plan the process-wide active plan, replacing any
+    /// previous one (including one loaded from [`FAULT_ENV`]).
+    pub fn install(&self) {
+        *ACTIVE.lock().expect("fault plan lock poisoned") = Some(self.clone());
+    }
+
+    /// Clears the active plan; subsequent solves run fault-free.
+    pub fn clear() {
+        *ACTIVE.lock().expect("fault plan lock poisoned") = None;
+    }
+
+    /// Parses and installs the plan in [`FAULT_ENV`], if set. Called once
+    /// per process by the resilience layer; explicit [`Self::install`]
+    /// calls override it.
+    pub(crate) fn ensure_env_plan() {
+        ENV_LOADED.get_or_init(|| {
+            if let Ok(spec) = std::env::var(FAULT_ENV) {
+                match spec.parse::<FaultPlan>() {
+                    Ok(plan) => plan.install(),
+                    Err(e) => eprintln!("ignoring invalid {FAULT_ENV}: {e}"),
+                }
+            }
+        });
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = NetflowError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let invalid = || NetflowError::InvalidArc {
+                reason: format!(
+                    "invalid fault spec `{part}` (expected kind@solve_index[:backend], \
+                     kinds: panic, budget, overflow)"
+                ),
+            };
+            let (kind, rest) = part.split_once('@').ok_or_else(invalid)?;
+            let kind = FaultKind::parse(kind.trim()).ok_or_else(invalid)?;
+            let (at, backend) = match rest.split_once(':') {
+                Some((at, backend)) => (at, Some(backend.trim().to_owned())),
+                None => (rest, None),
+            };
+            let at: u64 = at.trim().parse().map_err(|_| invalid())?;
+            plan.faults.push(Fault {
+                kind,
+                at,
+                backend,
+                fired: false,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// Consults the active plan for a fault matching this attempt, marking a
+/// match as fired so the fallback retry of the same solve runs clean.
+pub(crate) fn maybe_inject(solve_index: u64, attempt: usize, backend: &str) -> Option<FaultKind> {
+    let mut guard = ACTIVE.lock().expect("fault plan lock poisoned");
+    let plan = guard.as_mut()?;
+    for fault in &mut plan.faults {
+        if fault.fired || fault.at != solve_index {
+            continue;
+        }
+        let hit = match &fault.backend {
+            Some(b) => b == backend,
+            None => attempt == 0,
+        };
+        if hit {
+            fault.fired = true;
+            return Some(fault.kind);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_combined_specs() {
+        let plan: FaultPlan = "panic@5".parse().unwrap();
+        assert_eq!(plan.faults.len(), 1);
+        assert_eq!(plan.faults[0].kind, FaultKind::Panic);
+        assert_eq!(plan.faults[0].at, 5);
+        assert_eq!(plan.faults[0].backend, None);
+
+        let plan: FaultPlan = " budget@3 , overflow@7:ssp ".parse().unwrap();
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.faults[1].kind, FaultKind::Overflow);
+        assert_eq!(plan.faults[1].backend.as_deref(), Some("ssp"));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!("panic".parse::<FaultPlan>().is_err());
+        assert!("explode@3".parse::<FaultPlan>().is_err());
+        assert!("panic@x".parse::<FaultPlan>().is_err());
+        assert!("".parse::<FaultPlan>().unwrap().faults.is_empty());
+    }
+
+    #[test]
+    fn faults_fire_once_and_respect_backend_qualifiers() {
+        let plan = FaultPlan::new()
+            .fail_at(FaultKind::Budget, 2)
+            .fail_backend_at(FaultKind::Panic, 4, "simplex");
+        plan.install();
+        // Wrong index: nothing.
+        assert_eq!(maybe_inject(1, 0, "ssp"), None);
+        // Unqualified fault hits only attempt 0.
+        assert_eq!(maybe_inject(2, 1, "ssp"), None);
+        assert_eq!(maybe_inject(2, 0, "ssp"), Some(FaultKind::Budget));
+        // Fired: the fallback retry of the same index runs clean.
+        assert_eq!(maybe_inject(2, 0, "ssp"), None);
+        // Qualified fault waits for its backend, at any attempt.
+        assert_eq!(maybe_inject(4, 0, "ssp"), None);
+        assert_eq!(maybe_inject(4, 1, "simplex"), Some(FaultKind::Panic));
+        assert_eq!(maybe_inject(4, 2, "simplex"), None);
+        FaultPlan::clear();
+        assert_eq!(maybe_inject(2, 0, "ssp"), None);
+    }
+}

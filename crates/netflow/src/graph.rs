@@ -257,6 +257,110 @@ impl FlowNetwork {
         node.index() < self.node_count
     }
 
+    /// Validates this network together with a solve request, rejecting
+    /// malformed inputs with a typed error before any solver touches them.
+    ///
+    /// Every solver entry point runs this check first, so a malformed
+    /// instance fails identically across backends. The pass rejects:
+    ///
+    /// * out-of-range / equal endpoints and a negative `target`
+    ///   ([`NetflowError::InvalidArc`]);
+    /// * arcs with out-of-range endpoints, negative lower bounds or
+    ///   `lower_bound > capacity` (invariants the arc builders enforce,
+    ///   re-checked in case the network was assembled another way) and
+    ///   self-loop arcs, which no solver can route useful flow over
+    ///   ([`NetflowError::InvalidArc`]);
+    /// * a `target` exceeding the total capacity leaving `s` or entering
+    ///   `t` — a necessary feasibility condition checked without running a
+    ///   max-flow ([`NetflowError::Infeasible`]);
+    /// * cost/capacity magnitudes whose worst-case accumulated cost
+    ///   (`Σ |cost|·max(capacity, 1)`, the bound on any distance, potential
+    ///   or objective the solvers form) does not fit the solvers' `i64`
+    ///   arithmetic with its `i64::MAX / 4` sentinel headroom
+    ///   ([`NetflowError::Overflow`]); backends with an `i128` wide path
+    ///   (cycle cancelling) select it themselves below this threshold.
+    ///
+    /// # Errors
+    ///
+    /// As listed above; `Ok(())` means the instance is safe to hand to any
+    /// backend.
+    pub fn validate_input(&self, s: NodeId, t: NodeId, target: i64) -> Result<(), NetflowError> {
+        if !self.contains_node(s) || !self.contains_node(t) {
+            return Err(NetflowError::InvalidArc {
+                reason: format!("source {s} or sink {t} out of range"),
+            });
+        }
+        if s == t {
+            return Err(NetflowError::InvalidArc {
+                reason: "source and sink must differ".to_owned(),
+            });
+        }
+        if target < 0 {
+            return Err(NetflowError::InvalidArc {
+                reason: format!("negative flow target {target}"),
+            });
+        }
+        let mut out_of_s = 0i64;
+        let mut into_t = 0i64;
+        let mut lower_sum = 0i64;
+        let mut cost_mass = 0u128;
+        for (id, a) in self.arcs() {
+            if a.from.index() >= self.node_count || a.to.index() >= self.node_count {
+                return Err(NetflowError::InvalidArc {
+                    reason: format!("{id} endpoint out of range ({} -> {})", a.from, a.to),
+                });
+            }
+            if a.from == a.to {
+                return Err(NetflowError::InvalidArc {
+                    reason: format!("{id} is a self-loop on {}", a.from),
+                });
+            }
+            if a.lower_bound < 0 || a.capacity < a.lower_bound {
+                return Err(NetflowError::InvalidArc {
+                    reason: format!(
+                        "{id} bounds invalid (lower {} > capacity {})",
+                        a.lower_bound, a.capacity
+                    ),
+                });
+            }
+            lower_sum =
+                lower_sum
+                    .checked_add(a.lower_bound)
+                    .ok_or_else(|| NetflowError::Overflow {
+                        reason: format!("sum of arc lower bounds overflows i64 at {id}"),
+                    })?;
+            if a.from == s {
+                out_of_s = out_of_s.saturating_add(a.capacity);
+            }
+            if a.to == t {
+                into_t = into_t.saturating_add(a.capacity);
+            }
+            cost_mass = cost_mass.saturating_add(
+                (a.cost.unsigned_abs() as u128) * (a.capacity.unsigned_abs().max(1) as u128),
+            );
+        }
+        let achievable = out_of_s.min(into_t);
+        if target > achievable {
+            return Err(NetflowError::Infeasible {
+                required: target,
+                achieved: achievable,
+            });
+        }
+        // The SSP family treats i64::MAX / 4 as infinity and forms sums of
+        // distances, potentials and arc costs below it; keep the worst-case
+        // accumulated cost strictly inside that headroom.
+        if cost_mass >= (i64::MAX / 4) as u128 {
+            return Err(NetflowError::Overflow {
+                reason: format!(
+                    "worst-case accumulated cost {cost_mass} (sum of |cost| x \
+                     capacity over {} arcs) exceeds the i64 solver range",
+                    self.arcs.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Sum of all positive arc costs times capacities — a safe upper bound on
     /// the magnitude of any feasible flow cost, used for overflow auditing.
     pub fn cost_bound(&self) -> i64 {
@@ -341,6 +445,79 @@ mod tests {
         let i1 = net.add_arc(b, a, 2, 6).unwrap();
         let collected: Vec<_> = net.arcs().map(|(id, arc)| (id, arc.cost)).collect();
         assert_eq!(collected, vec![(i0, 5), (i1, 6)]);
+    }
+
+    #[test]
+    fn validate_input_accepts_well_formed_requests() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 5, 3).unwrap();
+        assert!(net.validate_input(s, t, 4).is_ok());
+        assert!(net.validate_input(s, t, 0).is_ok());
+    }
+
+    #[test]
+    fn validate_input_rejects_bad_endpoints_and_target() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 5, 3).unwrap();
+        let mut other = FlowNetwork::new();
+        other.add_nodes(9);
+        let foreign = NodeId(7);
+        assert!(matches!(
+            net.validate_input(s, foreign, 1),
+            Err(NetflowError::InvalidArc { .. })
+        ));
+        assert!(matches!(
+            net.validate_input(s, s, 1),
+            Err(NetflowError::InvalidArc { .. })
+        ));
+        assert!(matches!(
+            net.validate_input(s, t, -1),
+            Err(NetflowError::InvalidArc { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_input_flags_capacity_shortfall_early() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 5, 3).unwrap();
+        let err = net.validate_input(s, t, 6).unwrap_err();
+        assert!(matches!(
+            err,
+            NetflowError::Infeasible {
+                required: 6,
+                achieved: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_input_rejects_self_loops() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 5, 0).unwrap();
+        net.add_arc(a, a, 1, -2).unwrap();
+        let err = net.validate_input(s, t, 1).unwrap_err();
+        assert!(matches!(err, NetflowError::InvalidArc { .. }));
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn validate_input_rejects_overflowing_cost_mass() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, i64::MAX / 2, i64::MAX / 2).unwrap();
+        let err = net.validate_input(s, t, 1).unwrap_err();
+        assert!(matches!(err, NetflowError::Overflow { .. }));
+        assert!(err.to_string().contains("overflow"));
     }
 
     #[test]

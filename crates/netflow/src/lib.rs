@@ -95,14 +95,18 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod budget;
 mod config;
 mod cycle_cancel;
 mod dinic;
 mod dot;
+#[cfg(feature = "fault-inject")]
+mod fault;
 mod graph;
 mod radix;
 mod reopt;
 mod residual;
+mod resilience;
 mod scaling;
 mod simplex;
 mod solution;
@@ -111,12 +115,16 @@ mod ssp;
 mod workspace;
 
 pub use batch::{solve_batch, solve_batch_on, BatchProblem};
+pub use budget::SolveBudget;
 pub use config::{LemraConfig, BACKEND_ENV, COLD_ENV, SIMPLEX_BLOCK_ENV, THREADS_ENV};
 pub use cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
 pub use dinic::max_flow;
 pub use dot::to_dot;
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
 pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
 pub use reopt::Reoptimizer;
+pub use resilience::{ResilientSolver, SolverIncident};
 pub use scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
 pub use simplex::{min_cost_flow_network_simplex, min_cost_flow_network_simplex_with_block};
 pub use solution::{validate, FlowSolution};
@@ -154,6 +162,36 @@ pub enum NetflowError {
         /// Human-readable description of the violated condition.
         reason: String,
     },
+    /// A cooperative [`SolveBudget`] limit (pivots, rounds or the deadline)
+    /// ran out before the solve converged. The solver left no partial
+    /// solution; re-solve with a larger budget or let a
+    /// [`ResilientSolver`] fall back to another backend.
+    BudgetExceeded {
+        /// The backend that hit the limit (`ssp`, `scaling`, `cycle`,
+        /// `simplex`, `reopt`).
+        backend: &'static str,
+        /// The phase the limit tripped in (`augment`, `cancel`, `pivot`,
+        /// `drain`, …).
+        phase: &'static str,
+        /// Units of progress made before the limit (rounds or pivots,
+        /// depending on the phase).
+        progress: u64,
+    },
+    /// The instance's cost/capacity magnitudes are large enough that solver
+    /// arithmetic could overflow `i64`; rejected at entry by
+    /// [`FlowNetwork::validate_input`] instead of wrapping silently.
+    Overflow {
+        /// Human-readable description of the offending magnitude.
+        reason: String,
+    },
+    /// A backend panicked mid-solve; the panic was contained at the
+    /// [`ResilientSolver`] boundary and converted into this error.
+    SolverPanicked {
+        /// The backend whose solve panicked.
+        backend: &'static str,
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for NetflowError {
@@ -172,6 +210,21 @@ impl std::fmt::Display for NetflowError {
             }
             NetflowError::InvalidSolution { reason } => {
                 write!(f, "invalid solution: {reason}")
+            }
+            NetflowError::BudgetExceeded {
+                backend,
+                phase,
+                progress,
+            } => write!(
+                f,
+                "solve budget exceeded: backend `{backend}` ran out in phase \
+                 `{phase}` after {progress} steps"
+            ),
+            NetflowError::Overflow { reason } => {
+                write!(f, "arithmetic overflow risk: {reason}")
+            }
+            NetflowError::SolverPanicked { backend, message } => {
+                write!(f, "backend `{backend}` panicked: {message}")
             }
         }
     }

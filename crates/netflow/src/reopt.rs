@@ -66,6 +66,7 @@
 //! # }
 //! ```
 
+use crate::budget::SolveBudget;
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::Residual;
 use crate::ssp::{
@@ -88,6 +89,7 @@ pub struct Reoptimizer {
     state: Option<State>,
     warm_solves: u64,
     cold_solves: u64,
+    budget: SolveBudget,
 }
 
 /// Everything retained from the last successful solve.
@@ -145,6 +147,7 @@ impl Reoptimizer {
     ) -> Result<FlowSolution, NetflowError> {
         check_endpoints(net, s, t, target)?;
         if let Some(state) = self.state.as_mut() {
+            state.ws.budget = self.budget;
             match state.try_warm(net, s, t, target) {
                 Ok(Warm::Done(sol)) => {
                     self.warm_solves += 1;
@@ -166,6 +169,20 @@ impl Reoptimizer {
     /// Number of calls answered from retained state.
     pub fn warm_solves(&self) -> u64 {
         self.warm_solves
+    }
+
+    /// Installs a [`SolveBudget`] governing every subsequent solve (warm
+    /// repairs and cold rebuilds alike), returning the previous budget.
+    pub fn set_budget(&mut self, budget: SolveBudget) -> SolveBudget {
+        std::mem::replace(&mut self.budget, budget)
+    }
+
+    /// Drops all retained solver state so the next call starts cold, keeping
+    /// the warm/cold counters. Call this after a contained backend panic or
+    /// an aborted solve: the retained residual may be mid-mutation, and a
+    /// fresh cold solve is the only state guaranteed consistent.
+    pub fn reset(&mut self) {
+        self.state = None;
     }
 
     /// Number of calls that (re)built state from scratch.
@@ -197,6 +214,7 @@ impl Reoptimizer {
             Some(state) => state.ws,
             None => SolverWorkspace::new(),
         };
+        ws.budget = self.budget;
         let Transformed {
             mut res,
             super_s,
@@ -396,7 +414,7 @@ impl State {
         // positive-capacity residual edges between reachable nodes have
         // non-negative reduced cost again.
         self.recheck_all = false;
-        if !self.refine_prices() && !self.cancel_retained_cycles() {
+        if !self.refine_prices() && !self.cancel_retained_cycles()? {
             for e in 0..self.res.cap.len() as u32 {
                 self.saturate_if_negative(e);
             }
@@ -511,16 +529,23 @@ impl State {
     /// node would dodge the re-refined certificate; returns `false` (the
     /// caller saturates instead) in that case or when the re-refinement
     /// still freezes.
-    fn cancel_retained_cycles(&mut self) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`NetflowError::BudgetExceeded`] from the cancellation pass when the
+    /// workspace carries a budget; the parked potentials are restored before
+    /// the error propagates, so the state stays internally consistent.
+    fn cancel_retained_cycles(&mut self) -> Result<bool, NetflowError> {
         if self.ws.potential.iter().any(|&p| p >= INF) {
-            return false;
+            return Ok(false);
         }
         // The cancellation machinery re-prepares the workspace, which
         // resets potentials; park them across the call.
         let saved = std::mem::take(&mut self.ws.potential);
-        crate::cycle_cancel::cancel_all_negative_cycles(&mut self.res, &mut self.ws);
+        let outcome = crate::cycle_cancel::cancel_all_negative_cycles(&mut self.res, &mut self.ws);
         self.ws.potential = saved;
-        self.refine_prices()
+        outcome?;
+        Ok(self.refine_prices())
     }
 
     /// Saturates residual edge `e` if its reduced cost is negative,
@@ -550,7 +575,11 @@ impl State {
     /// updated like the cold solver's rounds). Returns `false` if a deficit
     /// cannot be reached — the repaired problem is infeasible.
     fn drain(&mut self) -> Result<bool, NetflowError> {
+        let budget = self.ws.budget;
+        let mut rounds = 0u64;
         loop {
+            budget.check_rounds("reopt", "drain", rounds)?;
+            rounds += 1;
             self.ws.begin_round();
             let mut balanced = true;
             for v in 0..self.excess.len() {

@@ -107,7 +107,9 @@ fn scaling_run(
     }
     let max_cap = res.cap.iter().copied().max().unwrap_or(0);
     let mut delta = 1i64;
-    while delta * 2 <= max_cap.min(target) {
+    // Division form: `delta * 2` would overflow i64 for capacities near
+    // i64::MAX (validate_input admits large capacities on cheap arcs).
+    while delta <= max_cap.min(target) / 2 {
         delta *= 2;
     }
 
@@ -130,7 +132,11 @@ fn scaling_run(
     // Δ to the largest power of two that fits the bottleneck and augment the
     // already-computed path immediately. Likewise, an unreachable sink ends
     // the solve outright — no smaller Δ can reconnect it.
+    let budget = ws.budget;
+    let mut rounds = 0u64;
     while flow < target {
+        budget.check_rounds("scaling", "augment", rounds)?;
+        rounds += 1;
         let dist_t = dijkstra_round(res, s, t, ws)?;
         if dist_t >= INF {
             break;

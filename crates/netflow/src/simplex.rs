@@ -31,6 +31,7 @@
 //! *cycles* and, with the rules above, fast enough to run routinely at
 //! 512+ variables.
 
+use crate::budget::SolveBudget;
 use crate::config::LemraConfig;
 use crate::graph::{FlowNetwork, NodeId};
 use crate::ssp::check_endpoints;
@@ -61,10 +62,13 @@ const AT_UPPER: u8 = 2;
 ///
 /// * [`NetflowError::Infeasible`] if no feasible flow of value `target`
 ///   satisfying all lower bounds exists.
-/// * [`NetflowError::InvalidArc`] for invalid endpoints or target.
-/// * [`NetflowError::InvalidSolution`] if the pivot budget
-///   (`64·arcs·nodes`) is exhausted — with a strongly feasible basis this
-///   cannot happen; the check is a defensive backstop.
+/// * [`NetflowError::InvalidArc`] / [`NetflowError::Overflow`] if
+///   [`FlowNetwork::validate_input`] rejects the instance.
+/// * [`NetflowError::BudgetExceeded`] if the pivot limit is exhausted —
+///   either a caller-supplied [`SolveBudget`](crate::SolveBudget) (via
+///   [`Backend::solve_with_budget`](crate::Backend::solve_with_budget) or a
+///   workspace-installed budget) or the defensive `64·arcs·nodes` backstop,
+///   which a strongly feasible basis never reaches.
 ///
 /// # Examples
 ///
@@ -105,6 +109,21 @@ pub fn min_cost_flow_network_simplex_with_block(
     t: NodeId,
     target: i64,
     block: usize,
+) -> Result<FlowSolution, NetflowError> {
+    min_cost_flow_network_simplex_budgeted(net, s, t, target, block, SolveBudget::default())
+}
+
+/// [`min_cost_flow_network_simplex_with_block`] under a caller-supplied
+/// [`SolveBudget`]: `budget.max_pivots` caps the pivot count below the
+/// defensive backstop and the deadline is polled every 1024 pivots, so the
+/// unlimited default adds nothing to the pivot loop.
+pub(crate) fn min_cost_flow_network_simplex_budgeted(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+    block: usize,
+    budget: SolveBudget,
 ) -> Result<FlowSolution, NetflowError> {
     check_endpoints(net, s, t, target)?;
 
@@ -191,18 +210,28 @@ pub fn min_cost_flow_network_simplex_with_block(
         first_child[root] = v;
     }
 
-    // Pivot until no violating non-tree arc remains.
-    let max_pivots = 64usize.saturating_mul(m).saturating_mul(n + 1).max(10_000);
-    let mut pivots = 0usize;
+    // Pivot until no violating non-tree arc remains. The backstop bounds
+    // even adversarial bases; a caller budget can only tighten it.
+    let backstop = 64u64
+        .saturating_mul(m as u64)
+        .saturating_mul(n as u64 + 1)
+        .max(10_000);
+    let max_pivots = budget.max_pivots.map_or(backstop, |b| b.min(backstop));
+    let mut pivots = 0u64;
     let mut next_arc = 0usize; // circular block-search cursor
     let mut dfs = Vec::with_capacity(n + 1);
     let mut path: Vec<(usize, usize, usize)> = Vec::new(); // (node, old parent, old parent edge)
     loop {
         pivots += 1;
         if pivots > max_pivots {
-            return Err(NetflowError::InvalidSolution {
-                reason: "network simplex exceeded its pivot budget".to_owned(),
+            return Err(NetflowError::BudgetExceeded {
+                backend: "simplex",
+                phase: "pivot",
+                progress: pivots - 1,
             });
+        }
+        if pivots & 1023 == 0 {
+            budget.check_deadline("simplex", "pivot", pivots)?;
         }
         // Entering arc: resume the circular scan at the cursor; within each
         // block take the arc with the largest optimality violation, moving
@@ -605,6 +634,53 @@ mod tests {
             validate(&net, s, t, &blocked).unwrap();
             assert_eq!(dantzig.cost, blocked.cost, "target {target}");
         }
+    }
+
+    #[test]
+    fn exhausted_pivot_budget_is_a_typed_error() {
+        // Regression: a starved pivot loop must surface as BudgetExceeded
+        // with backend/phase/progress, not as a stringly InvalidSolution.
+        // Dantzig pricing (block 1) on a net with interior negative-cost
+        // cycles needs several pivots even for target 1.
+        let mut net = FlowNetwork::new();
+        let nodes: Vec<_> = (0..8).map(|_| net.add_node()).collect();
+        let arcs = [
+            (0usize, 1usize, 3i64, 2i64),
+            (0, 2, 2, 5),
+            (1, 3, 2, -4),
+            (3, 1, 2, 1),
+            (2, 3, 3, 0),
+            (3, 4, 2, 3),
+            (4, 5, 2, -1),
+            (5, 4, 1, 0),
+            (4, 6, 2, 2),
+            (5, 7, 3, 1),
+            (6, 7, 2, -2),
+            (2, 5, 1, 7),
+        ];
+        for &(u, v, cap, cost) in &arcs {
+            net.add_arc(nodes[u], nodes[v], cap, cost).unwrap();
+        }
+        let (s, t) = (nodes[0], nodes[7]);
+        let budget = SolveBudget::default().with_max_pivots(1);
+        let err = min_cost_flow_network_simplex_budgeted(&net, s, t, 3, 1, budget).unwrap_err();
+        match err {
+            NetflowError::BudgetExceeded {
+                backend,
+                phase,
+                progress,
+            } => {
+                assert_eq!(backend, "simplex");
+                assert_eq!(phase, "pivot");
+                assert_eq!(progress, 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // An adequate budget solves the same instance.
+        let budget = SolveBudget::default().with_max_pivots(10_000);
+        let sol = min_cost_flow_network_simplex_budgeted(&net, s, t, 3, 1, budget).unwrap();
+        let cc = min_cost_flow_cycle_canceling(&net, s, t, 3).unwrap();
+        assert_eq!(sol.cost, cc.cost);
     }
 
     proptest! {

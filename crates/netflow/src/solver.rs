@@ -21,11 +21,13 @@
 //! serve as a routine cross-check backend rather than a test-only
 //! curiosity.
 
+use crate::budget::SolveBudget;
+use crate::config::LemraConfig;
 use crate::cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::reopt::Reoptimizer;
 use crate::scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
-use crate::simplex::min_cost_flow_network_simplex;
+use crate::simplex::{min_cost_flow_network_simplex, min_cost_flow_network_simplex_budgeted};
 use crate::ssp::{min_cost_flow, min_cost_flow_with};
 use crate::workspace::SolverWorkspace;
 use crate::{FlowSolution, NetflowError};
@@ -60,6 +62,30 @@ pub trait McfSolver {
         target: i64,
         ws: &mut SolverWorkspace,
     ) -> Result<FlowSolution, NetflowError>;
+
+    /// [`Self::solve`] under a per-call [`SolveBudget`]: the budget is
+    /// installed on the workspace for the duration of this call and the
+    /// previous budget restored afterwards (even on error). Solvers that
+    /// ignore the workspace override this to route the budget their own way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`], plus [`NetflowError::BudgetExceeded`] when
+    /// the budget runs out.
+    fn solve_budgeted(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+        budget: SolveBudget,
+    ) -> Result<FlowSolution, NetflowError> {
+        let previous = ws.set_budget(budget);
+        let result = self.solve(net, s, t, target, ws);
+        ws.set_budget(previous);
+        result
+    }
 }
 
 /// Successive shortest paths with node potentials (the production solver).
@@ -144,6 +170,21 @@ impl McfSolver for NetworkSimplex {
     ) -> Result<FlowSolution, NetflowError> {
         min_cost_flow_network_simplex(net, s, t, target)
     }
+
+    /// The simplex ignores the workspace, so the budget is passed straight
+    /// to the pivot loop instead of travelling through `ws`.
+    fn solve_budgeted(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        _ws: &mut SolverWorkspace,
+        budget: SolveBudget,
+    ) -> Result<FlowSolution, NetflowError> {
+        let block = LemraConfig::get().simplex_block.unwrap_or(0);
+        min_cost_flow_network_simplex_budgeted(net, s, t, target, block, budget)
+    }
 }
 
 impl McfSolver for Reoptimizer {
@@ -163,6 +204,23 @@ impl McfSolver for Reoptimizer {
         _ws: &mut SolverWorkspace,
     ) -> Result<FlowSolution, NetflowError> {
         Reoptimizer::solve(self, net, s, t, target)
+    }
+
+    /// The reoptimizer retains its own workspace; the budget is installed on
+    /// the solver itself for this call and the previous one restored after.
+    fn solve_budgeted(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        _ws: &mut SolverWorkspace,
+        budget: SolveBudget,
+    ) -> Result<FlowSolution, NetflowError> {
+        let previous = self.set_budget(budget);
+        let result = Reoptimizer::solve(self, net, s, t, target);
+        self.set_budget(previous);
+        result
     }
 }
 
@@ -317,9 +375,38 @@ impl Backend {
             Backend::Ssp => min_cost_flow_with(net, s, t, target, ws),
             Backend::Scaling => min_cost_flow_scaling_with(net, s, t, target, ws),
             Backend::CycleCancel => min_cost_flow_cycle_canceling_with(net, s, t, target, ws),
-            Backend::Simplex => min_cost_flow_network_simplex(net, s, t, target),
+            // Route the workspace-carried budget into the pivot loop so a
+            // budget installed with `ws.set_budget` binds every backend.
+            Backend::Simplex => {
+                let block = LemraConfig::get().simplex_block.unwrap_or(0);
+                min_cost_flow_network_simplex_budgeted(net, s, t, target, block, ws.budget)
+            }
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
+    }
+
+    /// Solves with this backend under a per-call [`SolveBudget`], reusing
+    /// the calling thread's shared workspace. The budget is scoped to this
+    /// call: the workspace's previous budget is restored afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Backend::solve`], plus [`NetflowError::BudgetExceeded`]
+    /// when the budget runs out.
+    pub fn solve_with_budget(
+        self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        budget: SolveBudget,
+    ) -> Result<FlowSolution, NetflowError> {
+        crate::workspace::with_thread_workspace(|ws| {
+            let previous = ws.set_budget(budget);
+            let result = self.solve_with(net, s, t, target, ws);
+            ws.set_budget(previous);
+            result
+        })
     }
 }
 

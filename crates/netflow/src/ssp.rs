@@ -40,7 +40,11 @@ use crate::{FlowSolution, NetflowError};
 ///   the source is detected; use
 ///   [`min_cost_flow_cycle_canceling`](crate::min_cost_flow_cycle_canceling)
 ///   for such networks.
-/// * [`NetflowError::InvalidArc`] if `s` or `t` are out of range or equal.
+/// * [`NetflowError::InvalidArc`] / [`NetflowError::Overflow`] if
+///   [`FlowNetwork::validate_input`] rejects the instance (bad endpoints,
+///   self-loops, negative target, overflow-prone magnitudes).
+/// * [`NetflowError::BudgetExceeded`] if a [`SolveBudget`](crate::SolveBudget)
+///   installed on the workspace runs out before the solve converges.
 ///
 /// # Examples
 ///
@@ -172,28 +176,16 @@ pub(crate) fn solution_from_residual(
     FlowSolution { flows, value, cost }
 }
 
+/// Shared solve-entry validation: delegates to
+/// [`FlowNetwork::validate_input`] so every backend rejects malformed
+/// instances identically before building a residual graph.
 pub(crate) fn check_endpoints(
     net: &FlowNetwork,
     s: NodeId,
     t: NodeId,
     target: i64,
 ) -> Result<(), NetflowError> {
-    if !net.contains_node(s) || !net.contains_node(t) {
-        return Err(NetflowError::InvalidArc {
-            reason: format!("source {s} or sink {t} out of range"),
-        });
-    }
-    if s == t {
-        return Err(NetflowError::InvalidArc {
-            reason: "source and sink must differ".to_owned(),
-        });
-    }
-    if target < 0 {
-        return Err(NetflowError::InvalidArc {
-            reason: format!("negative flow target {target}"),
-        });
-    }
-    Ok(())
+    net.validate_input(s, t, target)
 }
 
 /// Runs successive shortest paths on `res` until `target` units have moved
@@ -209,8 +201,12 @@ pub(crate) fn ssp_run(
 ) -> Result<i64, NetflowError> {
     ws.prepare(res.node_count());
     initial_potentials(res, s, ws)?;
+    let budget = ws.budget;
+    let mut rounds = 0u64;
     let mut flow = 0i64;
     while flow < target {
+        budget.check_rounds("ssp", "augment", rounds)?;
+        rounds += 1;
         let dist_t = dijkstra_round(res, s, t, ws)?;
         if dist_t >= INF {
             break;

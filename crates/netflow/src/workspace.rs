@@ -13,6 +13,7 @@
 //! `seen[v] == epoch`, so starting a new Dijkstra round is a single counter
 //! increment instead of an O(V) fill.
 
+use crate::budget::SolveBudget;
 use crate::radix::RadixHeap;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -47,6 +48,11 @@ pub struct SolverStats {
     pub dijkstra_rounds: u64,
     /// Flow units pushed along augmenting paths or cancelled cycles.
     pub pushed_units: u64,
+    /// Solver incidents absorbed by a [`ResilientSolver`](crate::ResilientSolver)
+    /// fallback chain. Always 0 in a raw workspace snapshot; resilience-aware
+    /// aggregators (e.g. the allocation pipeline) fold their incident counts
+    /// in here so one struct carries the whole effort/health picture.
+    pub incidents: u64,
 }
 
 impl std::ops::Sub for SolverStats {
@@ -55,6 +61,7 @@ impl std::ops::Sub for SolverStats {
         SolverStats {
             dijkstra_rounds: self.dijkstra_rounds.saturating_sub(rhs.dijkstra_rounds),
             pushed_units: self.pushed_units.saturating_sub(rhs.pushed_units),
+            incidents: self.incidents.saturating_sub(rhs.incidents),
         }
     }
 }
@@ -65,6 +72,7 @@ impl std::ops::Add for SolverStats {
         SolverStats {
             dijkstra_rounds: self.dijkstra_rounds + rhs.dijkstra_rounds,
             pushed_units: self.pushed_units + rhs.pushed_units,
+            incidents: self.incidents + rhs.incidents,
         }
     }
 }
@@ -126,6 +134,10 @@ pub struct SolverWorkspace {
     pub(crate) dijkstra_rounds: u64,
     /// Flow units pushed along augmenting paths, cumulative across solves.
     pub(crate) pushed_units: u64,
+    /// Cooperative work limits consulted by the solvers at phase boundaries.
+    /// Defaults to unlimited; survives [`Self::prepare`] so a budget set once
+    /// governs every solve run on this workspace.
+    pub(crate) budget: SolveBudget,
 }
 
 impl SolverWorkspace {
@@ -165,7 +177,16 @@ impl SolverWorkspace {
         SolverStats {
             dijkstra_rounds: self.dijkstra_rounds,
             pushed_units: self.pushed_units,
+            incidents: 0,
         }
+    }
+
+    /// Installs a [`SolveBudget`] that every subsequent solve on this
+    /// workspace checks cooperatively, returning the previous budget so
+    /// callers can scope a budget to one call and restore the old one after.
+    /// The default budget is unlimited.
+    pub fn set_budget(&mut self, budget: SolveBudget) -> SolveBudget {
+        std::mem::replace(&mut self.budget, budget)
     }
 
     /// Starts a new shortest-path round: invalidates all distance labels in

@@ -149,11 +149,12 @@ fn run() -> Result<(), String> {
             );
         }
         eprintln!(
-            "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed",
+            "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed, {} incidents",
             stats.warm_solves,
             stats.cold_solves,
             stats.solver.dijkstra_rounds,
-            stats.solver.pushed_units
+            stats.solver.pushed_units,
+            stats.solver.incidents
         );
     }
     Ok(())
