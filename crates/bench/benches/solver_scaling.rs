@@ -65,8 +65,9 @@ fn solver_comparison(c: &mut Criterion) {
         ("scaling", Backend::Scaling),
         ("cycle_cancel", Backend::CycleCancel),
         ("network_simplex", Backend::Simplex),
+        ("cost_scaling", Backend::CostScaling),
     ];
-    // All four backends run at every size, 512 included: minimum-mean
+    // All five backends run at every size, 512 included: minimum-mean
     // cancellation and block pivoting made the former laggards measurable
     // at the size where `Auto` would actually consider them.
     for vars in [32usize, 128, 512] {

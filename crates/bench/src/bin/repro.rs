@@ -12,8 +12,9 @@
 //!
 //! `--timings` additionally prints per-stage pipeline timings and solver
 //! counters to **stderr** (stdout — including `--json` — is byte-identical
-//! with or without the flag). `--backend <ssp|scaling|cycle|simplex|auto>`
-//! overrides the solver backend (same values as `LEMRA_BACKEND`, which it
+//! with or without the flag). `--backend
+//! <ssp|scaling|cycle|simplex|cost_scaling|auto>` overrides the solver
+//! backend (same values as `LEMRA_BACKEND`, which it
 //! takes precedence over); every backend reaches the same optimal
 //! objectives, and tie-broken sections commit identical allocations.
 

@@ -17,7 +17,8 @@ use crate::NetflowError;
 use std::sync::OnceLock;
 
 /// Environment variable selecting the min-cost-flow [`Backend`]
-/// (`ssp`, `scaling`, `cycle`, `simplex`, `auto`; default `ssp`).
+/// (`ssp`, `scaling`, `cycle`, `simplex`, `cost_scaling`, `auto`;
+/// default `ssp`).
 pub const BACKEND_ENV: &str = "LEMRA_BACKEND";
 
 /// Environment variable overriding the worker-thread count (`1` forces
@@ -238,9 +239,17 @@ mod tests {
         let err = LemraConfig::from_vars(Some("simplx"), None, None, None).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("simplx"), "names the offender: {msg}");
-        for name in ["ssp", "scaling", "cycle", "simplex", "auto"] {
+        for name in ["ssp", "scaling", "cycle", "simplex", "cost_scaling", "auto"] {
             assert!(msg.contains(name), "lists `{name}`: {msg}");
         }
+    }
+
+    #[test]
+    fn cost_scaling_backend_parses_from_env_vars() {
+        let cfg = LemraConfig::from_vars(Some("cost_scaling"), None, None, None).unwrap();
+        assert_eq!(cfg.backend, Backend::CostScaling);
+        let dashed = LemraConfig::from_vars(Some("cost-scaling"), None, None, None).unwrap();
+        assert_eq!(dashed.backend, Backend::CostScaling);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use crate::dinic::dinic;
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::{idx, Residual};
-use crate::ssp::{check_endpoints, solution_from_residual};
+use crate::ssp::{check_endpoints_with, solution_from_residual};
 use crate::workspace::{with_thread_workspace, SolverWorkspace};
 use crate::{FlowSolution, NetflowError};
 
@@ -83,7 +83,7 @@ pub fn min_cost_flow_cycle_canceling_with(
     target: i64,
     ws: &mut SolverWorkspace,
 ) -> Result<FlowSolution, NetflowError> {
-    check_endpoints(net, s, t, target)?;
+    check_endpoints_with(net, s, t, target, ws)?;
     let n = net.node_count();
 
     // Feasibility: same excess/deficit reduction as the SSP solver, but we
@@ -160,7 +160,7 @@ pub(crate) fn cancel_all_negative_cycles(
     // provably fits, the wide (i128) one otherwise.
     let max_abs_cost = (0..n)
         .flat_map(|u| res.active_slots(u))
-        .map(|slot| res.cost[slot].unsigned_abs())
+        .map(|slot| res.slots[slot].cost.unsigned_abs())
         .max()
         .unwrap_or(0);
     let narrow = (max_abs_cost as u128)
@@ -228,9 +228,9 @@ fn greedy_cancel(res: &mut Residual, ws: &mut SolverWorkspace, scratch: &mut Mea
         let mut pick = NONE;
         let mut pick_cost = i64::MAX;
         for slot in res.active_slots(u) {
-            if res.cap[slot] > 0 && res.cost[slot] < pick_cost {
-                pick_cost = res.cost[slot];
-                pick = res.adj[slot];
+            if res.slots[slot].cap > 0 && res.slots[slot].cost < pick_cost {
+                pick_cost = res.slots[slot].cost;
+                pick = res.slots[slot].edge;
             }
         }
         pick
@@ -291,7 +291,7 @@ fn greedy_cancel(res: &mut Residual, ws: &mut SolverWorkspace, scratch: &mut Mea
 fn has_active_negative_edge(res: &Residual) -> bool {
     (0..res.node_count()).any(|u| {
         res.active_slots(u)
-            .any(|slot| res.cap[slot] > 0 && res.cost[slot] < 0)
+            .any(|slot| res.slots[slot].cap > 0 && res.slots[slot].cost < 0)
     })
 }
 
@@ -328,12 +328,12 @@ macro_rules! howard_cancel_impl {
                 let mut pick = NONE;
                 let mut pick_cost = i64::MAX;
                 for slot in res.active_slots(u) {
-                    if res.cap[slot] > 0
-                        && ws.indegree[res.to[slot] as usize] == c
-                        && res.cost[slot] < pick_cost
+                    if res.slots[slot].cap > 0
+                        && ws.indegree[res.slots[slot].to as usize] == c
+                        && res.slots[slot].cost < pick_cost
                     {
-                        pick_cost = res.cost[slot];
-                        pick = res.adj[slot];
+                        pick_cost = res.slots[slot].cost;
+                        pick = res.slots[slot].edge;
                     }
                 }
                 pick
@@ -456,17 +456,17 @@ macro_rules! howard_cancel_impl {
                     front += 1;
                     let dv = scratch.$dist[v];
                     for slot in res.first_out[v] as usize..res.first_out[v + 1] as usize {
-                        let u = res.to[slot] as usize;
-                        let back = res.adj[slot] ^ 1;
+                        let u = res.slots[slot].to as usize;
+                        let back = res.slots[slot].edge ^ 1;
                         if ws.indegree[u] == c
                             && scratch.reached[u] != gen
                             && ws.parent_edge[u] == back
                         {
                             // cost(e ^ 1) == -cost(e), and the forward cost
                             // rides in this slot: no slot_of indirection.
-                            debug_assert_eq!(res.cost_of(back), -res.cost[slot]);
+                            debug_assert_eq!(res.cost_of(back), -res.slots[slot].cost);
                             scratch.$dist[u] =
-                                dv + (-res.cost[slot]) as $ty * best.len as $ty - best.cost;
+                                dv + (-res.slots[slot].cost) as $ty * best.len as $ty - best.cost;
                             scratch.reached[u] = gen;
                             scratch.bfs.push(u as u32);
                         }
@@ -483,15 +483,16 @@ macro_rules! howard_cancel_impl {
                         front += 1;
                         let dv = scratch.$dist[v];
                         for slot in res.first_out[v] as usize..res.first_out[v + 1] as usize {
-                            let u = res.to[slot] as usize;
-                            let back = res.adj[slot] ^ 1;
+                            let u = res.slots[slot].to as usize;
+                            let back = res.slots[slot].edge ^ 1;
                             if ws.indegree[u] == c
                                 && scratch.reached[u] != gen
                                 && res.cap_of(back) > 0
                             {
                                 ws.parent_edge[u] = back;
-                                scratch.$dist[u] =
-                                    dv + (-res.cost[slot]) as $ty * best.len as $ty - best.cost;
+                                scratch.$dist[u] = dv
+                                    + (-res.slots[slot].cost) as $ty * best.len as $ty
+                                    - best.cost;
                                 scratch.reached[u] = gen;
                                 scratch.bfs.push(u as u32);
                             }
@@ -512,18 +513,18 @@ macro_rules! howard_cancel_impl {
                     let u = scratch.comp_nodes[nodes_start + i] as usize;
                     let mut du = scratch.$dist[u];
                     for slot in res.active_slots(u) {
-                        if res.cap[slot] <= 0 {
+                        if res.slots[slot].cap <= 0 {
                             continue;
                         }
-                        let v = res.to[slot] as usize;
+                        let v = res.slots[slot].to as usize;
                         if ws.indegree[v] != c {
                             continue;
                         }
-                        let d =
-                            scratch.$dist[v] + res.cost[slot] as $ty * best.len as $ty - best.cost;
+                        let d = scratch.$dist[v] + res.slots[slot].cost as $ty * best.len as $ty
+                            - best.cost;
                         if d < du {
                             du = d;
-                            ws.parent_edge[u] = res.adj[slot];
+                            ws.parent_edge[u] = res.slots[slot].edge;
                             improved = true;
                         }
                     }
@@ -586,7 +587,7 @@ fn spfa_negative_cycles(
     let n = res.node_count();
     ws.queue.clear();
     for v in 0..n {
-        ws.dist[v] = 0;
+        ws.node[v].dist = 0;
         ws.parent_edge[v] = NONE;
         ws.in_queue[v] = true;
         ws.queue.push_back(v as u32);
@@ -608,16 +609,16 @@ fn spfa_negative_cycles(
             // queue cannot drain, so one scan must eventually catch it.
             next_scan += n.max(32);
         }
-        let du = ws.dist[u];
+        let du = ws.node[u].dist;
         for slot in res.active_slots(u) {
-            if res.cap[slot] <= 0 {
+            if res.slots[slot].cap <= 0 {
                 continue;
             }
-            let v = res.to[slot] as usize;
-            let nd = du + res.cost[slot];
-            if nd < ws.dist[v] {
-                ws.dist[v] = nd;
-                ws.parent_edge[v] = res.adj[slot];
+            let v = res.slots[slot].to as usize;
+            let nd = du + res.slots[slot].cost;
+            if nd < ws.node[v].dist {
+                ws.node[v].dist = nd;
+                ws.parent_edge[v] = res.slots[slot].edge;
                 if !ws.in_queue[v] {
                     ws.in_queue[v] = true;
                     ws.queue.push_back(v as u32);
@@ -864,8 +865,8 @@ fn strongly_connected_components(
             if (*cursor as usize) < res.active_end[u] as usize {
                 let slot = *cursor as usize;
                 *cursor += 1;
-                if res.cap[slot] > 0 {
-                    let v = res.to[slot];
+                if res.slots[slot].cap > 0 {
+                    let v = res.slots[slot].to;
                     if scratch.mark[v as usize] != seen {
                         scratch.mark[v as usize] = seen;
                         scratch.stack.push((v, res.first_out[v as usize]));
@@ -899,9 +900,9 @@ fn strongly_connected_components(
             if (*cursor as usize) < res.first_out[u + 1] as usize {
                 let slot = *cursor as usize;
                 *cursor += 1;
-                let back = res.adj[slot] ^ 1;
+                let back = res.slots[slot].edge ^ 1;
                 if res.cap_of(back) > 0 {
-                    let v = res.to[slot];
+                    let v = res.slots[slot].to;
                     if scratch.mark[v as usize] != seen {
                         scratch.mark[v as usize] = seen;
                         ws.indegree[v as usize] = c;
@@ -942,7 +943,10 @@ fn group_components(res: &Residual, ws: &SolverWorkspace, scratch: &mut MeanScra
     for u in 0..n {
         let cu = comp[u];
         for slot in res.active_slots(u) {
-            if res.cap[slot] > 0 && res.cost[slot] < 0 && comp[res.to[slot] as usize] == cu {
+            if res.slots[slot].cap > 0
+                && res.slots[slot].cost < 0
+                && comp[res.slots[slot].to as usize] == cu
+            {
                 scratch.comp_neg[cu as usize] = true;
                 break;
             }
@@ -996,12 +1000,12 @@ fn howard_converge(
         let mut pick = NONE;
         let mut pick_cost = i64::MAX;
         for slot in res.active_slots(u) {
-            if res.cap[slot] > 0
-                && ws.indegree[res.to[slot] as usize] == c
-                && res.cost[slot] < pick_cost
+            if res.slots[slot].cap > 0
+                && ws.indegree[res.slots[slot].to as usize] == c
+                && res.slots[slot].cost < pick_cost
             {
-                pick_cost = res.cost[slot];
-                pick = res.adj[slot];
+                pick_cost = res.slots[slot].cost;
+                pick = res.slots[slot].edge;
             }
         }
         if pick == NONE {
@@ -1073,8 +1077,8 @@ fn howard_converge(
             front += 1;
             let dv = scratch.dist[v];
             for slot in res.first_out[v] as usize..res.first_out[v + 1] as usize {
-                let u = res.to[slot] as usize;
-                let back = res.adj[slot] ^ 1;
+                let u = res.slots[slot].to as usize;
+                let back = res.slots[slot].edge ^ 1;
                 if ws.indegree[u] == c && scratch.reached[u] != gen && ws.parent_edge[u] == back {
                     scratch.dist[u] = dv + res.cost_of(back) as i128 * best.len as i128 - best.cost;
                     scratch.reached[u] = gen;
@@ -1088,8 +1092,8 @@ fn howard_converge(
             front += 1;
             let dv = scratch.dist[v];
             for slot in res.first_out[v] as usize..res.first_out[v + 1] as usize {
-                let u = res.to[slot] as usize;
-                let back = res.adj[slot] ^ 1;
+                let u = res.slots[slot].to as usize;
+                let back = res.slots[slot].edge ^ 1;
                 if ws.indegree[u] == c && scratch.reached[u] != gen && res.cap_of(back) > 0 {
                     ws.parent_edge[u] = back;
                     scratch.dist[u] = dv + res.cost_of(back) as i128 * best.len as i128 - best.cost;
@@ -1106,17 +1110,18 @@ fn howard_converge(
             let u = comp(scratch, i);
             let mut du = scratch.dist[u];
             for slot in res.active_slots(u) {
-                if res.cap[slot] <= 0 {
+                if res.slots[slot].cap <= 0 {
                     continue;
                 }
-                let v = res.to[slot] as usize;
+                let v = res.slots[slot].to as usize;
                 if ws.indegree[v] != c {
                     continue;
                 }
-                let d = scratch.dist[v] + res.cost[slot] as i128 * best.len as i128 - best.cost;
+                let d =
+                    scratch.dist[v] + res.slots[slot].cost as i128 * best.len as i128 - best.cost;
                 if d < du {
                     du = d;
-                    ws.parent_edge[u] = res.adj[slot];
+                    ws.parent_edge[u] = res.slots[slot].edge;
                     improved = true;
                 }
             }
@@ -1162,18 +1167,18 @@ fn karp_negative_cycle(
                 continue;
             }
             for slot in res.active_slots(u as usize) {
-                if res.cap[slot] <= 0 {
+                if res.slots[slot].cap <= 0 {
                     continue;
                 }
-                let v = res.to[slot] as usize;
+                let v = res.slots[slot].to as usize;
                 if ws.indegree[v] != c {
                     continue;
                 }
                 let lv = local[v] as usize;
-                let cand = prev[lu] + res.cost[slot] as i128;
+                let cand = prev[lu] + res.slots[slot].cost as i128;
                 if cand < cur[lv] {
                     cur[lv] = cand;
-                    cur_p[lv] = res.adj[slot];
+                    cur_p[lv] = res.slots[slot].edge;
                 }
             }
         }

@@ -89,10 +89,48 @@ pub struct Arc {
 /// A directed flow network: an arena of nodes and [`Arc`]s.
 ///
 /// See the module documentation for an example.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct FlowNetwork {
     node_count: usize,
     arcs: Vec<Arc>,
+    /// Process-unique identity of this network instance, paired with
+    /// `version` to key per-workspace caches (validated-input scans, rebuilt
+    /// residual graphs). A clone gets a fresh `uid`: two networks with equal
+    /// contents may diverge through later mutation, so identity never
+    /// survives a copy.
+    uid: u64,
+    /// Bumped by every structural or value mutation; see
+    /// [`FlowNetwork::cache_stamp`].
+    version: u64,
+}
+
+/// Source of [`FlowNetwork::uid`] values.
+static NEXT_NETWORK_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_network_uid() -> u64 {
+    NEXT_NETWORK_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Default for FlowNetwork {
+    fn default() -> Self {
+        Self {
+            node_count: 0,
+            arcs: Vec::new(),
+            uid: fresh_network_uid(),
+            version: 0,
+        }
+    }
+}
+
+impl Clone for FlowNetwork {
+    fn clone(&self) -> Self {
+        Self {
+            node_count: self.node_count,
+            arcs: self.arcs.clone(),
+            uid: fresh_network_uid(),
+            version: 0,
+        }
+    }
 }
 
 impl FlowNetwork {
@@ -106,15 +144,26 @@ impl FlowNetwork {
     pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
         let _ = nodes;
         Self {
-            node_count: 0,
             arcs: Vec::with_capacity(arcs),
+            ..Self::default()
         }
+    }
+
+    /// `(uid, version)` identity of the network's current contents. Two
+    /// stamps compare equal only if they were taken from the same network
+    /// instance with no mutation in between, which is exactly the validity
+    /// condition for caching derived artifacts (input-scan verdicts, residual
+    /// CSR layouts) outside the network itself.
+    #[inline]
+    pub(crate) fn cache_stamp(&self) -> (u64, u64) {
+        (self.uid, self.version)
     }
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(u32::try_from(self.node_count).expect("more than u32::MAX nodes"));
         self.node_count += 1;
+        self.version += 1;
         id
     }
 
@@ -180,6 +229,7 @@ impl FlowNetwork {
             capacity,
             cost,
         });
+        self.version += 1;
         Ok(id)
     }
 
@@ -194,6 +244,7 @@ impl FlowNetwork {
     /// Panics if `arc` does not belong to this network.
     pub fn set_arc_cost(&mut self, arc: ArcId, cost: i64) {
         self.arcs[arc.index()].cost = cost;
+        self.version += 1;
     }
 
     /// Overwrites the capacity of `arc`, keeping everything else.
@@ -217,6 +268,7 @@ impl FlowNetwork {
             });
         }
         a.capacity = capacity;
+        self.version += 1;
         Ok(())
     }
 
@@ -245,6 +297,12 @@ impl FlowNetwork {
             .iter()
             .enumerate()
             .map(|(i, a)| (ArcId(i as u32), a))
+    }
+
+    /// The arc arena in creation order, for the solvers' residual-graph
+    /// construction loops.
+    pub(crate) fn arcs_slice(&self) -> &[Arc] {
+        &self.arcs
     }
 
     /// True if any arc has a non-zero lower bound.
@@ -285,6 +343,26 @@ impl FlowNetwork {
     /// As listed above; `Ok(())` means the instance is safe to hand to any
     /// backend.
     pub fn validate_input(&self, s: NodeId, t: NodeId, target: i64) -> Result<(), NetflowError> {
+        self.validate_request(s, t, target)?;
+        let achievable = self.scan_arcs(s, t)?;
+        if target > achievable {
+            return Err(NetflowError::Infeasible {
+                required: target,
+                achieved: achievable,
+            });
+        }
+        Ok(())
+    }
+
+    /// The O(1) head of [`FlowNetwork::validate_input`]: endpoint and target
+    /// checks that depend on the request alone, re-run on every solve even
+    /// when the arc scan below is cached.
+    pub(crate) fn validate_request(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+    ) -> Result<(), NetflowError> {
         if !self.contains_node(s) || !self.contains_node(t) {
             return Err(NetflowError::InvalidArc {
                 reason: format!("source {s} or sink {t} out of range"),
@@ -300,6 +378,16 @@ impl FlowNetwork {
                 reason: format!("negative flow target {target}"),
             });
         }
+        Ok(())
+    }
+
+    /// The O(arcs) tail of [`FlowNetwork::validate_input`]: per-arc
+    /// invariants and the overflow audit. Returns the capacity bound
+    /// `min(out of s, into t)` so the caller can compare it against any
+    /// target. Depends only on the arc list and `(s, t)`, which makes the
+    /// verdict cacheable against [`FlowNetwork::cache_stamp`] — sweeps
+    /// re-solving one network pay for the scan once.
+    pub(crate) fn scan_arcs(&self, s: NodeId, t: NodeId) -> Result<i64, NetflowError> {
         let mut out_of_s = 0i64;
         let mut into_t = 0i64;
         let mut lower_sum = 0i64;
@@ -339,13 +427,6 @@ impl FlowNetwork {
                 (a.cost.unsigned_abs() as u128) * (a.capacity.unsigned_abs().max(1) as u128),
             );
         }
-        let achievable = out_of_s.min(into_t);
-        if target > achievable {
-            return Err(NetflowError::Infeasible {
-                required: target,
-                achieved: achievable,
-            });
-        }
         // The SSP family treats i64::MAX / 4 as infinity and forms sums of
         // distances, potentials and arc costs below it; keep the worst-case
         // accumulated cost strictly inside that headroom.
@@ -358,7 +439,7 @@ impl FlowNetwork {
                 ),
             });
         }
-        Ok(())
+        Ok(out_of_s.min(into_t))
     }
 
     /// Sum of all positive arc costs times capacities — a safe upper bound on

@@ -7,7 +7,7 @@
 //! paper's "forced register" arcs of §5.2) and possibly **negative** costs
 //! (a register placement *saves* memory energy, eq. (4)).
 //!
-//! Two independent solvers are provided:
+//! Five independent solvers are provided:
 //!
 //! * [`min_cost_flow`] — successive shortest paths with node potentials; the
 //!   production solver, polynomial time, requires the network to be free of
@@ -20,6 +20,11 @@
 //! * [`min_cost_flow_network_simplex`] — the classical network simplex with
 //!   block-search pivoting and a strongly feasible basis, handling
 //!   negative-cost cycles; a fourth independent implementation.
+//! * [`min_cost_flow_cost_scaling`] — Goldberg–Tarjan push-relabel with
+//!   ε-scaling (push-lookahead, price refinement and set-relabel
+//!   heuristics); handles negative-cost cycles natively and is the
+//!   auto-selected backend for cyclic networks; a fifth independent
+//!   implementation.
 //!
 //! Plus [`max_flow`] (Dinic), [`validate`] for auditing any solution, and
 //! [`FlowSolution::decompose_paths`] to extract the register chains.
@@ -97,6 +102,7 @@
 mod batch;
 mod budget;
 mod config;
+mod cost_scaling;
 mod cycle_cancel;
 mod dinic;
 mod dot;
@@ -117,6 +123,7 @@ mod workspace;
 pub use batch::{solve_batch, solve_batch_on, BatchProblem};
 pub use budget::SolveBudget;
 pub use config::{LemraConfig, BACKEND_ENV, COLD_ENV, SIMPLEX_BLOCK_ENV, THREADS_ENV};
+pub use cost_scaling::{min_cost_flow_cost_scaling, min_cost_flow_cost_scaling_with};
 pub use cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
 pub use dinic::max_flow;
 pub use dot::to_dot;
@@ -128,7 +135,9 @@ pub use resilience::{ResilientSolver, SolverIncident};
 pub use scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
 pub use simplex::{min_cost_flow_network_simplex, min_cost_flow_network_simplex_with_block};
 pub use solution::{validate, FlowSolution};
-pub use solver::{Backend, CapacityScaling, CycleCancelling, McfSolver, NetworkSimplex, Ssp};
+pub use solver::{
+    Backend, CapacityScaling, CostScalingSolver, CycleCancelling, McfSolver, NetworkSimplex, Ssp,
+};
 pub use ssp::{min_cost_flow, min_cost_flow_with};
 pub use workspace::{thread_solver_stats, SolverStats, SolverWorkspace};
 
@@ -168,7 +177,7 @@ pub enum NetflowError {
     /// [`ResilientSolver`] fall back to another backend.
     BudgetExceeded {
         /// The backend that hit the limit (`ssp`, `scaling`, `cycle`,
-        /// `simplex`, `reopt`).
+        /// `simplex`, `cost_scaling`, `reopt`).
         backend: &'static str,
         /// The phase the limit tripped in (`augment`, `cancel`, `pivot`,
         /// `drain`, …).

@@ -29,6 +29,9 @@ pub(crate) struct RadixHeap {
     /// `buckets[b]` holds keys whose highest bit differing from `last` is
     /// `b - 1`; `buckets[0]` holds keys equal to `last`.
     buckets: Vec<Vec<(i64, u32)>>,
+    /// Bit `b` set iff `buckets[b]` is non-empty, so finding the lowest
+    /// occupied bucket is one `trailing_zeros` instead of a linear scan.
+    occupied: u128,
     /// The monotone floor: last popped key (or the reset floor).
     last: i64,
     len: usize,
@@ -40,6 +43,7 @@ impl Default for RadixHeap {
     fn default() -> Self {
         Self {
             buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: 0,
             last: 0,
             len: 0,
         }
@@ -53,6 +57,7 @@ impl RadixHeap {
         for b in &mut self.buckets {
             b.clear();
         }
+        self.occupied = 0;
         self.last = 0;
         self.len = 0;
     }
@@ -73,7 +78,9 @@ impl RadixHeap {
     #[inline]
     pub fn push(&mut self, key: i64, value: u32) {
         debug_assert!(key >= self.last, "radix heap requires monotone keys");
-        self.buckets[Self::bucket_index(self.last, key)].push((key, value));
+        let b = Self::bucket_index(self.last, key);
+        self.buckets[b].push((key, value));
+        self.occupied |= 1 << b;
         self.len += 1;
     }
 
@@ -83,26 +90,35 @@ impl RadixHeap {
             return None;
         }
         if self.buckets[0].is_empty() {
-            let b = self
-                .buckets
-                .iter()
-                .position(|v| !v.is_empty())
-                .expect("len > 0 implies a non-empty bucket");
+            let b = self.occupied.trailing_zeros() as usize;
+            debug_assert!(b < BUCKETS, "len > 0 implies a non-empty bucket");
             let min = self.buckets[b]
                 .iter()
                 .map(|&(k, _)| k)
                 .min()
                 .expect("bucket b is non-empty");
             self.last = min;
-            let drained = std::mem::take(&mut self.buckets[b]);
-            for (k, v) in drained {
+            // Take the bucket out to appease the borrow checker, but put it
+            // back afterwards so its capacity survives for later rounds —
+            // dropping it here would make every redistribution free and then
+            // re-grow the same buffer.
+            let mut drained = std::mem::take(&mut self.buckets[b]);
+            self.occupied &= !(1u128 << b);
+            for &(k, v) in &drained {
                 let nb = Self::bucket_index(min, k);
                 debug_assert!(nb < b, "redistribution must move entries down");
                 self.buckets[nb].push((k, v));
+                self.occupied |= 1 << nb;
             }
+            drained.clear();
+            self.buckets[b] = drained;
         }
         self.len -= 1;
-        self.buckets[0].pop()
+        let out = self.buckets[0].pop();
+        if self.buckets[0].is_empty() {
+            self.occupied &= !1;
+        }
+        out
     }
 }
 

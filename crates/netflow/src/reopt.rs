@@ -256,9 +256,9 @@ impl Reoptimizer {
             return;
         }
         if let Some(state) = self.state.as_mut() {
-            for p in state.ws.potential.iter_mut() {
-                if *p < INF {
-                    *p = (*p as f64 * ratio).round() as i64;
+            for st in state.ws.node.iter_mut() {
+                if st.potential < INF {
+                    st.potential = (st.potential as f64 * ratio).round() as i64;
                 }
             }
             state.recheck_all = true;
@@ -305,8 +305,8 @@ impl Reoptimizer {
             return;
         }
         let global = total_s / total_w;
-        for (v, p) in state.ws.potential.iter_mut().enumerate() {
-            if *p >= INF {
+        for (v, st) in state.ws.node.iter_mut().enumerate() {
+            if st.potential >= INF {
                 continue;
             }
             let r = if v < n && weight[v] > 0.0 {
@@ -314,7 +314,7 @@ impl Reoptimizer {
             } else {
                 global
             };
-            *p = (*p as f64 * r).round() as i64;
+            st.potential = (st.potential as f64 * r).round() as i64;
         }
         state.recheck_all = true;
     }
@@ -346,8 +346,8 @@ impl State {
             if old.cost != new.cost || old.capacity != new.capacity {
                 // A delta incident to a node the initial-potential pass
                 // proved unreachable has no trustworthy reduced cost.
-                if self.ws.potential[new.from.index()] >= INF
-                    || self.ws.potential[new.to.index()] >= INF
+                if self.ws.node[new.from.index()].potential >= INF
+                    || self.ws.node[new.to.index()].potential >= INF
                 {
                     return Ok(Warm::Fallback);
                 }
@@ -355,7 +355,9 @@ impl State {
             }
         }
         let df = target - self.target;
-        if df != 0 && (self.ws.potential[self.s] >= INF || self.ws.potential[self.t] >= INF) {
+        if df != 0
+            && (self.ws.node[self.s].potential >= INF || self.ws.node[self.t].potential >= INF)
+        {
             return Ok(Warm::Fallback);
         }
         if self.touched.is_empty() && df == 0 && !self.recheck_all {
@@ -415,7 +417,7 @@ impl State {
         // non-negative reduced cost again.
         self.recheck_all = false;
         if !self.refine_prices() && !self.cancel_retained_cycles()? {
-            for e in 0..self.res.cap.len() as u32 {
+            for e in 0..self.res.slots.len() as u32 {
                 self.saturate_if_negative(e);
             }
         }
@@ -477,26 +479,26 @@ impl State {
                      lowered: &mut [u8],
                      in_queue: &mut [bool],
                      frozen: &mut bool| {
-            let pu = ws.potential[u];
+            let pu = ws.node[u].potential;
             if pu >= INF {
                 return;
             }
             for slot in res.active_slots(u) {
-                if res.cap[slot] <= 0 {
+                if res.slots[slot].cap <= 0 {
                     continue;
                 }
-                let v = res.to[slot] as usize;
-                if ws.potential[v] >= INF {
+                let v = res.slots[slot].to as usize;
+                if ws.node[v].potential >= INF {
                     continue;
                 }
-                let bound = pu + res.cost[slot];
-                if bound < ws.potential[v] {
+                let bound = pu + res.slots[slot].cost;
+                if bound < ws.node[v].potential {
                     if lowered[v] >= MAX_RELAX {
                         *frozen = true;
                         continue;
                     }
                     lowered[v] += 1;
-                    ws.potential[v] = bound;
+                    ws.node[v].potential = bound;
                     if !in_queue[v] {
                         in_queue[v] = true;
                         queue.push_back(v as u32);
@@ -536,14 +538,17 @@ impl State {
     /// workspace carries a budget; the parked potentials are restored before
     /// the error propagates, so the state stays internally consistent.
     fn cancel_retained_cycles(&mut self) -> Result<bool, NetflowError> {
-        if self.ws.potential.iter().any(|&p| p >= INF) {
+        if self.ws.node.iter().any(|st| st.potential >= INF) {
             return Ok(false);
         }
         // The cancellation machinery re-prepares the workspace, which
-        // resets potentials; park them across the call.
-        let saved = std::mem::take(&mut self.ws.potential);
+        // resets potentials; park them across the call. This is a rare
+        // fallback path, so the copy out and back is fine.
+        let saved: Vec<i64> = self.ws.node.iter().map(|st| st.potential).collect();
         let outcome = crate::cycle_cancel::cancel_all_negative_cycles(&mut self.res, &mut self.ws);
-        self.ws.potential = saved;
+        for (st, &p) in self.ws.node.iter_mut().zip(&saved) {
+            st.potential = p;
+        }
         outcome?;
         Ok(self.refine_prices())
     }
@@ -559,7 +564,7 @@ impl State {
         }
         let u = self.res.tail(e);
         let v = self.res.head(e);
-        let (pu, pv) = (self.ws.potential[u], self.ws.potential[v]);
+        let (pu, pv) = (self.ws.node[u].potential, self.ws.node[v].potential);
         if pu >= INF || pv >= INF {
             return;
         }
@@ -584,7 +589,7 @@ impl State {
             let mut balanced = true;
             for v in 0..self.excess.len() {
                 if self.excess[v] > 0 {
-                    if self.ws.potential[v] >= INF {
+                    if self.ws.node[v].potential >= INF {
                         // Imbalance in a region the potentials never
                         // covered; only synthetic states could produce
                         // this — refuse rather than guess.
@@ -630,30 +635,30 @@ impl State {
             if self.excess[u] < 0 {
                 return Ok(Some((u, d)));
             }
-            let pu = self.ws.potential[u];
+            let pu = self.ws.node[u].potential;
             if pu >= INF {
                 continue;
             }
             let bu = self.ws.bottleneck_to[u];
             for slot in self.res.active_slots(u) {
-                let cap = self.res.cap[slot];
+                let cap = self.res.slots[slot].cap;
                 if cap <= 0 {
                     continue;
                 }
-                let v = self.res.to[slot] as usize;
-                if self.ws.potential[v] >= INF {
+                let v = self.res.slots[slot].to as usize;
+                if self.ws.node[v].potential >= INF {
                     // Same reasoning as the cold solver's rounds: nodes the
                     // initialisation proved unreachable stay out of bounds.
                     continue;
                 }
-                let reduced = self.res.cost[slot] + pu - self.ws.potential[v];
+                let reduced = self.res.slots[slot].cost + pu - self.ws.node[v].potential;
                 #[cfg(feature = "validate")]
                 if reduced < 0 {
                     return Err(NetflowError::InvalidSolution {
                         reason: format!(
                             "negative reduced cost {reduced} on residual edge {} \
                              ({u} -> {v}) after delta application",
-                            self.res.adj[slot]
+                            self.res.slots[slot].edge
                         ),
                     });
                 }
@@ -661,7 +666,7 @@ impl State {
                 let nd = d + reduced;
                 if nd < self.ws.dist_of(v) {
                     self.ws.set_dist(v, nd);
-                    self.ws.parent_edge[v] = self.res.adj[slot];
+                    self.ws.parent_edge[v] = self.res.slots[slot].edge;
                     self.ws.bottleneck_to[v] = bu.min(cap);
                     self.ws.heap.push(nd, v as u32);
                 }
@@ -675,19 +680,19 @@ impl State {
     #[cfg(feature = "validate")]
     fn audit(&self) -> Result<(), NetflowError> {
         for u in 0..self.res.node_count() {
-            let pu = self.ws.potential[u];
+            let pu = self.ws.node[u].potential;
             if pu >= INF {
                 continue;
             }
             for slot in self.res.active_slots(u) {
-                if self.res.cap[slot] <= 0 {
+                if self.res.slots[slot].cap <= 0 {
                     continue;
                 }
-                let v = self.res.to[slot] as usize;
-                if self.ws.potential[v] >= INF {
+                let v = self.res.slots[slot].to as usize;
+                if self.ws.node[v].potential >= INF {
                     continue;
                 }
-                let reduced = self.res.cost[slot] + pu - self.ws.potential[v];
+                let reduced = self.res.slots[slot].cost + pu - self.ws.node[v].potential;
                 if reduced < 0 {
                     return Err(NetflowError::InvalidSolution {
                         reason: format!(

@@ -469,6 +469,46 @@ mod tests {
     }
 
     #[test]
+    fn budget_starved_cost_scaling_recovers_via_pivot_backend() {
+        // Cost scaling counts ε-phases against the rounds budget; simplex
+        // budgets pivots instead, so it completes under the same budget
+        // object and absorbs the starved primary.
+        let (net, s, t) = diamond();
+        let mut solver = ResilientSolver::with_chain(vec![Backend::CostScaling, Backend::Simplex]);
+        solver.set_budget(SolveBudget::default().with_max_rounds(0));
+        let sol = solver.solve(&net, s, t, 2).unwrap();
+        assert_eq!(sol.cost, 8);
+        assert_eq!(solver.incident_count(), 1);
+        let incident = &solver.incidents()[0];
+        assert_eq!(incident.backend, "cost_scaling");
+        assert_eq!(incident.recovered_with.as_deref(), Some("simplex"));
+    }
+
+    #[test]
+    fn negative_cycle_recovers_via_cost_scaling_link() {
+        // SSP refuses negative cycles; cost scaling handles them natively,
+        // so a chain ending in it recovers just like the cycle-cancelling
+        // chain does.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 0).unwrap();
+        net.add_arc(a, b, 1, -5).unwrap();
+        net.add_arc(b, a, 1, -5).unwrap();
+        net.add_arc(a, t, 1, 0).unwrap();
+        let mut solver = ResilientSolver::with_chain(vec![Backend::Ssp, Backend::CostScaling]);
+        let sol = solver.solve(&net, s, t, 1).unwrap();
+        assert_eq!(sol.value, 1);
+        assert_eq!(solver.incident_count(), 1);
+        let incident = &solver.incidents()[0];
+        assert_eq!(incident.backend, "ssp");
+        assert_eq!(incident.recovered_with.as_deref(), Some("cost_scaling"));
+        assert!(incident.error.contains("negative-cost cycle"));
+    }
+
+    #[test]
     fn stateful_primary_falls_back_and_can_reset() {
         let (net, s, t) = diamond();
         let mut reopt = crate::Reoptimizer::new();

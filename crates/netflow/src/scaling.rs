@@ -1,15 +1,23 @@
-//! Capacity-scaling successive-shortest-path min-cost flow.
+//! Capacity-scaling min-cost flow (excess/deficit Δ-scaling).
 //!
-//! A scaling refinement in the spirit of Edmonds–Karp: phases with
-//! threshold Δ (halved until 1) augment only along shortest paths whose
-//! bottleneck is at least Δ, so large-capacity networks move bulk flow in
-//! few fat augmentations instead of `O(F)` thin ones. The final Δ = 1
-//! phase degenerates to plain successive shortest paths, which is what
-//! makes the solver exact.
+//! The classic Edmonds–Karp / Ahuja–Magnanti–Orlin refinement: phases with
+//! threshold Δ (halved until 1) move flow only along residual arcs of
+//! capacity at least Δ, so large-capacity networks move bulk flow in
+//! `O(log U)` fat phases instead of `O(F)` thin augmentations. Each phase
+//! works on a *pseudo-flow*: node imbalances (excesses and deficits) are
+//! allowed mid-phase, and a multi-source Δ-filtered Dijkstra routes excess
+//! into deficits along shortest reduced-cost paths. The final Δ = 1 phase
+//! sees every residual arc, which is what makes the solver exact.
 //!
-//! The shortest-path machinery (potential initialisation, early-exit
-//! Dijkstra over the CSR residual, workspace reuse) is shared with the plain
-//! SSP solver in [`crate::ssp`].
+//! Potentials are initialised once (shared machinery with [`crate::ssp`])
+//! and *reused across Δ-phases*: each Dijkstra folds its settled distances
+//! into the potentials, keeping reduced costs non-negative on the current
+//! Δ-subgraph. Halving Δ admits smaller arcs whose reduced cost may have
+//! gone negative while they were filtered out; a saturation sweep over the
+//! CSR active prefixes restores Δ-feasibility by pushing those arcs to
+//! capacity (standard: the push flips them into positive-reduced-cost
+//! backward arcs and shifts the imbalance onto the endpoints, where the
+//! drain loop picks it up).
 //!
 //! The allocation networks of `lemra-core` have unit capacities, where
 //! plain SSP is already optimal — this solver exists for the general
@@ -20,8 +28,8 @@
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::Residual;
 use crate::ssp::{
-    augment, check_endpoints, dijkstra_round, initial_potentials, solution_from_residual,
-    transform, update_potentials, Transformed,
+    check_endpoints_with, initial_potentials, solution_from_residual, ssp_phases, transform_into,
+    update_potentials,
 };
 use crate::workspace::{with_thread_workspace, SolverWorkspace, INF};
 use crate::{FlowSolution, NetflowError};
@@ -75,81 +83,241 @@ pub fn min_cost_flow_scaling_with(
     target: i64,
     ws: &mut SolverWorkspace,
 ) -> Result<FlowSolution, NetflowError> {
-    check_endpoints(net, s, t, target)?;
+    check_endpoints_with(net, s, t, target, ws)?;
 
-    // Same excess/deficit reduction as the plain SSP solver.
-    let Transformed {
-        mut res,
-        super_s,
-        super_t,
-        required,
-    } = transform(net, s, t, target);
+    // Same excess/deficit reduction as the plain SSP solver, built into the
+    // workspace's residual arena so repeated solves reuse its buffers.
+    let mut res = ws.take_arena();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, &mut res);
 
-    let pushed = scaling_run(&mut res, super_s, super_t, required, ws)?;
-    if pushed < required {
-        return Err(NetflowError::Infeasible {
-            required,
-            achieved: pushed,
-        });
-    }
-    Ok(solution_from_residual(net, &res, target))
+    let outcome = scaling_run(&mut res, super_s, super_t, required, ws);
+    let solution = outcome.map(|pushed| {
+        if pushed < required {
+            Err(NetflowError::Infeasible {
+                required,
+                achieved: pushed,
+            })
+        } else {
+            Ok(solution_from_residual(net, &res, target))
+        }
+    });
+    ws.put_arena(res);
+    solution?
 }
+
+/// Initial Δ below which the excess/deficit machinery is pure overhead: on
+/// near-unit capacities every phase moves single units anyway, and the
+/// Δ = 2 → 1 transition saturates a wave of newly admitted negative arcs
+/// whose stranded pseudo-flow costs a multi-source Dijkstra round per
+/// excess/deficit pair to drain. Plain SSP phases solve those instances in
+/// a handful of blocking flows.
+const SCALING_MIN_DELTA: i64 = 8;
 
 fn scaling_run(
     res: &mut Residual,
     s: usize,
     t: usize,
-    target: i64,
+    required: i64,
     ws: &mut SolverWorkspace,
 ) -> Result<i64, NetflowError> {
-    if target == 0 {
+    if required == 0 {
         return Ok(0);
     }
-    let max_cap = res.cap.iter().copied().max().unwrap_or(0);
     let mut delta = 1i64;
     // Division form: `delta * 2` would overflow i64 for capacities near
     // i64::MAX (validate_input admits large capacities on cheap arcs).
-    while delta <= max_cap.min(target) / 2 {
+    while delta <= res.max_build_cap.min(required) / 2 {
         delta *= 2;
     }
+    if delta < SCALING_MIN_DELTA {
+        return ssp_phases(res, s, t, required, ws, "scaling");
+    }
 
-    // Potentials valid for *all* residual edges (including those below the
-    // current Δ) — initialised once (topological relaxation on DAGs, SPFA
-    // otherwise — the same O(V+E) DAG path the plain SSP solver uses), then
-    // maintained by full (Δ-independent) Dijkstra updates. Using
-    // Δ-restricted distances for potential updates can produce negative
-    // reduced costs on small edges; we avoid that by running Dijkstra over
-    // all positive-capacity edges but only *augmenting* along paths whose
-    // bottleneck is ≥ Δ.
-    ws.prepare(res.node_count());
+    let n = res.node_count();
+    ws.prepare(n);
     initial_potentials(res, s, ws)?;
-    let mut flow = 0i64;
 
-    // One Dijkstra per augmentation, across all phases. Earlier revisions
-    // broke out of a phase when the shortest path's bottleneck fell below Δ
-    // and re-ran an identical round in the next phase; since the potentials
-    // (and hence the shortest-path tree) are Δ-independent, we instead drop
-    // Δ to the largest power of two that fits the bottleneck and augment the
-    // already-computed path immediately. Likewise, an unreachable sink ends
-    // the solve outright — no smaller Δ can reconnect it.
-    let budget = ws.budget;
+    // The whole requirement starts as excess at the super-source and a
+    // matching deficit at the super-sink; phases shuttle it across.
+    ws.excess.clear();
+    ws.excess.resize(n, 0);
+    ws.excess[s] = i128::from(required);
+    ws.excess[t] = -i128::from(required);
+
     let mut rounds = 0u64;
-    while flow < target {
-        budget.check_rounds("scaling", "augment", rounds)?;
-        rounds += 1;
-        let dist_t = dijkstra_round(res, s, t, ws)?;
-        if dist_t >= INF {
+    loop {
+        // Entering a new Δ admits arcs whose reduced cost went negative
+        // while they were below the previous threshold; saturating them
+        // restores Δ-feasibility of the potentials. On the first phase the
+        // initial potentials are exact shortest distances, so nothing
+        // saturates and a zero-round budget trips inside the drain loop
+        // before any flow moves.
+        saturate_negative_arcs(res, ws, delta);
+
+        // Drain: shortest-path augmentations from Δ-excess nodes into
+        // Δ-deficit nodes, each moving at least Δ units.
+        while let Some(deficit) = delta_dijkstra(res, ws, delta, &mut rounds)? {
+            // Walk the parent chain back to the multi-source root (marked
+            // with `u32::MAX`); every node on it was settled this epoch.
+            let mut root = deficit;
+            while ws.parent_edge[root] != u32::MAX {
+                root = res.tail(ws.parent_edge[root]);
+            }
+            let amount = ws.bottleneck_to[deficit]
+                .min(clamp_i64(ws.excess[root]))
+                .min(clamp_i64(-ws.excess[deficit]));
+            debug_assert!(amount >= delta);
+            let mut v = deficit;
+            while ws.parent_edge[v] != u32::MAX {
+                let e = ws.parent_edge[v];
+                res.push(e, amount);
+                v = res.tail(e);
+            }
+            ws.excess[root] -= i128::from(amount);
+            ws.excess[deficit] += i128::from(amount);
+            ws.pushed_units += amount as u64;
+        }
+
+        if delta == 1 {
             break;
         }
-        update_potentials(ws, dist_t);
-        let bottleneck = ws.bottleneck_to[t];
-        while delta > 1 && bottleneck < delta {
-            delta /= 2;
-        }
-        debug_assert!(bottleneck >= delta);
-        flow += augment(res, s, t, ws, target - flow);
+        delta /= 2;
     }
-    Ok(flow)
+
+    // Positive excess left after the Δ = 1 phase is flow that cannot reach
+    // the super-sink: the instance is infeasible and the delivered amount is
+    // whatever the deficits absorbed.
+    let undelivered: i128 = ws.excess.iter().filter(|&&e| e > 0).sum();
+    Ok(required - clamp_i64(undelivered))
+}
+
+/// Saturating clamp of a wide excess into the `i64` flow domain. Excesses
+/// can exceed `i64` only transiently (several saturated arcs piling onto one
+/// node); a single augmentation never needs more than the bottleneck anyway.
+#[inline]
+fn clamp_i64(x: i128) -> i64 {
+    x.min(i128::from(i64::MAX)) as i64
+}
+
+/// Pushes every Δ-admissible arc with negative reduced cost to capacity,
+/// shifting the imbalance onto its endpoints. One sweep over the CSR active
+/// prefixes suffices: a saturating push flips the arc into a backward
+/// residual arc of *positive* reduced cost, which a later iteration skips.
+///
+/// Arcs touching a node the potential initialisation proved unreachable are
+/// skipped for the usual reason: no flow can travel through such a node to
+/// the super-sink, so moving excess onto it would only strand it.
+fn saturate_negative_arcs(res: &mut Residual, ws: &mut SolverWorkspace, delta: i64) {
+    let n = res.node_count();
+    for u in 0..n {
+        let pu = ws.node[u].potential;
+        if pu >= INF {
+            continue;
+        }
+        for slot in res.active_slots(u) {
+            let sl = res.slots[slot];
+            if sl.cap < delta {
+                continue;
+            }
+            let v = sl.to as usize;
+            let pv = ws.node[v].potential;
+            if pv >= INF || sl.cost + pu - pv >= 0 {
+                continue;
+            }
+            res.push(sl.edge, sl.cap);
+            ws.excess[u] -= i128::from(sl.cap);
+            ws.excess[v] += i128::from(sl.cap);
+        }
+    }
+}
+
+/// One multi-source Dijkstra over reduced costs, restricted to residual
+/// arcs of capacity at least `delta`, from every node with excess `>= delta`
+/// towards the nearest node with deficit `<= -delta`. Settling such a node
+/// ends the round; the settled distances are folded into the potentials
+/// (`min(dist, dist_deficit)`, the standard early-termination update), which
+/// keeps every Δ-subgraph reduced cost non-negative for the next round.
+///
+/// Returns the settled deficit node, or `None` when the phase is drained
+/// (no Δ-excess node remains, or none can reach a Δ-deficit). Leaves
+/// `ws.parent_edge`/`ws.bottleneck_to` describing the shortest-path forest
+/// of the round, with `u32::MAX` marking the source roots.
+///
+/// Counts one solver round against the budget *before* any work — but only
+/// when there is a source to drain, so a finished solve never trips.
+fn delta_dijkstra(
+    res: &Residual,
+    ws: &mut SolverWorkspace,
+    delta: i64,
+    rounds: &mut u64,
+) -> Result<Option<usize>, NetflowError> {
+    let n = res.node_count();
+    ws.order.clear();
+    for u in 0..n {
+        if ws.excess[u] >= i128::from(delta) && ws.node[u].potential < INF {
+            ws.order.push(u as u32);
+        }
+    }
+    if ws.order.is_empty() {
+        return Ok(None);
+    }
+    ws.budget.check_rounds("scaling", "augment", *rounds)?;
+    *rounds += 1;
+
+    ws.begin_round();
+    for i in 0..ws.order.len() {
+        let u = ws.order[i] as usize;
+        ws.set_dist(u, 0);
+        ws.parent_edge[u] = u32::MAX;
+        ws.bottleneck_to[u] = INF;
+        ws.heap.push(0, u as u32);
+    }
+
+    let threshold = -i128::from(delta);
+    let mut found = None;
+    while let Some((d, u)) = ws.heap.pop() {
+        let u = u as usize;
+        if d > ws.dist_of(u) {
+            continue;
+        }
+        if ws.excess[u] <= threshold {
+            update_potentials(ws, d);
+            found = Some(u);
+            break;
+        }
+        let pu = ws.node[u].potential;
+        let bu = ws.bottleneck_to[u];
+        for sl in &res.slots[res.active_slots(u)] {
+            let cap = sl.cap;
+            if cap < delta {
+                continue;
+            }
+            let v = sl.to as usize;
+            if ws.node[v].potential >= INF {
+                continue;
+            }
+            let reduced = sl.cost + pu - ws.node[v].potential;
+            #[cfg(feature = "validate")]
+            if reduced < 0 {
+                return Err(NetflowError::InvalidSolution {
+                    reason: format!(
+                        "negative reduced cost {reduced} on Δ-admissible residual \
+                         edge {} ({u} -> {v}); potentials are inconsistent",
+                        sl.edge
+                    ),
+                });
+            }
+            debug_assert!(reduced >= 0, "negative reduced cost in Δ-subgraph");
+            let nd = d + reduced;
+            if nd < ws.dist_of(v) {
+                ws.set_dist(v, nd);
+                ws.parent_edge[v] = sl.edge;
+                ws.bottleneck_to[v] = bu.min(cap);
+                ws.heap.push(nd, v as u32);
+            }
+        }
+    }
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -225,6 +393,25 @@ mod tests {
             min_cost_flow_scaling(&net, s, t, 4),
             Err(NetflowError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn infeasible_reports_max_deliverable() {
+        // Bottleneck of 2 into t: the drain delivers those 2 units and
+        // reports them, matching the plain solver's `achieved`.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 10, 1).unwrap();
+        net.add_arc(a, t, 2, 1).unwrap();
+        match min_cost_flow_scaling(&net, s, t, 5) {
+            Err(NetflowError::Infeasible { required, achieved }) => {
+                assert_eq!(required, 5);
+                assert_eq!(achieved, 2);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! The unified solver interface: one trait, four algorithms, one selector.
+//! The unified solver interface: one trait, five algorithms, one selector.
 //!
 //! Every min-cost-flow implementation in this crate — successive shortest
 //! paths ([`Ssp`]), capacity scaling ([`CapacityScaling`]), cycle cancelling
-//! ([`CycleCancelling`]), network simplex ([`NetworkSimplex`]) and the
+//! ([`CycleCancelling`]), network simplex ([`NetworkSimplex`]), cost
+//! scaling ([`CostScalingSolver`]) and the
 //! warm-start [`Reoptimizer`] — answers the same question: route exactly
 //! `target` units from `s` to `t` at minimum cost, honouring lower bounds.
 //! [`McfSolver`] captures that contract so callers can hold *a* solver
@@ -10,19 +11,20 @@
 //! the algorithms as data so the choice can travel through configuration
 //! (`LEMRA_BACKEND`, CLI flags) instead of through call sites.
 //!
-//! [`Backend::Auto`] picks by network shape: cycle-cancelling when negative
+//! [`Backend::Auto`] picks by network shape: cost scaling when negative
 //! costs sit on a cyclic graph (the one case the SSP family must refuse —
-//! and since its rebuild on minimum-mean cancellation, an efficient choice
-//! for dense negative-cost nets rather than a last resort), capacity
-//! scaling when capacities are large enough that bulk augmentations pay
-//! off, plain SSP otherwise — the right default for the unit-capacity DAGs
-//! the allocator builds. Block-pivot network simplex is never auto-selected
-//! but is fast enough (within a small factor of SSP at 512 variables) to
-//! serve as a routine cross-check backend rather than a test-only
-//! curiosity.
+//! push-relabel ε-scaling handles negative cycles natively and, per
+//! Király–Kovács, is the consistently strongest general-purpose choice),
+//! capacity scaling when capacities are large enough that bulk
+//! augmentations pay off, plain SSP otherwise — the right default for the
+//! unit-capacity DAGs the allocator builds. Block-pivot network simplex
+//! and minimum-mean cycle cancelling are never auto-selected but stay
+//! within a small factor on every shape, serving as routine cross-check
+//! backends rather than test-only curiosities.
 
 use crate::budget::SolveBudget;
 use crate::config::LemraConfig;
+use crate::cost_scaling::{min_cost_flow_cost_scaling, min_cost_flow_cost_scaling_with};
 use crate::cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::reopt::Reoptimizer;
@@ -187,6 +189,31 @@ impl McfSolver for NetworkSimplex {
     }
 }
 
+/// Goldberg–Tarjan cost scaling (push-relabel with ε-scaling; handles
+/// negative-cost cycles).
+///
+/// Named with the `Solver` suffix to keep the type distinct from
+/// [`Backend::CostScaling`] in glob imports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostScalingSolver;
+
+impl McfSolver for CostScalingSolver {
+    fn name(&self) -> &'static str {
+        "cost_scaling"
+    }
+
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        min_cost_flow_cost_scaling_with(net, s, t, target, ws)
+    }
+}
+
 impl McfSolver for Reoptimizer {
     fn name(&self) -> &'static str {
         "reopt"
@@ -225,7 +252,10 @@ impl McfSolver for Reoptimizer {
 }
 
 /// Capacities at or above this make [`Backend::Auto`] prefer capacity
-/// scaling: bulk augmentations start beating one-path-per-unit SSP.
+/// scaling: Δ-bulk augmentations beat per-distance blocking-flow phases
+/// once single arcs carry thousands of units. On small-capacity networks
+/// the two are a wash (PR 6 medians: 45.0 µs vs 43.6 µs at 512 vars), so
+/// the threshold only needs to catch genuinely capacity-heavy shapes.
 const AUTO_SCALING_CAPACITY: i64 = 1 << 12;
 
 /// A named min-cost-flow algorithm choice, selectable via configuration.
@@ -262,6 +292,8 @@ pub enum Backend {
     CycleCancel,
     /// Network simplex.
     Simplex,
+    /// Goldberg–Tarjan cost scaling (push-relabel with ε-scaling).
+    CostScaling,
     /// Pick by network shape at each solve; see [`Backend::select`].
     Auto,
 }
@@ -269,21 +301,23 @@ pub enum Backend {
 impl Backend {
     /// Every concrete algorithm (excludes [`Backend::Auto`], which resolves
     /// to one of these).
-    pub const ALL: [Backend; 4] = [
+    pub const ALL: [Backend; 5] = [
         Backend::Ssp,
         Backend::Scaling,
         Backend::CycleCancel,
         Backend::Simplex,
+        Backend::CostScaling,
     ];
 
     /// Stable lower-case name (`ssp`, `scaling`, `cycle`, `simplex`,
-    /// `auto`); [`str::parse`] accepts exactly these.
+    /// `cost_scaling`, `auto`); [`str::parse`] accepts exactly these.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Ssp => "ssp",
             Backend::Scaling => "scaling",
             Backend::CycleCancel => "cycle",
             Backend::Simplex => "simplex",
+            Backend::CostScaling => "cost_scaling",
             Backend::Auto => "auto",
         }
     }
@@ -295,15 +329,15 @@ impl Backend {
     ///
     /// | shape | choice | why |
     /// |---|---|---|
-    /// | negative costs on a cyclic positive-capacity graph | [`CycleCancel`](Backend::CycleCancel) | the SSP family must refuse negative cycles (cyclicity is the cheap sound over-approximation); minimum-mean cancellation with Howard's policy iteration makes this the *preferred* backend for dense negative-cost nets, not merely the correct one |
-    /// | any capacity ≥ 2¹² | [`Scaling`](Backend::Scaling) | bulk augmentations beat one-path-per-unit SSP |
-    /// | otherwise | [`Ssp`](Backend::Ssp) | the unit-capacity DAGs the allocator builds always land here |
+    /// | negative costs on a cyclic positive-capacity graph | [`CostScaling`](Backend::CostScaling) | the SSP family must refuse negative cycles (cyclicity is the cheap sound over-approximation); push-relabel ε-scaling saturates them natively and — per Király–Kovács — is the consistently strongest general-purpose algorithm on exactly these dense mixed-sign nets |
+    /// | any capacity ≥ 2¹² | [`Scaling`](Backend::Scaling) | Δ-phase bulk augmentations beat one-path-per-unit SSP |
+    /// | otherwise | [`Ssp`](Backend::Ssp) | the unit-capacity DAGs the allocator builds always land here; the blocking-flow rebuild routes many shortest paths per Dijkstra round |
     ///
-    /// [`Simplex`](Backend::Simplex) is never auto-selected: it wins no
-    /// shape outright, but with block-search pivoting and
-    /// smaller-subtree relabelling it runs within a small factor of SSP at
-    /// 512+ variables, so `LEMRA_BACKEND=simplex` is a practical
-    /// whole-sweep cross-check at every size the benches measure.
+    /// [`Simplex`](Backend::Simplex) and
+    /// [`CycleCancel`](Backend::CycleCancel) are never auto-selected: they
+    /// win no shape outright but stay within a small factor at every size
+    /// the benches measure, so `LEMRA_BACKEND=simplex` (or `cycle`) is a
+    /// practical whole-sweep cross-check.
     pub fn select(self, net: &FlowNetwork) -> Backend {
         if self != Backend::Auto {
             return self;
@@ -315,7 +349,7 @@ impl Backend {
             max_capacity = max_capacity.max(arc.capacity);
         }
         if negative && !is_positive_capacity_dag(net) {
-            Backend::CycleCancel
+            Backend::CostScaling
         } else if max_capacity >= AUTO_SCALING_CAPACITY {
             Backend::Scaling
         } else {
@@ -331,6 +365,7 @@ impl Backend {
             Backend::Scaling => Box::new(CapacityScaling),
             Backend::CycleCancel => Box::new(CycleCancelling),
             Backend::Simplex => Box::new(NetworkSimplex),
+            Backend::CostScaling => Box::new(CostScalingSolver),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
     }
@@ -353,6 +388,7 @@ impl Backend {
             Backend::Scaling => min_cost_flow_scaling(net, s, t, target),
             Backend::CycleCancel => min_cost_flow_cycle_canceling(net, s, t, target),
             Backend::Simplex => min_cost_flow_network_simplex(net, s, t, target),
+            Backend::CostScaling => min_cost_flow_cost_scaling(net, s, t, target),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
     }
@@ -381,6 +417,7 @@ impl Backend {
                 let block = LemraConfig::get().simplex_block.unwrap_or(0);
                 min_cost_flow_network_simplex_budgeted(net, s, t, target, block, ws.budget)
             }
+            Backend::CostScaling => min_cost_flow_cost_scaling_with(net, s, t, target, ws),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
     }
@@ -425,10 +462,12 @@ impl std::str::FromStr for Backend {
             "scaling" => Ok(Backend::Scaling),
             "cycle" | "cycle-cancel" | "cycle_cancel" => Ok(Backend::CycleCancel),
             "simplex" => Ok(Backend::Simplex),
+            "cost_scaling" | "cost-scaling" => Ok(Backend::CostScaling),
             "auto" => Ok(Backend::Auto),
             other => Err(NetflowError::InvalidArc {
                 reason: format!(
-                    "unknown backend `{other}` (expected ssp, scaling, cycle, simplex or auto)"
+                    "unknown backend `{other}` (expected ssp, scaling, cycle, simplex, \
+                     cost_scaling or auto)"
                 ),
             }),
         }
@@ -529,7 +568,7 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_cycle_cancel_for_negative_cyclic_networks() {
+    fn auto_picks_cost_scaling_for_negative_cyclic_networks() {
         let mut net = FlowNetwork::new();
         let s = net.add_node();
         let a = net.add_node();
@@ -539,9 +578,46 @@ mod tests {
         net.add_arc(a, b, 2, -5).unwrap();
         net.add_arc(b, a, 2, -5).unwrap(); // negative cycle a <-> b
         net.add_arc(b, t, 1, 0).unwrap();
-        assert_eq!(Backend::Auto.select(&net), Backend::CycleCancel);
-        // The selected backend actually solves it.
-        assert!(Backend::Auto.solve(&net, s, t, 1).is_ok());
+        assert_eq!(Backend::Auto.select(&net), Backend::CostScaling);
+        // The selected backend actually solves it, and agrees with the
+        // previous champion for the shape.
+        let auto = Backend::Auto.solve(&net, s, t, 1).unwrap();
+        let cycle = Backend::CycleCancel.solve(&net, s, t, 1).unwrap();
+        assert_eq!(auto.cost, cycle.cost);
+    }
+
+    /// Pins the whole [`Backend::Auto`] selection table so a re-tune is a
+    /// conscious edit here, not a silent behaviour change.
+    #[test]
+    fn auto_selection_table_is_pinned() {
+        // Unit-capacity DAG (the allocator shape) -> Ssp.
+        let (dag, _, _) = diamond();
+        assert_eq!(Backend::Auto.select(&dag), Backend::Ssp);
+
+        // Negative cost on a DAG is still fine for SSP.
+        let mut neg_dag = FlowNetwork::new();
+        let (s, a, t) = (neg_dag.add_node(), neg_dag.add_node(), neg_dag.add_node());
+        neg_dag.add_arc(s, a, 1, -2).unwrap();
+        neg_dag.add_arc(a, t, 1, -3).unwrap();
+        assert_eq!(Backend::Auto.select(&neg_dag), Backend::Ssp);
+
+        // Capacity exactly at the threshold flips to capacity scaling.
+        let mut big = FlowNetwork::new();
+        let (s, t) = (big.add_node(), big.add_node());
+        big.add_arc(s, t, AUTO_SCALING_CAPACITY, 1).unwrap();
+        assert_eq!(Backend::Auto.select(&big), Backend::Scaling);
+        let mut small = FlowNetwork::new();
+        let (s, t) = (small.add_node(), small.add_node());
+        small.add_arc(s, t, AUTO_SCALING_CAPACITY - 1, 1).unwrap();
+        assert_eq!(Backend::Auto.select(&small), Backend::Ssp);
+
+        // Negative costs on a cycle -> cost scaling, and it outranks the
+        // capacity rule.
+        let mut neg_cyc = FlowNetwork::new();
+        let (a, b) = (neg_cyc.add_node(), neg_cyc.add_node());
+        neg_cyc.add_arc(a, b, AUTO_SCALING_CAPACITY, -1).unwrap();
+        neg_cyc.add_arc(b, a, AUTO_SCALING_CAPACITY, -1).unwrap();
+        assert_eq!(Backend::Auto.select(&neg_cyc), Backend::CostScaling);
     }
 
     #[test]

@@ -87,24 +87,24 @@ pub fn min_cost_flow_with(
     target: i64,
     ws: &mut SolverWorkspace,
 ) -> Result<FlowSolution, NetflowError> {
-    check_endpoints(net, s, t, target)?;
+    check_endpoints_with(net, s, t, target, ws)?;
 
-    let Transformed {
-        mut res,
-        super_s,
-        super_t,
-        required,
-    } = transform(net, s, t, target);
+    let mut res = ws.take_arena();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, &mut res);
 
-    let pushed = ssp_run(&mut res, super_s, super_t, required, ws)?;
-    if pushed < required {
-        return Err(NetflowError::Infeasible {
-            required,
-            achieved: pushed,
-        });
-    }
-
-    Ok(solution_from_residual(net, &res, target))
+    let outcome = ssp_run(&mut res, super_s, super_t, required, ws);
+    let solution = outcome.map(|pushed| {
+        if pushed < required {
+            Err(NetflowError::Infeasible {
+                required,
+                achieved: pushed,
+            })
+        } else {
+            Ok(solution_from_residual(net, &res, target))
+        }
+    });
+    ws.put_arena(res);
+    solution?
 }
 
 /// Result of [`transform`]: a finalized residual graph with the synthetic
@@ -127,35 +127,27 @@ pub(crate) struct Transformed {
 /// units from `s` to `t`" is a virtual arc `t -> s` with lower bound =
 /// capacity = `target`.
 pub(crate) fn transform(net: &FlowNetwork, s: NodeId, t: NodeId, target: i64) -> Transformed {
-    let n = net.node_count();
-    let mut res = Residual::from_network(net, 2);
-    let super_s = n;
-    let super_t = n + 1;
-
-    let mut excess = vec![0i64; n];
-    for (_, arc) in net.arcs() {
-        excess[idx(arc.to)] += arc.lower_bound;
-        excess[idx(arc.from)] -= arc.lower_bound;
-    }
-    excess[idx(s)] += target;
-    excess[idx(t)] -= target;
-
-    let mut required = 0i64;
-    for (v, &e) in excess.iter().enumerate() {
-        if e > 0 {
-            res.add_edge(super_s, v, e, 0);
-            required += e;
-        } else if e < 0 {
-            res.add_edge(v, super_t, -e, 0);
-        }
-    }
-    res.finalize();
+    let mut res = Residual::default();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, &mut res);
     Transformed {
         res,
         super_s,
         super_t,
         required,
     }
+}
+
+/// [`transform`] into a caller-provided [`Residual`] arena (its buffers are
+/// reused; see [`Residual::rebuild_from_network`]). Returns
+/// `(super_s, super_t, required)`.
+pub(crate) fn transform_into(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+    res: &mut Residual,
+) -> (usize, usize, i64) {
+    res.build_transformed(net, idx(s), idx(t), target)
 }
 
 /// Reconstructs a [`FlowSolution`] (adding back lower bounds) from a solved
@@ -165,11 +157,10 @@ pub(crate) fn solution_from_residual(
     res: &Residual,
     value: i64,
 ) -> FlowSolution {
-    let base = res.arc_flows();
     let mut flows = Vec::with_capacity(net.arc_count());
     let mut cost = 0i64;
-    for (i, (_, arc)) in net.arcs().enumerate() {
-        let f = base[i] + arc.lower_bound;
+    for (i, arc) in net.arcs_slice().iter().enumerate() {
+        let f = res.flow_on(res.edge_of_arc[i]) + arc.lower_bound;
         cost += arc.cost * f;
         flows.push(f);
     }
@@ -188,8 +179,51 @@ pub(crate) fn check_endpoints(
     net.validate_input(s, t, target)
 }
 
-/// Runs successive shortest paths on `res` until `target` units have moved
-/// from `s` to `t` or `t` becomes unreachable. Returns the units moved.
+/// [`check_endpoints`] with the per-arc scan memoised in the workspace: the
+/// O(1) request checks always run, but the O(arcs) invariant/overflow sweep
+/// is skipped when this workspace already validated the same network
+/// contents for the same `(s, t)` — sweeps and benches re-solving one
+/// network hit that path on every solve after the first.
+pub(crate) fn check_endpoints_with(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+    ws: &mut SolverWorkspace,
+) -> Result<(), NetflowError> {
+    net.validate_request(s, t, target)?;
+    let (uid, version) = net.cache_stamp();
+    let key = (uid, version, s.index() as u32, t.index() as u32);
+    let achievable = match ws.validate_cache {
+        Some((u, v, cs, ct, a)) if (u, v, cs, ct) == key => a,
+        _ => {
+            let a = net.scan_arcs(s, t)?;
+            ws.validate_cache = Some((key.0, key.1, key.2, key.3, a));
+            a
+        }
+    };
+    if target > achievable {
+        return Err(NetflowError::Infeasible {
+            required: target,
+            achieved: achievable,
+        });
+    }
+    Ok(())
+}
+
+/// Runs primal-dual blocking-flow phases on `res` until `target` units have
+/// moved from `s` to `t` or `t` becomes unreachable. Returns the units
+/// moved.
+///
+/// Each phase settles every node within the sink's distance with a full
+/// Dijkstra round ([`dijkstra_settle`]), folds those *exact* distances into
+/// the potentials, and then pushes a blocking flow over the admissible
+/// subgraph — the arcs whose reduced cost is zero. Any admissible `s → t`
+/// path telescopes to reduced length exactly `dist_t`, i.e. it is a true
+/// shortest path, so the blocking flow sends many shortest paths per
+/// Dijkstra round instead of one; exhausting the admissible subgraph
+/// guarantees the next round's `dist_t` is strictly larger, so the phase
+/// count is bounded by the number of distinct shortest-path lengths.
 ///
 /// `res` must be finalized; `ws` is prepared here.
 pub(crate) fn ssp_run(
@@ -199,20 +233,48 @@ pub(crate) fn ssp_run(
     target: i64,
     ws: &mut SolverWorkspace,
 ) -> Result<i64, NetflowError> {
+    ssp_phases(res, s, t, target, ws, "ssp")
+}
+
+/// [`ssp_run`] with an explicit backend label for budget incidents — the
+/// capacity-scaling solver delegates small-Δ instances here (Δ-scaling
+/// degenerates into plain SSP plus pseudo-flow churn when every capacity is
+/// tiny) and its budget errors must still report backend `"scaling"`.
+pub(crate) fn ssp_phases(
+    res: &mut Residual,
+    s: usize,
+    t: usize,
+    target: i64,
+    ws: &mut SolverWorkspace,
+    backend: &'static str,
+) -> Result<i64, NetflowError> {
     ws.prepare(res.node_count());
     initial_potentials(res, s, ws)?;
     let budget = ws.budget;
     let mut rounds = 0u64;
     let mut flow = 0i64;
-    while flow < target {
-        budget.check_rounds("ssp", "augment", rounds)?;
+    // Phase 0 needs no Dijkstra round at all: the initial potentials *are*
+    // exact shortest distances, so the zero-reduced-cost subgraph is already
+    // the shortest-path DAG and a blocking flow can run on it directly. On
+    // the unit-ish targets the allocator produces this one phase usually
+    // finishes the whole solve. It still counts against the round budget, so
+    // a zero-round budget trips before any flow moves.
+    if flow < target && ws.node[t].potential < INF {
+        budget.check_rounds(backend, "augment", rounds)?;
         rounds += 1;
-        let dist_t = dijkstra_round(res, s, t, ws)?;
+        flow += crate::dinic::blocking_flow_admissible(res, s, t, ws, target - flow);
+    }
+    while flow < target {
+        budget.check_rounds(backend, "augment", rounds)?;
+        rounds += 1;
+        let dist_t = dijkstra_settle(res, s, t, ws)?;
         if dist_t >= INF {
             break;
         }
         update_potentials(ws, dist_t);
-        flow += augment(res, s, t, ws, target - flow);
+        let pushed = crate::dinic::blocking_flow_admissible(res, s, t, ws, target - flow);
+        debug_assert!(pushed > 0, "reachable sink must admit a blocking flow");
+        flow += pushed;
     }
     Ok(flow)
 }
@@ -229,12 +291,80 @@ pub(crate) fn initial_potentials(
     s: usize,
     ws: &mut SolverWorkspace,
 ) -> Result<(), NetflowError> {
+    potentials_from(res, Some(s), ws)
+}
+
+/// Computes a *valid* potential function over positive-capacity residual
+/// edges: every arc satisfies `cost + π(u) − π(v) ≥ 0`, with every node
+/// finite. Equivalent to shortest paths from a virtual source wired to all
+/// nodes at cost 0, so unlike [`initial_potentials`] it never leaves
+/// unreachable nodes at `INF` — the form the cost-scaling warm start needs,
+/// where reachability from the super-source is irrelevant but validity must
+/// hold on every arc.
+pub(crate) fn valid_potentials(
+    res: &Residual,
+    ws: &mut SolverWorkspace,
+) -> Result<(), NetflowError> {
+    potentials_from(res, None, ws)
+}
+
+/// Shared body: `Some(s)` seeds single-source distances, `None` seeds every
+/// node at 0 (multi-source).
+fn potentials_from(
+    res: &Residual,
+    source: Option<usize>,
+    ws: &mut SolverWorkspace,
+) -> Result<(), NetflowError> {
     let n = res.node_count();
-    // Kahn's algorithm over edges with residual capacity.
+    let seed = |ws: &mut SolverWorkspace| match source {
+        Some(s) => {
+            for st in &mut ws.node[..n] {
+                st.potential = INF;
+            }
+            ws.node[s].potential = 0;
+        }
+        None => {
+            for st in &mut ws.node[..n] {
+                st.potential = 0;
+            }
+        }
+    };
+
+    if res.monotone {
+        // Fresh transformed graph whose network arcs all ascend in node
+        // index: `[super_s, 0, 1, ..]` is already a topological order of the
+        // positive-capacity subgraph (supply arcs leave the super-source
+        // before every regular node and enter the super-sink after), so one
+        // relaxation pass in that order replaces Kahn's algorithm. This is
+        // the common case for the allocator's layered networks.
+        seed(ws);
+        for u in std::iter::once(n - 2).chain(0..n - 2) {
+            let du = ws.node[u].potential;
+            if du >= INF {
+                continue;
+            }
+            for sl in &res.slots[res.active_slots(u)] {
+                if sl.cap > 0 {
+                    let v = sl.to as usize;
+                    if du + sl.cost < ws.node[v].potential {
+                        ws.node[v].potential = du + sl.cost;
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Kahn's algorithm over edges with residual capacity. Positive-capacity
+    // edges all live in the active prefixes (dormant slots are ≤ 0 by the
+    // prefix invariant), so scanning active slots visits half the edge array
+    // of a fresh graph.
     ws.indegree[..n].fill(0);
-    for slot in 0..res.cap.len() {
-        if res.cap[slot] > 0 {
-            ws.indegree[res.to[slot] as usize] += 1;
+    for u in 0..n {
+        for slot in res.active_slots(u) {
+            if res.slots[slot].cap > 0 {
+                ws.indegree[res.slots[slot].to as usize] += 1;
+            }
         }
     }
     ws.queue.clear();
@@ -247,10 +377,10 @@ pub(crate) fn initial_potentials(
     while let Some(u) = ws.queue.pop_front() {
         ws.order.push(u);
         for slot in res.active_slots(u as usize) {
-            if res.cap[slot] <= 0 {
+            if res.slots[slot].cap <= 0 {
                 continue;
             }
-            let v = res.to[slot] as usize;
+            let v = res.slots[slot].to as usize;
             ws.indegree[v] -= 1;
             if ws.indegree[v] == 0 {
                 ws.queue.push_back(v as u32);
@@ -258,22 +388,21 @@ pub(crate) fn initial_potentials(
         }
     }
 
-    ws.potential[..n].fill(INF);
-    ws.potential[s] = 0;
+    seed(ws);
 
     if ws.order.len() == n {
         // DAG: one relaxation pass in topological order.
         for i in 0..ws.order.len() {
             let u = ws.order[i] as usize;
-            let du = ws.potential[u];
+            let du = ws.node[u].potential;
             if du >= INF {
                 continue;
             }
-            for slot in res.active_slots(u) {
-                if res.cap[slot] > 0 {
-                    let v = res.to[slot] as usize;
-                    if du + res.cost[slot] < ws.potential[v] {
-                        ws.potential[v] = du + res.cost[slot];
+            for sl in &res.slots[res.active_slots(u)] {
+                if sl.cap > 0 {
+                    let v = sl.to as usize;
+                    if du + sl.cost < ws.node[v].potential {
+                        ws.node[v].potential = du + sl.cost;
                     }
                 }
             }
@@ -286,22 +415,26 @@ pub(crate) fn initial_potentials(
     ws.queue.clear();
     ws.in_queue[..n].fill(false);
     ws.enqueues[..n].fill(0);
-    ws.queue.push_back(s as u32);
-    ws.in_queue[s] = true;
-    ws.enqueues[s] = 1;
+    for v in 0..n {
+        if ws.node[v].potential < INF {
+            ws.queue.push_back(v as u32);
+            ws.in_queue[v] = true;
+            ws.enqueues[v] = 1;
+        }
+    }
     let limit = n as u32 + 1;
     while let Some(u) = ws.queue.pop_front() {
         let u = u as usize;
         ws.in_queue[u] = false;
-        let du = ws.potential[u];
+        let du = ws.node[u].potential;
         for slot in res.active_slots(u) {
-            if res.cap[slot] <= 0 {
+            if res.slots[slot].cap <= 0 {
                 continue;
             }
-            let v = res.to[slot] as usize;
-            let nd = du + res.cost[slot];
-            if nd < ws.potential[v] {
-                ws.potential[v] = nd;
+            let v = res.slots[slot].to as usize;
+            let nd = du + res.slots[slot].cost;
+            if nd < ws.node[v].potential {
+                ws.node[v].potential = nd;
                 if !ws.in_queue[v] {
                     ws.enqueues[v] += 1;
                     if ws.enqueues[v] > limit {
@@ -311,7 +444,7 @@ pub(crate) fn initial_potentials(
                     if ws
                         .queue
                         .front()
-                        .is_some_and(|&f| nd < ws.potential[f as usize])
+                        .is_some_and(|&f| nd < ws.node[f as usize].potential)
                     {
                         ws.queue.push_front(v as u32);
                     } else {
@@ -325,17 +458,24 @@ pub(crate) fn initial_potentials(
     Ok(())
 }
 
-/// One Dijkstra round over reduced costs, terminating as soon as `t` is
-/// settled. Returns `t`'s reduced-cost distance (`INF` if unreachable).
-/// Leaves `ws.parent_edge`/`ws.bottleneck_to` describing the shortest path
-/// tree of the current epoch.
+/// A Dijkstra round over reduced costs that keeps settling until every node
+/// within the sink's distance is exact: popping continues through ties and
+/// stops only once a popped key exceeds the sink's settled distance. The
+/// potentials updated from these distances are therefore *exact* for every
+/// node that can lie on a shortest path, which is what makes zero reduced
+/// cost a reliable admissibility test for the blocking-flow phase —
+/// early-terminated rounds leave tentative labels whose reduced-cost ties
+/// are artifacts.
+///
+/// Returns the sink's distance (`INF` if unreachable). Does not build the
+/// parent tree: callers route flow through the admissible subgraph instead
+/// of a single parent path.
 ///
 /// # Errors
 ///
 /// With the `validate` feature, returns [`NetflowError::InvalidSolution`]
-/// when a negative reduced cost is encountered — an internal invariant
-/// violation that would otherwise silently produce a suboptimal flow.
-pub(crate) fn dijkstra_round(
+/// when a negative reduced cost is encountered.
+pub(crate) fn dijkstra_settle(
     res: &Residual,
     s: usize,
     t: usize,
@@ -343,44 +483,43 @@ pub(crate) fn dijkstra_round(
 ) -> Result<i64, NetflowError> {
     ws.begin_round();
     ws.set_dist(s, 0);
-    ws.bottleneck_to[s] = INF;
     ws.heap.push(0, s as u32);
+    let mut dist_t = INF;
     while let Some((d, u)) = ws.heap.pop() {
+        if d > dist_t {
+            break;
+        }
         let u = u as usize;
         if d > ws.dist_of(u) {
             continue;
         }
         if u == t {
-            return Ok(d);
+            dist_t = d;
+            continue;
         }
-        let pu = ws.potential[u];
+        let pu = ws.node[u].potential;
         if pu >= INF {
             continue;
         }
-        let bu = ws.bottleneck_to[u];
-        for slot in res.active_slots(u) {
-            let cap = res.cap[slot];
-            if cap <= 0 {
+        for sl in &res.slots[res.active_slots(u)] {
+            if sl.cap <= 0 {
                 continue;
             }
-            let v = res.to[slot] as usize;
-            if ws.potential[v] >= INF {
-                // Unreachable in the potential-initialisation phase:
-                // reachable now only through new residual edges, whose
-                // reduced cost we cannot trust; the initialisation already
-                // proved no flow can reach t through such nodes, and
-                // residual edges only appear along augmented (reachable)
-                // paths.
+            let v = sl.to as usize;
+            if ws.node[v].potential >= INF {
+                // Nodes the initialisation proved unreachable cannot carry
+                // flow to t; new residual edges only appear along augmented
+                // (reachable) paths, so skipping them is safe.
                 continue;
             }
-            let reduced = res.cost[slot] + pu - ws.potential[v];
+            let reduced = sl.cost + pu - ws.node[v].potential;
             #[cfg(feature = "validate")]
             if reduced < 0 {
                 return Err(NetflowError::InvalidSolution {
                     reason: format!(
                         "negative reduced cost {reduced} on residual edge {} \
                          ({u} -> {v}); potentials are inconsistent",
-                        res.adj[slot]
+                        sl.edge
                     ),
                 });
             }
@@ -388,13 +527,11 @@ pub(crate) fn dijkstra_round(
             let nd = d + reduced;
             if nd < ws.dist_of(v) {
                 ws.set_dist(v, nd);
-                ws.parent_edge[v] = res.adj[slot];
-                ws.bottleneck_to[v] = bu.min(cap);
                 ws.heap.push(nd, v as u32);
             }
         }
     }
-    Ok(INF)
+    Ok(dist_t)
 }
 
 /// Folds the round's distances into the potentials.
@@ -404,32 +541,17 @@ pub(crate) fn dijkstra_round(
 /// `min(dist, dist_t)` is a valid (and standard) update that keeps all
 /// reduced costs non-negative.
 pub(crate) fn update_potentials(ws: &mut SolverWorkspace, dist_t: i64) {
-    for v in 0..ws.potential.len() {
-        if ws.potential[v] < INF {
-            ws.potential[v] += ws.dist_of(v).min(dist_t);
+    let epoch = ws.epoch;
+    for st in &mut ws.node {
+        if st.potential < INF {
+            let d = if st.stamp == epoch {
+                st.dist.min(dist_t)
+            } else {
+                dist_t
+            };
+            st.potential += d;
         }
     }
-}
-
-/// Pushes `min(limit, bottleneck)` units along the round's parent path from
-/// `s` to `t`; returns the amount pushed.
-pub(crate) fn augment(
-    res: &mut Residual,
-    s: usize,
-    t: usize,
-    ws: &mut SolverWorkspace,
-    limit: i64,
-) -> i64 {
-    let amount = limit.min(ws.bottleneck_to[t]);
-    debug_assert!(amount > 0);
-    let mut v = t;
-    while v != s {
-        let e = ws.parent_edge[v];
-        res.push(e, amount);
-        v = res.tail(e);
-    }
-    ws.pushed_units += amount as u64;
-    amount
 }
 
 #[cfg(test)]
@@ -599,16 +721,17 @@ mod tests {
     #[cfg(feature = "validate")]
     #[test]
     fn validate_flags_corrupted_potentials() {
-        // Build a residual directly and hand the round inconsistent
-        // potentials: the reduced cost of the only edge becomes negative.
+        // Build a residual directly and hand the settling round
+        // inconsistent potentials: the reduced cost of the only edge
+        // becomes negative.
         let mut res = Residual::new(2);
         res.add_edge(0, 1, 1, 5);
         res.finalize();
         let mut ws = SolverWorkspace::new();
         ws.prepare(2);
-        ws.potential[0] = 0;
-        ws.potential[1] = 100; // 5 + 0 - 100 < 0
-        let err = dijkstra_round(&res, 0, 1, &mut ws).unwrap_err();
+        ws.node[0].potential = 0;
+        ws.node[1].potential = 100; // 5 + 0 - 100 < 0
+        let err = dijkstra_settle(&res, 0, 1, &mut ws).unwrap_err();
         assert!(matches!(err, NetflowError::InvalidSolution { .. }));
         assert!(err.to_string().contains("reduced cost"));
     }

@@ -15,10 +15,31 @@
 
 use crate::budget::SolveBudget;
 use crate::radix::RadixHeap;
+use crate::residual::Residual;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 
 pub(crate) const INF: i64 = i64::MAX / 4;
+
+/// Hot per-node solver state: the potential, the epoch-stamped tentative
+/// distance and the blocking-flow BFS level, packed into one 24-byte record.
+/// An edge relaxation or admissibility test makes one random access at the
+/// head node; packing turns what used to be two or three parallel-array
+/// touches into a single cache line.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeState {
+    /// Node potential making reduced costs non-negative.
+    pub potential: i64,
+    /// Tentative shortest distance; valid while `stamp` equals the epoch.
+    pub dist: i64,
+    /// Epoch stamp validating `dist` (Dijkstra rounds) or `level`
+    /// (blocking-flow phases); each phase bumps the epoch, so the two uses
+    /// never overlap.
+    pub stamp: u32,
+    /// BFS level of the admissible subgraph; valid while `stamp` equals the
+    /// epoch of the current blocking-flow phase.
+    pub level: u32,
+}
 
 thread_local! {
     /// Default workspace for the plain solver entry points, one per thread,
@@ -105,21 +126,17 @@ impl std::ops::Add for SolverStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
-    /// Tentative shortest distances; valid while `seen[v] == epoch`.
-    pub(crate) dist: Vec<i64>,
-    /// Edge that last relaxed each node; valid while `seen[v] == epoch`.
+    /// Per-node hot state: potential + epoch-stamped distance/level.
+    pub(crate) node: Vec<NodeState>,
+    /// Edge that last relaxed each node; valid while `node[v].stamp == epoch`.
     pub(crate) parent_edge: Vec<u32>,
     /// Bottleneck residual capacity along the tentative parent chain.
     pub(crate) bottleneck_to: Vec<i64>,
-    /// Epoch stamp per node.
-    pub(crate) seen: Vec<u32>,
     /// Current epoch; bumped per Dijkstra round.
     pub(crate) epoch: u32,
     /// Dijkstra frontier, reused across rounds. Reduced-cost distances pop
     /// in non-decreasing order, so a monotone radix heap applies.
     pub(crate) heap: RadixHeap,
-    /// Node potentials making reduced costs non-negative.
-    pub(crate) potential: Vec<i64>,
     /// FIFO/deque for SPFA potential initialisation and Kahn's algorithm.
     pub(crate) queue: VecDeque<u32>,
     /// SPFA in-queue flags.
@@ -130,6 +147,26 @@ pub struct SolverWorkspace {
     pub(crate) indegree: Vec<u32>,
     /// Topological order buffer.
     pub(crate) order: Vec<u32>,
+    /// Distance labels of the cost-scaling set-relabel sweep.
+    pub(crate) level: Vec<u32>,
+    /// Per-node cursor into the active slot range: the current-arc pointer
+    /// of blocking-flow DFS and push-relabel discharge.
+    pub(crate) cursor: Vec<u32>,
+    /// Signed node imbalances for the scaling solvers. Wide: saturating
+    /// admissible arcs can pile several near-`i64::MAX` capacities onto one
+    /// node before a discharge rebalances it.
+    pub(crate) excess: Vec<i128>,
+    /// Cost-scaling node prices. Wide: costs are scaled by `n + 1` and
+    /// prices drop by `O(n · epsilon)` per refine phase, which outgrows
+    /// `i64` on inputs that `validate_input` admits.
+    pub(crate) price: Vec<i128>,
+    /// Wide scratch labels for the cost-scaling price-refinement SPFA.
+    pub(crate) dist_scratch: Vec<i128>,
+    /// Residual-graph arena: the workspace-backed solvers rebuild the
+    /// per-solve residual topology in these buffers (via `mem::take` /
+    /// restore around the solve) instead of allocating a fresh graph — the
+    /// dominant per-solve allocation on small networks.
+    pub(crate) arena: Residual,
     /// Shortest-path rounds started, cumulative across solves.
     pub(crate) dijkstra_rounds: u64,
     /// Flow units pushed along augmenting paths, cumulative across solves.
@@ -138,6 +175,12 @@ pub struct SolverWorkspace {
     /// Defaults to unlimited; survives [`Self::prepare`] so a budget set once
     /// governs every solve run on this workspace.
     pub(crate) budget: SolveBudget,
+    /// Memo of the last passing [`FlowNetwork::scan_arcs`](crate::FlowNetwork)
+    /// run through this workspace: `(uid, version, s, t)` →  achievable
+    /// capacity bound. Keyed on the network's cache stamp, so any mutation
+    /// invalidates it; only passing scans are cached (errors are terminal
+    /// and re-deriving their message is fine). Survives [`Self::prepare`].
+    pub(crate) validate_cache: Option<(u64, u64, u32, u32, i64)>,
 }
 
 impl SolverWorkspace {
@@ -149,18 +192,22 @@ impl SolverWorkspace {
     /// Sizes every buffer for an `n`-node residual graph and resets the
     /// epoch machinery. Called once per solve; keeps capacity across calls.
     pub(crate) fn prepare(&mut self, n: usize) {
-        self.dist.clear();
-        self.dist.resize(n, INF);
+        self.node.clear();
+        self.node.resize(
+            n,
+            NodeState {
+                potential: INF,
+                dist: INF,
+                stamp: 0,
+                level: u32::MAX,
+            },
+        );
         self.parent_edge.clear();
         self.parent_edge.resize(n, u32::MAX);
         self.bottleneck_to.clear();
         self.bottleneck_to.resize(n, 0);
-        self.seen.clear();
-        self.seen.resize(n, 0);
         self.epoch = 0;
         self.heap.reset();
-        self.potential.clear();
-        self.potential.resize(n, INF);
         self.queue.clear();
         self.in_queue.clear();
         self.in_queue.resize(n, false);
@@ -169,6 +216,25 @@ impl SolverWorkspace {
         self.indegree.clear();
         self.indegree.resize(n, 0);
         self.order.clear();
+        // `level`, `cursor`, `excess`, `price` and `dist_scratch` are
+        // deliberately *not* sized here: only the blocking-flow and scaling
+        // solvers use them, and they reset exactly the prefix they need per
+        // phase. Touching three i128 and two u32 arrays on every solve
+        // would tax the common SSP path for nothing.
+    }
+
+    /// Takes the residual arena out of the workspace for a solve (leaving an
+    /// empty graph behind); pair with [`Self::put_arena`]. The take/restore
+    /// dance side-steps the simultaneous `&mut` borrows a resident graph
+    /// would need, at the cost of a pointer swap.
+    pub(crate) fn take_arena(&mut self) -> Residual {
+        std::mem::take(&mut self.arena)
+    }
+
+    /// Returns a residual arena taken with [`Self::take_arena`], preserving
+    /// its buffers for the next solve.
+    pub(crate) fn put_arena(&mut self, arena: Residual) {
+        self.arena = arena;
     }
 
     /// Cumulative effort counters (never reset by [`Self::prepare`]; diff
@@ -189,25 +255,35 @@ impl SolverWorkspace {
         std::mem::replace(&mut self.budget, budget)
     }
 
-    /// Starts a new shortest-path round: invalidates all distance labels in
-    /// O(1) by bumping the epoch.
-    pub(crate) fn begin_round(&mut self) {
-        self.dijkstra_rounds += 1;
+    /// Starts a new label phase (a Dijkstra round or a blocking-flow BFS):
+    /// invalidates all distance and level labels in O(1) by bumping the
+    /// epoch.
+    pub(crate) fn begin_phase(&mut self) {
         self.epoch = match self.epoch.checked_add(1) {
             Some(e) => e,
             None => {
-                self.seen.fill(0);
+                for st in &mut self.node {
+                    st.stamp = 0;
+                }
                 1
             }
         };
+    }
+
+    /// Starts a new shortest-path round: [`Self::begin_phase`] plus the
+    /// frontier reset and the effort counter.
+    pub(crate) fn begin_round(&mut self) {
+        self.dijkstra_rounds += 1;
+        self.begin_phase();
         self.heap.reset();
     }
 
     /// Distance label of `v` this round (`INF` if untouched).
     #[inline]
     pub(crate) fn dist_of(&self, v: usize) -> i64 {
-        if self.seen[v] == self.epoch {
-            self.dist[v]
+        let st = self.node[v];
+        if st.stamp == self.epoch {
+            st.dist
         } else {
             INF
         }
@@ -216,8 +292,17 @@ impl SolverWorkspace {
     /// Sets the distance label of `v` for this round.
     #[inline]
     pub(crate) fn set_dist(&mut self, v: usize, d: i64) {
-        self.seen[v] = self.epoch;
-        self.dist[v] = d;
+        let st = &mut self.node[v];
+        st.stamp = self.epoch;
+        st.dist = d;
+    }
+
+    /// Sets the BFS level of `v` for this phase.
+    #[inline]
+    pub(crate) fn set_level(&mut self, v: usize, level: u32) {
+        let st = &mut self.node[v];
+        st.stamp = self.epoch;
+        st.level = level;
     }
 }
 
@@ -242,7 +327,7 @@ mod tests {
         let mut ws = SolverWorkspace::new();
         ws.prepare(2);
         ws.epoch = u32::MAX;
-        ws.seen[0] = u32::MAX; // stale stamp from the "previous" epoch
+        ws.node[0].stamp = u32::MAX; // stale stamp from the "previous" epoch
         ws.begin_round();
         assert_eq!(ws.epoch, 1);
         assert_eq!(ws.dist_of(0), INF);

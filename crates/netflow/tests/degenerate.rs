@@ -8,7 +8,7 @@
 use lemra_netflow::{Backend, FlowNetwork, NetflowError, NodeId, ResilientSolver};
 use proptest::prelude::*;
 
-/// Every entry point under test: the four concrete backends, the `Auto`
+/// Every entry point under test: the five concrete backends, the `Auto`
 /// policy and the resilient fallback chain.
 fn solve_everywhere(
     net: &FlowNetwork,

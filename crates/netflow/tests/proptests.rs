@@ -1,12 +1,12 @@
-//! Property tests cross-checking the four independent min-cost flow
+//! Property tests cross-checking the five independent min-cost flow
 //! solvers on random networks (DAGs — the class `lemra-core` generates —
 //! plus cyclic networks with negative cycles for the solvers that support
 //! them).
 
 use lemra_netflow::{
-    max_flow, min_cost_flow, min_cost_flow_cycle_canceling, min_cost_flow_network_simplex,
-    min_cost_flow_scaling, validate, ArcId, Backend, FlowNetwork, NetflowError, NodeId,
-    Reoptimizer,
+    max_flow, min_cost_flow, min_cost_flow_cost_scaling, min_cost_flow_cycle_canceling,
+    min_cost_flow_network_simplex, min_cost_flow_scaling, validate, ArcId, Backend, FlowNetwork,
+    NetflowError, NodeId, Reoptimizer,
 };
 use proptest::prelude::*;
 
@@ -48,7 +48,7 @@ fn build(dag: &RandomDag) -> (FlowNetwork, NodeId, NodeId) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// All four solvers agree on feasibility and optimal cost, and every
+    /// All five solvers agree on feasibility and optimal cost, and every
     /// output validates, for every achievable flow target.
     #[test]
     fn all_solvers_agree(dag in random_dag(false), target in 0i64..8) {
@@ -57,15 +57,18 @@ proptest! {
         let cc = min_cost_flow_cycle_canceling(&net, s, t, target);
         let sc = min_cost_flow_scaling(&net, s, t, target);
         let nsx = min_cost_flow_network_simplex(&net, s, t, target);
-        match (ssp, cc, sc, nsx) {
-            (Ok(a), Ok(b), Ok(c), Ok(d)) => {
+        let gt = min_cost_flow_cost_scaling(&net, s, t, target);
+        match (ssp, cc, sc, nsx, gt) {
+            (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e)) => {
                 validate(&net, s, t, &a).unwrap();
                 validate(&net, s, t, &b).unwrap();
                 validate(&net, s, t, &c).unwrap();
                 validate(&net, s, t, &d).unwrap();
+                validate(&net, s, t, &e).unwrap();
                 prop_assert_eq!(a.cost, b.cost);
                 prop_assert_eq!(a.cost, c.cost);
                 prop_assert_eq!(a.cost, d.cost);
+                prop_assert_eq!(a.cost, e.cost);
                 prop_assert_eq!(a.value, target);
             }
             (
@@ -73,15 +76,19 @@ proptest! {
                 Err(NetflowError::Infeasible { .. }),
                 Err(NetflowError::Infeasible { .. }),
                 Err(NetflowError::Infeasible { .. }),
+                Err(NetflowError::Infeasible { .. }),
             ) => {}
-            (a, b, c, d) => {
-                prop_assert!(false, "solver disagreement: {a:?} vs {b:?} vs {c:?} vs {d:?}")
+            (a, b, c, d, e) => {
+                prop_assert!(
+                    false,
+                    "solver disagreement: {a:?} vs {b:?} vs {c:?} vs {d:?} vs {e:?}"
+                )
             }
         }
     }
 
-    /// Network simplex and cycle cancelling also agree on *cyclic* networks
-    /// with negative cycles, where SSP refuses.
+    /// Network simplex, cycle cancelling and cost scaling also agree on
+    /// *cyclic* networks with negative cycles, where SSP refuses.
     #[test]
     fn simplex_matches_cycle_canceling_on_cyclic_networks(
         nodes in 3usize..7,
@@ -103,26 +110,8 @@ proptest! {
         let t = ids[nodes - 1];
         let cc = min_cost_flow_cycle_canceling(&net, s, t, target);
         let nsx = min_cost_flow_network_simplex(&net, s, t, target);
-        match (cc, nsx) {
-            (Ok(a), Ok(b)) => {
-                validate(&net, s, t, &a).unwrap();
-                validate(&net, s, t, &b).unwrap();
-                prop_assert_eq!(a.cost, b.cost);
-            }
-            (Err(NetflowError::Infeasible { .. }), Err(NetflowError::Infeasible { .. })) => {}
-            (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
-        }
-    }
-
-    /// With lower bounds the solvers still agree; any returned flow honours
-    /// every bound.
-    #[test]
-    fn lower_bounds_agree(dag in random_dag(true), target in 0i64..8) {
-        let (net, s, t) = build(&dag);
-        let ssp = min_cost_flow(&net, s, t, target);
-        let cc = min_cost_flow_cycle_canceling(&net, s, t, target);
-        let nsx = min_cost_flow_network_simplex(&net, s, t, target);
-        match (ssp, cc, nsx) {
+        let gt = min_cost_flow_cost_scaling(&net, s, t, target);
+        match (cc, nsx, gt) {
             (Ok(a), Ok(b), Ok(c)) => {
                 validate(&net, s, t, &a).unwrap();
                 validate(&net, s, t, &b).unwrap();
@@ -135,7 +124,39 @@ proptest! {
                 Err(NetflowError::Infeasible { .. }),
                 Err(NetflowError::Infeasible { .. }),
             ) => {}
-            (a, b, c) => prop_assert!(false, "solver disagreement: {a:?} vs {b:?} vs {c:?}"),
+            (a, b, c) => prop_assert!(false, "disagreement: {a:?} vs {b:?} vs {c:?}"),
+        }
+    }
+
+    /// With lower bounds the solvers still agree; any returned flow honours
+    /// every bound.
+    #[test]
+    fn lower_bounds_agree(dag in random_dag(true), target in 0i64..8) {
+        let (net, s, t) = build(&dag);
+        let ssp = min_cost_flow(&net, s, t, target);
+        let cc = min_cost_flow_cycle_canceling(&net, s, t, target);
+        let nsx = min_cost_flow_network_simplex(&net, s, t, target);
+        let gt = min_cost_flow_cost_scaling(&net, s, t, target);
+        match (ssp, cc, nsx, gt) {
+            (Ok(a), Ok(b), Ok(c), Ok(d)) => {
+                validate(&net, s, t, &a).unwrap();
+                validate(&net, s, t, &b).unwrap();
+                validate(&net, s, t, &c).unwrap();
+                validate(&net, s, t, &d).unwrap();
+                prop_assert_eq!(a.cost, b.cost);
+                prop_assert_eq!(a.cost, c.cost);
+                prop_assert_eq!(a.cost, d.cost);
+            }
+            (
+                Err(NetflowError::Infeasible { .. }),
+                Err(NetflowError::Infeasible { .. }),
+                Err(NetflowError::Infeasible { .. }),
+                Err(NetflowError::Infeasible { .. }),
+            ) => {}
+            (a, b, c, d) => prop_assert!(
+                false,
+                "solver disagreement: {a:?} vs {b:?} vs {c:?} vs {d:?}"
+            ),
         }
     }
 
@@ -222,7 +243,7 @@ proptest! {
         }
     }
 
-    /// Every [`Backend`] — the four concrete solvers, the `Auto` policy and
+    /// Every [`Backend`] — the five concrete solvers, the `Auto` policy and
     /// the warm [`Reoptimizer`] — agrees on feasibility and optimal
     /// objective, and every returned flow validates.
     #[test]
