@@ -73,6 +73,13 @@ pub(crate) struct BuiltNetwork {
     /// because every weight is a pure function of (arc index, bits,
     /// preferred) and those are all topology-stable.
     pub tie_bits: u32,
+    /// Region-boundary hints for the parallel solver: the write node of
+    /// every variable's *first* segment. Node numbering follows segment
+    /// order, so cutting the node range at these boundaries keeps each
+    /// variable's chain of segments inside one region and reserves the
+    /// cross-region arcs for hand-offs — the cuts the decomposed settle
+    /// repairs cheapest. Topology-only, like the rest of the view.
+    pub region_hints: Vec<u32>,
 }
 
 /// True if a hand-off from a read at `from` to a write at `to` is admitted
@@ -261,6 +268,12 @@ pub(crate) fn build_with_regions(
     let (cost_scale, cost_unit, tie_weights, tie_bits) =
         apply_tie_break(&mut net, &preferred, None);
 
+    let region_hints = segmentation
+        .iter()
+        .filter(|(id, seg)| seg.is_first && id.index() > 0)
+        .map(|(id, _)| write_node[id.index()].index() as u32)
+        .collect();
+
     Ok(BuiltNetwork {
         net,
         s,
@@ -278,6 +291,7 @@ pub(crate) fn build_with_regions(
         tie_weights,
         preferred,
         tie_bits,
+        region_hints,
     })
 }
 
@@ -502,6 +516,12 @@ pub struct NetworkView {
     /// Common quantum divided out of every raw cost before scaling (1 when
     /// the perturbation was skipped).
     pub cost_unit: i64,
+    /// Region-boundary hints for the parallel solver
+    /// ([`ResilientSolver::set_region_hints`]): the write node of every
+    /// variable's first segment after the first, in ascending node order.
+    ///
+    /// [`ResilientSolver::set_region_hints`]: lemra_netflow::ResilientSolver::set_region_hints
+    pub region_hints: Vec<u32>,
 }
 
 /// Builds the flow network for `problem` and returns it with the arc-handle
@@ -524,6 +544,7 @@ pub fn build_network(problem: &AllocationProblem) -> Result<NetworkView, CoreErr
         bypass: built.bypass,
         cost_scale: built.cost_scale,
         cost_unit: built.cost_unit,
+        region_hints: built.region_hints,
     })
 }
 

@@ -435,6 +435,10 @@ impl PipelineCx {
         let segmentation = self.segment(problem);
         let regions = self.profile(problem, &segmentation);
         let built = self.build(problem, &segmentation, &regions)?;
+        // Variable boundaries in the node numbering are where the parallel
+        // solver should cut regions, if it runs.
+        self.resilient
+            .set_region_hints(Some(built.region_hints.clone()));
         let solution = self
             .solve(&built.net, built.s, built.t, i64::from(problem.registers))
             .map_err(|e| flow_error(problem, e))?;
@@ -543,6 +547,8 @@ impl PipelineCx {
                     .costs_rescaled_per_arc(|i| ratio.get(i).copied().unwrap_or(f64::NAN));
             }
         }
+        self.resilient
+            .set_region_hints(Some(built.region_hints.clone()));
         let incidents_before = self.resilient.incident_count();
         let solution = self.resilient.solve_with_fallback(
             &mut self.reopt,
@@ -691,6 +697,10 @@ pub(crate) fn solve_chain_flow(
     net.add_arc(s, t, i64::from(spec.capacity), 0)?;
     cx.record(Stage::Build, t0);
 
+    // This network's node numbering has nothing to do with any previously
+    // installed allocation-network hints; drop them rather than let the
+    // parallel solver cut at stale boundaries.
+    cx.resilient.set_region_hints(None);
     let sol = cx
         .solve(&net, s, t, i64::from(spec.capacity))
         .map_err(|e| match e {

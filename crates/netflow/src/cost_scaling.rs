@@ -111,22 +111,19 @@ pub fn min_cost_flow_cost_scaling_with(
 ) -> Result<FlowSolution, NetflowError> {
     check_endpoints_with(net, s, t, target, ws)?;
 
-    let mut res = ws.take_arena();
-    let (super_s, super_t, required) = transform_into(net, s, t, target, &mut res);
+    // Leased via guard so the arena returns to the pool even on panic.
+    let mut guard = ws.lease_arena();
+    let (res, ws) = guard.parts();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, res);
 
-    let outcome = cost_scaling_run(&mut res, super_s, super_t, required, ws);
-    let solution = outcome.map(|pushed| {
-        if pushed < required {
-            Err(NetflowError::Infeasible {
-                required,
-                achieved: pushed,
-            })
-        } else {
-            Ok(solution_from_residual(net, &res, target))
-        }
-    });
-    ws.put_arena(res);
-    solution?
+    let pushed = cost_scaling_run(res, super_s, super_t, required, ws)?;
+    if pushed < required {
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: pushed,
+        });
+    }
+    Ok(solution_from_residual(net, res, target))
 }
 
 /// Feasibility max-flow, then ε-scaling refine phases down to exactness.

@@ -1,0 +1,1365 @@
+//! Decomposed parallel min-cost-flow: region-partitioned settling over a
+//! reduced-cost working set, joined by a price-repair pass.
+//!
+//! The serial SSP solver ([`ssp_phases`]) spends almost all of its time in
+//! [`dijkstra_settle`] scanning the full residual adjacency once per phase.
+//! This module replaces that settle with a divide-and-conquer variant:
+//!
+//! 1. **Working set** ([`build_working_set`]): after the initial exact
+//!    potentials, each node keeps only its `KEEP_RANK` cheapest outgoing and
+//!    incoming residual edges by reduced cost (supers keep everything, and
+//!    an edge's partner rides along so pushes stay visible). On the paper's
+//!    allocation networks this retains ~40% of the arcs while the optimum
+//!    barely moves — measured cost gap below one tie-break quantum at
+//!    `KEEP_RANK = 48` on the 512-variable instance.
+//! 2. **Region partition** ([`partition`]): contiguous node ranges over the
+//!    flat CSR, cut near build-stage hints
+//!    ([`SolverWorkspace::set_region_hints`], variable boundaries in the
+//!    allocation network) so few kept arcs cross regions. Each region owns a
+//!    split-borrowable [`RegionArena`](crate::workspace::RegionArena) — its
+//!    private frontier heap and seed buffer — while distances live in a
+//!    shared CAS-min [`AtomicI64`] array.
+//! 3. **Parallel settle** ([`par_settle`]): scoped worker threads run
+//!    label-correcting Dijkstra waves over their region's kept adjacency;
+//!    a relaxation that improves a foreign node posts it to that region's
+//!    inbox, and the main thread launches waves until every inbox drains.
+//!    The fixpoint is the exact kept-subgraph distance labels for every
+//!    node within the sink's distance — independent of scheduling, which is
+//!    what makes the path deterministic across `LEMRA_THREADS` settings.
+//! 4. **Sink-side blocking flow** ([`blocking_flow_kept`]): augmenting paths
+//!    are found by a backward DFS from the sink over admissible kept arcs.
+//!    Per round the source's admissible cone covers most of the settled
+//!    subgraph while the sink's tight in-cone is tiny, so searching from the
+//!    sink visits orders of magnitude fewer arcs for the same paths; arc
+//!    cursors persist across augments within a round.
+//! 5. **Join/repair** ([`repair_certificate`]): the kept subgraph may have
+//!    let a few pushes run along paths that are not shortest in the full
+//!    residual, so after the flow target is met the potentials are lowered
+//!    to a valid certificate by unfrozen label correcting over the *full*
+//!    residual; any negative residual cycle the pruning let through is
+//!    detected from the label-correcting parent graph and cancelled in
+//!    place (preserving the flow value — the measured cost gap at
+//!    `KEEP_RANK = 48` is below one tie-break quantum, so these cycles are
+//!    few and tiny). When the repair budget trips instead, the solver falls
+//!    back to a from-scratch serial solve. A valid certificate proves the
+//!    flow is minimum-cost at its value, so the final answer is exact — on
+//!    tie-broken networks (unique optimum) it is byte-identical to serial.
+//!
+//! Worker panics (including injected `region<k>` faults) are caught inside
+//! the wave, transported to the main thread and re-thrown there, so a
+//! [`ResilientSolver`](crate::ResilientSolver) chain sees an ordinary
+//! `SolverPanicked` incident and retries on the serial anchor.
+
+use crate::budget::SolveBudget;
+use crate::config::LemraConfig;
+use crate::graph::{FlowNetwork, NodeId};
+use crate::radix::RadixHeap;
+use crate::residual::Residual;
+use crate::ssp::{
+    check_endpoints_with, dijkstra_settle, initial_potentials, solution_from_residual, ssp_phases,
+    transform_into, update_potentials,
+};
+use crate::workspace::{with_thread_workspace, NodeState, SolverWorkspace, INF};
+use crate::{FlowSolution, NetflowError};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+
+/// Per-node working-set width: each node keeps this many cheapest outgoing
+/// and incoming residual edges by initial reduced cost. 48 keeps ~40% of the
+/// arcs on the allocation networks with a sub-quantum cost gap (the repair
+/// pass absorbs the rest) and is the measured sweet spot on the 512-variable
+/// instance: narrower widths push real shortest paths out of the working set
+/// and the repair pass pays for them several times over.
+pub(crate) const KEEP_RANK: usize = 48;
+
+/// Below this transformed node count an unspecified worker request runs the
+/// single-region path: thread spin-up costs more than the whole solve.
+pub(crate) const PAR_MIN_NODES: usize = 512;
+
+/// High bit of a compact `kept_to` entry, set while the arc has residual
+/// capacity: the settle and blocking-flow scans reject a dead arc on the
+/// 4-byte head load alone instead of also streaming its 8-byte capacity.
+const KEPT_LIVE: u32 = 1 << 31;
+
+/// Decomposed parallel [`min_cost_flow`](crate::min_cost_flow) using the
+/// calling thread's shared workspace. Worker count comes from
+/// [`LemraConfig`] (`LEMRA_THREADS`, default available parallelism).
+///
+/// # Errors
+///
+/// Same contract as [`min_cost_flow`](crate::min_cost_flow): the same
+/// validation, feasibility and budget errors, with budget incidents
+/// reporting backend `"par_ssp"`.
+pub fn min_cost_flow_par(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+) -> Result<FlowSolution, NetflowError> {
+    with_thread_workspace(|ws| min_cost_flow_par_with(net, s, t, target, ws, None))
+}
+
+/// [`min_cost_flow_par`] with an explicit workspace and worker count.
+///
+/// `workers: None` sizes the pool from [`LemraConfig`] (and drops to one
+/// region below [`PAR_MIN_NODES`] nodes); `Some(w)` forces exactly `w`
+/// regions, however degenerate — `Some(1)` is the single-region path and
+/// `Some(usize::MAX)` partitions every node into its own region, both of
+/// which must (and do) produce the same answer.
+///
+/// # Errors
+///
+/// Same as [`min_cost_flow_par`].
+pub fn min_cost_flow_par_with(
+    net: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: i64,
+    ws: &mut SolverWorkspace,
+    workers: Option<usize>,
+) -> Result<FlowSolution, NetflowError> {
+    check_endpoints_with(net, s, t, target, ws)?;
+    let workers = effective_workers(net.node_count() + 2, workers);
+
+    let mut guard = ws.lease_arena();
+    let (res, ws) = guard.parts();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, res);
+
+    let outcome = par_run(res, super_s, super_t, required, ws, workers);
+    // `par_run` stops the push log on its success paths; make sure an
+    // early error (budget, fault) cannot leave it recording.
+    res.stop_push_log();
+    outcome.and_then(|par| {
+        let flow = match par {
+            Par::Flow(flow) => flow,
+            Par::Fallback => {
+                // The join could not restore the certificate; restart the
+                // solve serially from the pristine transformed state.
+                if !res.rollback() {
+                    transform_into(net, s, t, target, res);
+                }
+                ssp_phases(res, super_s, super_t, required, ws, "par_ssp")?
+            }
+        };
+        if flow < required {
+            Err(NetflowError::Infeasible {
+                required,
+                achieved: flow,
+            })
+        } else {
+            Ok(solution_from_residual(net, res, target))
+        }
+    })
+}
+
+/// Outcome of the decomposed phase loop.
+enum Par {
+    /// Units moved, with a repaired (valid) reduced-cost certificate.
+    Flow(i64),
+    /// The certificate could not be repaired; re-solve serially.
+    Fallback,
+}
+
+/// Resolves the region/worker count for a transformed instance of `nodes`
+/// nodes: an explicit request wins verbatim (clamped to ≥ 1), otherwise
+/// [`LemraConfig`] decides, with tiny instances forced single-region and
+/// the result capped at the machine's parallelism — a region only earns
+/// its cross-boundary re-settling when a core of its own runs it, so
+/// `LEMRA_THREADS` above the core count clamps down rather than
+/// partitioning further (which is also why thread counts beyond the
+/// hardware cannot perturb the result).
+fn effective_workers(nodes: usize, requested: Option<usize>) -> usize {
+    match requested {
+        Some(w) => w.max(1),
+        None if nodes < PAR_MIN_NODES => 1,
+        None => {
+            let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+            LemraConfig::get().worker_count(usize::MAX).min(hw)
+        }
+    }
+}
+
+/// Locks a cross-region inbox, shrugging off poisoning: inbox contents are
+/// re-cleared by [`partition`] at the start of every solve, so data left by
+/// a panicked worker is never observed.
+fn lock_inbox(m: &Mutex<Vec<u32>>) -> MutexGuard<'_, Vec<u32>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The decomposed phase loop: exactly the [`ssp_phases`] structure with the
+/// settling Dijkstra swapped for [`par_settle`] over the kept subgraph,
+/// followed by the join repair and a serial continuation that finishes the
+/// last units (and delivers the authoritative feasibility verdict) on the
+/// full residual.
+fn par_run(
+    res: &mut Residual,
+    s: usize,
+    t: usize,
+    target: i64,
+    ws: &mut SolverWorkspace,
+    workers: usize,
+) -> Result<Par, NetflowError> {
+    let n = res.node_count();
+    ws.prepare(n);
+    initial_potentials(res, s, ws)?;
+    build_working_set(res, ws);
+    partition(ws, n, workers);
+    // Flat potential mirror for the kept scans — dense 8-byte loads where
+    // `NodeState` would stride 24; `fold_potentials` keeps it current.
+    ws.par.potential.clear();
+    let pots = ws.node[..n].iter().map(|st| st.potential);
+    ws.par.potential.extend(pots);
+    res.start_push_log();
+
+    let budget = ws.budget;
+    let mut rounds = 0u64;
+    let mut flow = 0i64;
+    // Phase 0 is identical to the serial path: the initial potentials are
+    // exact full-graph distances, so the admissible subgraph is the true
+    // shortest-path DAG and no settle is needed.
+    if flow < target && ws.node[t].potential < INF {
+        budget.check_rounds("par_ssp", "augment", rounds)?;
+        rounds += 1;
+        flow += crate::dinic::blocking_flow_admissible(res, s, t, ws, target - flow);
+    }
+    while flow < target {
+        budget.check_rounds("par_ssp", "augment", rounds)?;
+        rounds += 1;
+        patch_kept_caps(res, ws);
+        let dist_t = par_settle(res, s, t, ws)?;
+        if dist_t >= INF {
+            break;
+        }
+        fold_potentials(ws, dist_t);
+        let pushed = blocking_flow_kept(res, s, t, ws, target - flow);
+        if pushed == 0 {
+            // The kept-subgraph distances promised an admissible path the
+            // kept residual no longer offers; the repair below sorts the
+            // potentials out and the serial continuation finishes.
+            break;
+        }
+        flow += pushed;
+    }
+    res.stop_push_log();
+
+    // Join: restore a valid reduced-cost certificate on the full residual.
+    // Everything pushed so far keeps its value; the certificate proves it
+    // is minimum-cost at that value.
+    if !repair_certificate(res, ws) {
+        return Ok(Par::Fallback);
+    }
+
+    // Serial continuation on the full residual: routes whatever flow the
+    // pruned working set could not see and produces the exact achieved
+    // value when the instance is infeasible.
+    while flow < target {
+        budget.check_rounds("par_ssp", "augment", rounds)?;
+        rounds += 1;
+        let dist_t = dijkstra_settle(res, s, t, ws)?;
+        if dist_t >= INF {
+            break;
+        }
+        update_potentials(ws, dist_t);
+        let pushed = crate::dinic::blocking_flow_admissible(res, s, t, ws, target - flow);
+        if pushed == 0 {
+            break;
+        }
+        flow += pushed;
+    }
+    Ok(Par::Flow(flow))
+}
+
+/// Marks each kept slice's top-`k` entries (by `(reduced cost, edge id)`,
+/// deterministic because edge ids are unique) in the working-set bitmap.
+fn mark_top_k(rank: &mut Vec<(i64, u32)>, k: usize, keep: &mut [bool]) {
+    if k < rank.len() {
+        rank.select_nth_unstable(k - 1);
+        rank.truncate(k);
+    }
+    for &(_, e) in rank.iter() {
+        keep[e as usize] = true;
+    }
+}
+
+/// Builds the reduced-cost working set over the freshly transformed
+/// residual: per node, the [`KEEP_RANK`] cheapest outgoing *and* incoming
+/// positive-capacity edges by initial reduced cost (the super source/sink
+/// keep everything — their incident arcs carry all supply), closed under
+/// partnering so a push on a kept edge activates a kept backward edge, then
+/// laid out as a CSR of stable edge ids (slot positions move under pushes;
+/// edge ids do not).
+fn build_working_set(res: &Residual, ws: &mut SolverWorkspace) {
+    let n = res.node_count();
+    let m = res.first_out[n] as usize;
+    let super_s = n - 2;
+    let super_t = n - 1;
+    let SolverWorkspace { node, par, .. } = ws;
+    let node: &[NodeState] = &node[..n];
+
+    par.keep.clear();
+    par.keep.resize(m, false);
+
+    // Out-arc ranking: per tail, keep the K cheapest by reduced cost.
+    for u in 0..n {
+        let pu = node[u].potential;
+        if pu >= INF {
+            continue;
+        }
+        par.rank.clear();
+        for sl in &res.slots[res.active_slots(u)] {
+            if sl.cap <= 0 {
+                continue;
+            }
+            let pv = node[sl.to as usize].potential;
+            if pv >= INF {
+                continue;
+            }
+            par.rank.push((sl.cost + pu - pv, sl.edge));
+        }
+        let k = if u == super_s || u == super_t {
+            usize::MAX
+        } else {
+            KEEP_RANK
+        };
+        mark_top_k(&mut par.rank, k, &mut par.keep);
+    }
+
+    // In-arc ranking via counting sort by head: this is the pass that keeps
+    // every node *suppliable* — a node whose cheap in-arcs all start at
+    // high-degree tails would lose them to the out-arc cap alone.
+    par.in_start.clear();
+    par.in_start.resize(n + 1, 0);
+    for u in 0..n {
+        if node[u].potential >= INF {
+            continue;
+        }
+        for sl in &res.slots[res.active_slots(u)] {
+            if sl.cap <= 0 || node[sl.to as usize].potential >= INF {
+                continue;
+            }
+            par.in_start[sl.to as usize + 1] += 1;
+        }
+    }
+    for v in 0..n {
+        par.in_start[v + 1] += par.in_start[v];
+    }
+    par.in_cursor.clear();
+    par.in_cursor.extend_from_slice(&par.in_start[..n]);
+    par.in_items.clear();
+    par.in_items.resize(par.in_start[n] as usize, (0, 0));
+    for u in 0..n {
+        let pu = node[u].potential;
+        if pu >= INF {
+            continue;
+        }
+        for sl in &res.slots[res.active_slots(u)] {
+            if sl.cap <= 0 {
+                continue;
+            }
+            let v = sl.to as usize;
+            let pv = node[v].potential;
+            if pv >= INF {
+                continue;
+            }
+            par.in_items[par.in_cursor[v] as usize] = (sl.cost + pu - pv, sl.edge);
+            par.in_cursor[v] += 1;
+        }
+    }
+    for v in 0..n {
+        let slice = &mut par.in_items[par.in_start[v] as usize..par.in_start[v + 1] as usize];
+        let k = if v == super_s || v == super_t {
+            usize::MAX
+        } else {
+            KEEP_RANK
+        };
+        par.rank.clear();
+        par.rank.extend_from_slice(slice);
+        mark_top_k(&mut par.rank, k, &mut par.keep);
+    }
+
+    // Close under partnering, then lay the kept edges out as a CSR by tail.
+    for e in 0..m {
+        if par.keep[e] {
+            par.keep[e ^ 1] = true;
+        }
+    }
+    par.kept_start.clear();
+    par.kept_start.resize(n + 1, 0);
+    for u in 0..n {
+        let mut kept = 0u32;
+        for sl in &res.slots[res.all_slots(u)] {
+            kept += par.keep[sl.edge as usize] as u32;
+        }
+        par.kept_start[u + 1] = kept;
+    }
+    for u in 0..n {
+        par.kept_start[u + 1] += par.kept_start[u];
+    }
+    // Lay the kept edges out as a CSR and materialise the hot-loop payload
+    // (head + live bit, cost, capacity) in the same sweep — the slots are
+    // already in hand here, and going back through `slot_of` per kept edge
+    // would cost two dependent random loads each. Capacities are a
+    // snapshot; the push log keeps them current between rounds.
+    let kn = par.kept_start[n] as usize;
+    par.kept_edges.clear();
+    par.kept_edges.reserve(kn);
+    par.kept_pos.clear();
+    par.kept_pos.resize(m, u32::MAX);
+    par.kept_to.clear();
+    par.kept_to.reserve(kn);
+    par.kept_cost.clear();
+    par.kept_cost.reserve(kn);
+    par.kept_cap.clear();
+    par.kept_cap.reserve(kn);
+    for u in 0..n {
+        for sl in &res.slots[res.all_slots(u)] {
+            if par.keep[sl.edge as usize] {
+                par.kept_pos[sl.edge as usize] = par.kept_edges.len() as u32;
+                par.kept_edges.push(sl.edge);
+                par.kept_to
+                    .push(sl.to | if sl.cap > 0 { KEPT_LIVE } else { 0 });
+                par.kept_cost.push(sl.cost);
+                par.kept_cap.push(sl.cap);
+            }
+        }
+    }
+    debug_assert_eq!(par.kept_edges.len(), kn);
+}
+
+/// Patches the compact kept capacities from the residual's push log. Every
+/// push moved capacity between an edge and its partner; the working set is
+/// closed under partnering, so either both sit in the kept CSR or neither
+/// does.
+fn patch_kept_caps(res: &mut Residual, ws: &mut SolverWorkspace) {
+    let par = &mut ws.par;
+    for &e in &res.edge_log {
+        for id in [e, e ^ 1] {
+            let p = par.kept_pos[id as usize];
+            if p != u32::MAX {
+                let cap = res.cap_of(id);
+                par.kept_cap[p as usize] = cap;
+                if cap > 0 {
+                    par.kept_to[p as usize] |= KEPT_LIVE;
+                } else {
+                    par.kept_to[p as usize] &= !KEPT_LIVE;
+                }
+            }
+        }
+    }
+    res.edge_log.clear();
+}
+
+/// Partitions `0..n` into `workers.clamp(1, n)` contiguous regions with
+/// roughly equal kept-degree weight, snapping each cut to the nearest
+/// build-stage region hint (when the workspace carries any) so the cuts
+/// land on structural boundaries with few crossing arcs. Also (re)sizes the
+/// per-region arenas, inboxes and the shared atomic distance array.
+fn partition(ws: &mut SolverWorkspace, n: usize, workers: usize) {
+    let SolverWorkspace {
+        par, region_hints, ..
+    } = ws;
+    let regions = workers.clamp(1, n.max(1));
+    par.bounds.clear();
+    par.region_of.clear();
+    par.region_of.resize(n, 0);
+
+    if regions >= n {
+        // All-singleton degenerate partition: node v is region v.
+        for v in 0..n {
+            par.bounds.push(v as u32 + 1);
+            par.region_of[v] = v as u32;
+        }
+    } else {
+        let weight = |u: usize| -> u64 { 1 + (par.kept_start[u + 1] - par.kept_start[u]) as u64 };
+        let total: u64 = (0..n).map(weight).sum();
+        let hints: &[u32] = region_hints.as_deref().unwrap_or(&[]);
+        let window = (n / (4 * regions)).max(1) as u32;
+        let mut acc = 0u64;
+        let mut next_cut = 1u64; // cut index k makes bound k of `regions`
+        let mut last_bound = 0u32;
+        for u in 0..n {
+            acc += weight(u);
+            if next_cut < regions as u64 && acc * regions as u64 >= total * next_cut {
+                let mut cut = u as u32 + 1;
+                // Snap to the nearest hint inside the window, if one exists
+                // strictly between the previous bound and the end.
+                let lo = cut.saturating_sub(window);
+                let hi = cut + window;
+                if let Some(&h) = hints
+                    .iter()
+                    .filter(|&&h| h > last_bound && (h as usize) < n && h >= lo && h <= hi)
+                    .min_by_key(|&&h| h.abs_diff(cut))
+                {
+                    cut = h;
+                }
+                if cut > last_bound && (cut as usize) < n {
+                    par.bounds.push(cut);
+                    last_bound = cut;
+                    next_cut += 1;
+                }
+            }
+        }
+        par.bounds.push(n as u32);
+        let mut r = 0u32;
+        for v in 0..n {
+            while v as u32 >= par.bounds[r as usize] {
+                r += 1;
+            }
+            par.region_of[v] = r;
+        }
+    }
+
+    let regions = par.bounds.len();
+    if par.arenas.len() < regions {
+        par.arenas.resize_with(regions, Default::default);
+    }
+    if par.inboxes.len() < regions {
+        par.inboxes.resize_with(regions, Default::default);
+    }
+    for inbox in &mut par.inboxes[..regions] {
+        inbox
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+    if par.dist.len() < n {
+        par.dist.resize_with(n, || AtomicI64::new(INF));
+    }
+}
+
+/// One settling round over the kept subgraph, region-parallel.
+///
+/// Distances live in a shared CAS-min array; each region runs
+/// label-correcting Dijkstra waves over its own frontier heap, posting
+/// improvements of foreign nodes to that region's inbox. The main thread
+/// coordinates waves over command/done channels: a wave launches every
+/// region with a non-empty inbox and waits for all of them, so inbox
+/// scans never race a running worker. The fixpoint (all inboxes empty)
+/// carries exact kept-subgraph distances for every node within the sink's
+/// distance — the same guarantee [`dijkstra_settle`] gives on the full
+/// graph, by the same monotone-pruning argument, which is what makes the
+/// result independent of worker count and scheduling.
+///
+/// With a single region the wave loop runs inline on the calling thread —
+/// no scope, no channels — which is also the honest serial baseline the
+/// bench suite compares against.
+///
+/// # Errors
+///
+/// [`NetflowError::BudgetExceeded`] when the workspace deadline expires
+/// between waves (workers are quiescent at every check).
+fn par_settle(
+    res: &Residual,
+    s: usize,
+    t: usize,
+    ws: &mut SolverWorkspace,
+) -> Result<i64, NetflowError> {
+    let budget: SolveBudget = ws.budget;
+    ws.dijkstra_rounds += 1;
+    let n = res.node_count();
+    let SolverWorkspace { par, .. } = ws;
+    let pot: &[i64] = &par.potential[..n];
+    let regions = par.bounds.len();
+    let dist: &[AtomicI64] = &par.dist[..n];
+    let region_of: &[u32] = &par.region_of[..n];
+    let kept = KeptCsr {
+        start: &par.kept_start,
+        to: &par.kept_to,
+        cost: &par.kept_cost,
+    };
+    let inboxes: &[Mutex<Vec<u32>>] = &par.inboxes[..regions];
+
+    for d in dist {
+        d.store(INF, Ordering::Relaxed);
+    }
+    dist[s].store(0, Ordering::Relaxed);
+    lock_inbox(&inboxes[region_of[s] as usize]).push(s as u32);
+
+    if regions == 1 {
+        let arena = &mut par.arenas[0];
+        let mut wave = 0u64;
+        loop {
+            budget.check_deadline("par_ssp", "settle", wave)?;
+            wave += 1;
+            arena.seeds.clear();
+            arena.seeds.append(&mut lock_inbox(&inboxes[0]));
+            if arena.seeds.is_empty() {
+                break;
+            }
+            settle_wave(
+                0,
+                t,
+                kept,
+                pot,
+                region_of,
+                dist,
+                inboxes,
+                &mut arena.heap,
+                &arena.seeds,
+                true,
+            );
+        }
+        return Ok(dist[t].load(Ordering::Relaxed));
+    }
+
+    // More regions than the machine has cores: scoped threads would fight
+    // for the same CPUs, and the per-wave channel round-trips dwarf the
+    // waves themselves. Run each region's waves inline instead — the
+    // settle is a CAS-min fixpoint, so executing the same region structure
+    // on fewer OS threads changes nothing about the result, only the
+    // schedule. (This is also what keeps `LEMRA_THREADS=8` honest on a
+    // single-core container.)
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if hw < 2 {
+        let mut wave = 0u64;
+        loop {
+            budget.check_deadline("par_ssp", "settle", wave)?;
+            wave += 1;
+            let mut launched = 0usize;
+            for (r, arena) in par.arenas[..regions].iter_mut().enumerate() {
+                arena.seeds.clear();
+                arena.seeds.append(&mut lock_inbox(&inboxes[r]));
+                if arena.seeds.is_empty() {
+                    continue;
+                }
+                launched += 1;
+                settle_wave(
+                    r,
+                    t,
+                    kept,
+                    pot,
+                    region_of,
+                    dist,
+                    inboxes,
+                    &mut arena.heap,
+                    &arena.seeds,
+                    false,
+                );
+            }
+            if launched == 0 {
+                break;
+            }
+        }
+        return Ok(dist[t].load(Ordering::Relaxed));
+    }
+
+    std::thread::scope(|scope| -> Result<(), NetflowError> {
+        let (done_tx, done_rx) = mpsc::channel::<Result<(), Box<dyn std::any::Any + Send>>>();
+        let mut cmd_txs = Vec::with_capacity(regions);
+        for (r, arena) in par.arenas[..regions].iter_mut().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<bool>();
+            cmd_txs.push(cmd_tx);
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                // The whole wave — inbox drain included — runs inside
+                // catch_unwind so a panicking region (genuine or injected)
+                // reports through the done channel instead of deadlocking
+                // or poisoning state the main thread relies on.
+                while let Ok(true) = cmd_rx.recv() {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        arena.seeds.clear();
+                        arena.seeds.append(&mut lock_inbox(&inboxes[r]));
+                        settle_wave(
+                            r,
+                            t,
+                            kept,
+                            pot,
+                            region_of,
+                            dist,
+                            inboxes,
+                            &mut arena.heap,
+                            &arena.seeds,
+                            false,
+                        );
+                    }));
+                    let failed = outcome.is_err();
+                    let _ = done_tx.send(outcome);
+                    if failed {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut wave = 0u64;
+        let mut verdict = Ok(());
+        loop {
+            if let Err(e) = budget.check_deadline("par_ssp", "settle", wave) {
+                verdict = Err(e);
+                break;
+            }
+            wave += 1;
+            let mut launched = 0usize;
+            for (r, inbox) in inboxes.iter().enumerate() {
+                if !lock_inbox(inbox).is_empty() {
+                    cmd_txs[r]
+                        .send(true)
+                        .expect("par_ssp settle worker exited prematurely");
+                    launched += 1;
+                }
+            }
+            if launched == 0 {
+                break;
+            }
+            for _ in 0..launched {
+                match done_rx.recv() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(payload)) => {
+                        for tx in &cmd_txs {
+                            let _ = tx.send(false);
+                        }
+                        resume_unwind(payload);
+                    }
+                    Err(_) => {
+                        for tx in &cmd_txs {
+                            let _ = tx.send(false);
+                        }
+                        panic!("par_ssp settle worker terminated unexpectedly");
+                    }
+                }
+            }
+        }
+        for tx in &cmd_txs {
+            let _ = tx.send(false);
+        }
+        verdict
+    })?;
+    Ok(dist[t].load(Ordering::Relaxed))
+}
+
+/// Shared read-only view of the compact kept adjacency: CSR row starts
+/// plus the sequential-scan payload (head + live bit, cost) the settle
+/// iterates instead of chasing `slot_of` indirections.
+#[derive(Clone, Copy)]
+struct KeptCsr<'a> {
+    start: &'a [u32],
+    to: &'a [u32],
+    cost: &'a [i64],
+}
+
+/// One region's Dijkstra wave over the kept adjacency.
+///
+/// Seeds are the drained inbox; the heap is reset per wave (seed keys may
+/// regress below the previous wave's floor, relaxations never do). Popping
+/// stops once a key exceeds the sink's current distance — sound because
+/// radix pops are monotone and `dist[t]` only decreases, so every entry at
+/// or below the final sink distance pops before the cut. `serial` skips the
+/// CAS for the single-region path where plain loads and stores suffice.
+#[allow(clippy::too_many_arguments)]
+fn settle_wave(
+    region: usize,
+    t: usize,
+    kept: KeptCsr<'_>,
+    pot: &[i64],
+    region_of: &[u32],
+    dist: &[AtomicI64],
+    inboxes: &[Mutex<Vec<u32>>],
+    heap: &mut RadixHeap,
+    seeds: &[u32],
+    serial: bool,
+) {
+    #[cfg(feature = "fault-inject")]
+    if crate::fault::maybe_inject_region(region) {
+        panic!("injected fault: panic in par_ssp settle worker for region {region}");
+    }
+    heap.reset();
+    for &u in seeds {
+        let d = dist[u as usize].load(Ordering::Relaxed);
+        if d < INF {
+            heap.push(d, u);
+        }
+    }
+    while let Some((d, u)) = heap.pop() {
+        if d > dist[t].load(Ordering::Relaxed) {
+            break;
+        }
+        let u = u as usize;
+        if d > dist[u].load(Ordering::Relaxed) {
+            continue;
+        }
+        if u == t {
+            continue;
+        }
+        let pu = pot[u];
+        if pu >= INF {
+            continue;
+        }
+        for i in kept.start[u] as usize..kept.start[u + 1] as usize {
+            let tv = kept.to[i];
+            if tv & KEPT_LIVE == 0 {
+                continue;
+            }
+            let v = (tv & !KEPT_LIVE) as usize;
+            let pv = pot[v];
+            if pv >= INF {
+                continue;
+            }
+            let rc = kept.cost[i] + pu - pv;
+            debug_assert!(rc >= 0, "negative reduced cost on kept entry {i}");
+            let nd = d + rc;
+            if serial {
+                if nd < dist[v].load(Ordering::Relaxed) {
+                    dist[v].store(nd, Ordering::Relaxed);
+                    heap.push(nd, v as u32);
+                }
+            } else {
+                let mut cur = dist[v].load(Ordering::Relaxed);
+                let mut won = false;
+                while nd < cur {
+                    match dist[v].compare_exchange_weak(
+                        cur,
+                        nd,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            won = true;
+                            break;
+                        }
+                        Err(seen) => cur = seen,
+                    }
+                }
+                if won {
+                    let owner = region_of[v] as usize;
+                    if owner == region {
+                        heap.push(nd, v as u32);
+                    } else {
+                        lock_inbox(&inboxes[owner]).push(v as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a settling round's kept-subgraph distances into the potentials —
+/// [`update_potentials`] against the atomic distance array: settled nodes
+/// add their exact distance, everything else (including unreached, at
+/// `INF`) clamps to `dist_t`, which keeps every *kept* reduced cost
+/// non-negative by the standard argument restricted to the kept subgraph.
+fn fold_potentials(ws: &mut SolverWorkspace, dist_t: i64) {
+    let SolverWorkspace { node, par, .. } = ws;
+    for ((st, d), p) in node.iter_mut().zip(&par.dist).zip(&mut par.potential) {
+        if st.potential < INF {
+            st.potential += d.load(Ordering::Relaxed).min(dist_t);
+        }
+        *p = st.potential;
+    }
+}
+
+/// Node state of the kept blocking-flow DFS.
+const BF_FRESH: i32 = 0;
+/// On the current DFS path (cycle guard — admissible zero-cost cycles
+/// exist in tie-broken networks' residuals).
+const BF_ON_PATH: i32 = 1;
+/// Retired this round: every admissible out-arc dead-ended.
+const BF_RETIRED: i32 = 2;
+
+/// Blocking flow restricted to the kept admissible subgraph: positive
+/// compact capacity and zero reduced cost under the just-folded potentials
+/// (the settle only explored kept arcs, so its distances only certify kept
+/// paths). The search runs *backward from the sink*: per round the
+/// admissible cone out of the source covers most of the settled subgraph,
+/// while the tight in-cone of the sink holds little beyond the augmenting
+/// paths themselves, so a cursor DFS from `t` touches a small fraction of
+/// the arcs a forward walk would. The working set is closed under
+/// partnering, so a node's admissible in-arcs are exactly the live
+/// partners of its own CSR row. Pushes go through [`Residual::push`] so
+/// the residual stays authoritative — journal, partner activation, push
+/// log — with the compact capacities updated in place for the DFS's own
+/// benefit. Scans follow the kept-CSR order, which is fixed before
+/// partitioning, so routing is identical at every worker count.
+fn blocking_flow_kept(
+    res: &mut Residual,
+    s: usize,
+    t: usize,
+    ws: &mut SolverWorkspace,
+    limit: i64,
+) -> i64 {
+    let n = res.node_count();
+    let par = &mut ws.par;
+
+    par.level.clear();
+    par.level.resize(n, BF_FRESH);
+    par.iter.clear();
+    par.iter.extend_from_slice(&par.kept_start[..n]);
+    // `path[k]` is the compact index of the in-arc into `chain[k]`;
+    // `chain` is the node trail `t, …` the backward walk stands on.
+    par.path.clear();
+    par.chain.clear();
+    par.level[t] = BF_ON_PATH;
+    par.chain.push(t as u32);
+    let mut pushed = 0i64;
+    while pushed < limit {
+        let v = *par.chain.last().expect("chain keeps its sink anchor") as usize;
+        if v == s {
+            let mut amount = limit - pushed;
+            for &g in &par.path {
+                amount = amount.min(par.kept_cap[g as usize]);
+            }
+            for &g in &par.path {
+                let g = g as usize;
+                let e = par.kept_edges[g];
+                res.push(e, amount);
+                par.kept_cap[g] -= amount;
+                if par.kept_cap[g] == 0 {
+                    par.kept_to[g] &= !KEPT_LIVE;
+                }
+                let p = par.kept_pos[(e ^ 1) as usize] as usize;
+                par.kept_cap[p] += amount;
+                par.kept_to[p] |= KEPT_LIVE;
+            }
+            pushed += amount;
+            // Restart from the sink with cursors kept: unsaturated path
+            // arcs sit right under their tails' cursors and are retried
+            // first, saturated ones are rejected and stepped past.
+            for &x in &par.chain {
+                par.level[x as usize] = BF_FRESH;
+            }
+            par.path.clear();
+            par.chain.clear();
+            par.level[t] = BF_ON_PATH;
+            par.chain.push(t as u32);
+            continue;
+        }
+        let pv = par.potential[v];
+        let mut advanced = false;
+        while par.iter[v] < par.kept_start[v + 1] {
+            let i = par.iter[v] as usize;
+            let w = (par.kept_to[i] & !KEPT_LIVE) as usize;
+            if par.level[w] == BF_FRESH {
+                // The in-arc `g = (w, v)` is this row entry's partner.
+                let g = par.kept_pos[(par.kept_edges[i] ^ 1) as usize] as usize;
+                let pw = par.potential[w];
+                if par.kept_to[g] & KEPT_LIVE != 0 && pw < INF && par.kept_cost[g] + pw - pv == 0 {
+                    par.level[w] = BF_ON_PATH;
+                    par.chain.push(w as u32);
+                    par.path.push(g as u32);
+                    advanced = true;
+                    break;
+                }
+            }
+            par.iter[v] += 1;
+        }
+        if !advanced {
+            // Dead end: no admissible in-arc reaches `v` any more this
+            // round. Retiring the sink itself exhausts the round.
+            par.level[v] = BF_RETIRED;
+            par.chain.pop();
+            par.path.pop();
+            match par.chain.last() {
+                Some(&x) => par.iter[x as usize] += 1,
+                None => break,
+            }
+        }
+    }
+    pushed
+}
+
+/// Per-node lowering count between parent-graph cycle probes: cheap enough
+/// that a genuine cycle is caught within a couple of laps, rare enough that
+/// legitimate long correction chains pay almost nothing.
+const WALK_PERIOD: u32 = 16;
+
+/// Negative-cycle cancellations the join pass will perform before giving
+/// up. Pruning at [`KEEP_RANK`] leaves at most a handful of tie-break-sized
+/// cycles, so hitting this bound means the working set was badly wrong and
+/// a from-scratch serial solve is cheaper than continuing.
+const MAX_CANCELS: u32 = 256;
+
+/// Join pass: restores a valid reduced-cost certificate on the *full*
+/// residual, proving the flow routed through the kept subgraph is
+/// minimum-cost at its value. Label correcting lowers the potentials the
+/// common few arcs they are off by; any negative residual cycle the
+/// pruning committed (flow a cheaper unseen detour undercuts) shows up as
+/// a cycle in the label-correcting parent graph and is cancelled in place,
+/// preserving the flow value. Returns `false` when the repair budget trips
+/// instead; the caller then re-solves serially from scratch.
+fn repair_certificate(res: &mut Residual, ws: &mut SolverWorkspace) -> bool {
+    let n = res.node_count();
+    let mut pot = std::mem::take(&mut ws.par.potential);
+    pot.clear();
+    pot.extend(ws.node[..n].iter().map(|st| st.potential));
+    let ok = converge_prices(res, &mut pot);
+    if ok {
+        for (st, &p) in ws.node[..n].iter_mut().zip(&pot) {
+            st.potential = p;
+        }
+    }
+    ws.par.potential = pot;
+    ok
+}
+
+/// Label-correcting state of [`converge_prices`], split out so node
+/// relaxation can live in a free function (the borrow on `res` must end
+/// before a cancellation mutates it).
+struct Spfa {
+    /// Times each node's potential has been lowered since the last reset.
+    lowered: Vec<u32>,
+    /// Queue membership bitmap.
+    in_queue: Vec<bool>,
+    /// Edge id that last lowered each node (`u32::MAX`: none). Any cycle in
+    /// this parent graph is a negative-cost residual cycle (the classic
+    /// Bellman–Ford predecessor-subgraph lemma).
+    parent: Vec<u32>,
+    /// Visit stamps for parent-chain walks; `stamp_id` names the current
+    /// walk so the array never needs clearing.
+    stamp: Vec<u32>,
+    stamp_id: u32,
+    /// FIFO frontier with the SLF (smaller-label-first) twist: a node
+    /// cheaper than the head jumps the queue, approximating priority order
+    /// without heap churn.
+    queue: std::collections::VecDeque<u32>,
+}
+
+impl Spfa {
+    fn new(n: usize) -> Self {
+        Spfa {
+            lowered: vec![0; n],
+            in_queue: vec![false; n],
+            parent: vec![u32::MAX; n],
+            stamp: vec![0; n],
+            stamp_id: 0,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// (Re-)enqueues a node for relaxation, smaller-label-first: a node
+    /// cheaper than the queue head goes to the front (the classic SLF
+    /// heuristic), which approximates priority order and cuts re-lowering
+    /// churn on the long correction chains the join repairs.
+    fn enqueue(&mut self, v: usize, pot: &[i64]) {
+        if !self.in_queue[v] {
+            self.in_queue[v] = true;
+            match self.queue.front() {
+                Some(&f) if pot[v] < pot[f as usize] => self.queue.push_front(v as u32),
+                _ => self.queue.push_back(v as u32),
+            }
+        }
+    }
+}
+
+/// One node relaxation's verdict.
+enum Relax {
+    /// All out-edges relaxed without incident.
+    Done,
+    /// A parent-graph cycle surfaced: these edge ids form a negative-cost
+    /// residual cycle, in reverse traversal order (irrelevant for
+    /// cancellation).
+    Cycle(Vec<u32>),
+    /// A node was lowered more than `n + 1` times with no cycle in sight —
+    /// a should-not-happen divergence guard.
+    Diverged,
+}
+
+/// Relaxes every residual out-edge of `u` once, recording parent pointers
+/// and probing the parent graph for a cycle every [`WALK_PERIOD`]th
+/// lowering of a node.
+fn relax_node(res: &Residual, u: usize, pot: &mut [i64], st: &mut Spfa, cap: u32) -> Relax {
+    let pu = pot[u];
+    if pu >= INF {
+        return Relax::Done;
+    }
+    for slot in res.active_slots(u) {
+        let sl = res.slots[slot];
+        if sl.cap <= 0 {
+            continue;
+        }
+        let v = sl.to as usize;
+        if pot[v] >= INF {
+            continue;
+        }
+        let bound = pu + sl.cost;
+        if bound < pot[v] {
+            pot[v] = bound;
+            st.parent[v] = sl.edge;
+            st.lowered[v] += 1;
+            if st.lowered[v] > cap {
+                return Relax::Diverged;
+            }
+            if st.lowered[v] % WALK_PERIOD == 0 {
+                st.stamp_id += 1;
+                let Spfa { parent, stamp, .. } = st;
+                if let Some(cycle) = extract_cycle(res, parent, v, stamp, st.stamp_id) {
+                    return Relax::Cycle(cycle);
+                }
+            }
+            st.enqueue(v, pot);
+        }
+    }
+    Relax::Done
+}
+
+/// Walks parent pointers back from `start`, stamping visits; re-entering a
+/// node stamped by *this* walk means the chain ran into a parent-graph
+/// cycle, whose edges are collected and returned. A chain that ends at a
+/// parentless node returns `None` (a legitimately long correction chain).
+/// Earlier cancellations can leave a saturated edge in the parent graph;
+/// collection re-checks liveness and, on a stale edge, severs it from the
+/// parent graph and returns `None` instead of a bogus cycle.
+fn extract_cycle(
+    res: &Residual,
+    parent: &mut [u32],
+    start: usize,
+    stamp: &mut [u32],
+    stamp_id: u32,
+) -> Option<Vec<u32>> {
+    let mut y = start;
+    loop {
+        if stamp[y] == stamp_id {
+            // `y` is on the cycle; every node around it has a parent.
+            let first = y;
+            let mut edges = Vec::new();
+            loop {
+                let e = parent[y];
+                if res.cap_of(e) <= 0 {
+                    parent[y] = u32::MAX;
+                    return None;
+                }
+                edges.push(e);
+                y = res.tail(e);
+                if y == first {
+                    return Some(edges);
+                }
+            }
+        }
+        stamp[y] = stamp_id;
+        let e = parent[y];
+        if e == u32::MAX {
+            return None;
+        }
+        y = res.tail(e);
+    }
+}
+
+/// Lowers `pot` to a valid potential by queue-driven label correcting
+/// (SPFA) over the residual, with **no** freeze heuristic: unlike the
+/// reoptimizer's price refinement, which caps per-node relaxations at a
+/// small constant tuned for local perturbations, the join pass arrives
+/// with potentials that are wrong along whole fold chains and legitimately
+/// need many corrections. When the parent graph closes a cycle — a genuine
+/// negative-cost residual cycle, i.e. flow the pruned phases committed
+/// that a cheaper unseen detour undercuts — the cycle is cancelled
+/// directly on the residual (saturating its bottleneck edge, preserving
+/// the flow value, strictly lowering cost) and correction continues in
+/// place: the cancellation only creates new residual edges out of the
+/// cycle's own nodes, so re-enqueueing those nodes restores the "every
+/// violated tail is queued" invariant without a restart. Returns `true`
+/// once the queue drains, at which point `pot` is a valid reduced-cost
+/// certificate; `false` when [`MAX_CANCELS`] cancellations did not
+/// suffice.
+fn converge_prices(res: &mut Residual, pot: &mut [i64]) -> bool {
+    let n = res.node_count();
+    let cap = n as u32 + 1;
+    let mut st = Spfa::new(n);
+    let mut cancels = 0u32;
+    // One pass over every node seeds the queue with all violated tails;
+    // relaxation keeps the invariant from there.
+    for u in 0..n {
+        match relax_node(res, u, pot, &mut st, cap) {
+            Relax::Done => {}
+            Relax::Diverged => return false,
+            Relax::Cycle(cycle) => {
+                if !cancel_cycle(res, &cycle, pot, &mut st, &mut cancels) {
+                    return false;
+                }
+                // `u`'s remaining out-edges are revisited from the queue.
+                st.enqueue(u, pot);
+            }
+        }
+    }
+    while let Some(u) = st.queue.pop_front() {
+        let u = u as usize;
+        st.in_queue[u] = false;
+        match relax_node(res, u, pot, &mut st, cap) {
+            Relax::Done => {}
+            Relax::Diverged => return false,
+            Relax::Cycle(cycle) => {
+                if !cancel_cycle(res, &cycle, pot, &mut st, &mut cancels) {
+                    return false;
+                }
+                st.enqueue(u, pot);
+            }
+        }
+    }
+    true
+}
+
+/// Saturates a negative-cost residual cycle: pushes the bottleneck
+/// capacity around every edge, which keeps all flow-conservation values
+/// intact and strictly lowers total cost. The cycle's nodes are severed
+/// from the parent graph (their inbound parent edges may now be saturated)
+/// and re-enqueued, which also covers the reverse edges the pushes just
+/// opened — each has its tail on the cycle. Returns `false` once
+/// [`MAX_CANCELS`] cancellations have been spent.
+fn cancel_cycle(
+    res: &mut Residual,
+    cycle: &[u32],
+    pot: &[i64],
+    st: &mut Spfa,
+    cancels: &mut u32,
+) -> bool {
+    *cancels += 1;
+    if *cancels > MAX_CANCELS {
+        return false;
+    }
+    debug_assert!(cycle.iter().map(|&e| res.cost_of(e)).sum::<i64>() < 0);
+    let amount = cycle
+        .iter()
+        .map(|&e| res.cap_of(e))
+        .min()
+        .expect("cycles are non-empty");
+    debug_assert!(amount > 0, "extraction verified liveness");
+    for &e in cycle {
+        res.push(e, amount);
+        let h = res.head(e);
+        st.parent[h] = u32::MAX;
+        st.enqueue(h, pot);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_cost_flow;
+
+    fn diamond() -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, 1, 1).unwrap();
+        net.add_arc(a, t, 1, 1).unwrap();
+        net.add_arc(s, b, 1, 3).unwrap();
+        net.add_arc(b, t, 1, 3).unwrap();
+        (net, s, t)
+    }
+
+    /// A wide layered network large enough that the working-set pruning
+    /// actually drops arcs (tails with > KEEP_RANK out-arcs).
+    fn wide(layer: usize) -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let mids: Vec<_> = (0..layer).map(|_| net.add_node()).collect();
+        let outs: Vec<_> = (0..layer).map(|_| net.add_node()).collect();
+        let t = net.add_node();
+        for (i, &m) in mids.iter().enumerate() {
+            net.add_arc(s, m, 2, i as i64 % 7).unwrap();
+            for (j, &o) in outs.iter().enumerate() {
+                net.add_arc(m, o, 1, ((i * 31 + j * 17) % 23) as i64)
+                    .unwrap();
+            }
+        }
+        for (j, &o) in outs.iter().enumerate() {
+            net.add_arc(o, t, 3, (j % 5) as i64).unwrap();
+        }
+        (net, s, t)
+    }
+
+    #[test]
+    fn par_matches_serial_on_the_diamond() {
+        let (net, s, t) = diamond();
+        let serial = min_cost_flow(&net, s, t, 2).unwrap();
+        for workers in [None, Some(1), Some(2), Some(usize::MAX)] {
+            let mut ws = SolverWorkspace::new();
+            let par = min_cost_flow_par_with(&net, s, t, 2, &mut ws, workers).unwrap();
+            assert_eq!(par.cost, serial.cost, "workers {workers:?}");
+            assert_eq!(par.flows, serial.flows, "workers {workers:?}");
+        }
+    }
+
+    #[test]
+    fn par_matches_serial_on_a_wide_net_with_pruning() {
+        let (net, s, t) = wide(48);
+        let target = 40;
+        let serial = min_cost_flow(&net, s, t, target).unwrap();
+        for workers in [Some(1), Some(3), Some(usize::MAX)] {
+            let mut ws = SolverWorkspace::new();
+            let par = min_cost_flow_par_with(&net, s, t, target, &mut ws, workers).unwrap();
+            assert_eq!(par.cost, serial.cost, "workers {workers:?}");
+        }
+    }
+
+    #[test]
+    fn par_reports_exact_infeasibility() {
+        let (net, s, t) = diamond();
+        let serial = min_cost_flow(&net, s, t, 3).unwrap_err();
+        let mut ws = SolverWorkspace::new();
+        let par = min_cost_flow_par_with(&net, s, t, 3, &mut ws, Some(2)).unwrap_err();
+        match (serial, par) {
+            (
+                NetflowError::Infeasible {
+                    required: r1,
+                    achieved: a1,
+                },
+                NetflowError::Infeasible {
+                    required: r2,
+                    achieved: a2,
+                },
+            ) => {
+                assert_eq!(r1, r2);
+                assert_eq!(a1, a2);
+            }
+            other => panic!("expected matching infeasibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_par_solves() {
+        let (net, s, t) = wide(40);
+        let mut ws = SolverWorkspace::new();
+        let first = min_cost_flow_par_with(&net, s, t, 30, &mut ws, Some(2)).unwrap();
+        let second = min_cost_flow_par_with(&net, s, t, 30, &mut ws, Some(2)).unwrap();
+        assert_eq!(first.cost, second.cost);
+        assert_eq!(first.flows, second.flows);
+    }
+
+    /// An injected region panic inside the parallel settle must travel to
+    /// the resilience boundary and degrade into a clean serial re-solve.
+    /// `Backend::ParSsp` defaults to the automatic worker count, which on a
+    /// single-core runner is one region, so the fault targets `region0`.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_region_panic_is_contained_by_the_resilient_chain() {
+        use crate::{Backend, FaultPlan, ResilientSolver};
+        let (net, s, t) = wide(48);
+        let serial = min_cost_flow(&net, s, t, 40).unwrap();
+        "panic@0:region0".parse::<FaultPlan>().unwrap().install();
+        let mut solver = ResilientSolver::new(Backend::ParSsp);
+        let sol = solver.solve(&net, s, t, 40).unwrap();
+        FaultPlan::clear();
+        assert_eq!(sol.cost, serial.cost);
+        assert_eq!(solver.incidents().len(), 1);
+        assert_eq!(solver.incidents()[0].backend, "par_ssp");
+    }
+
+    /// A panic in one of several region workers unwinds out of
+    /// [`min_cost_flow_par_with`] (resumed on the coordinating thread) and
+    /// the leased arena still returns to the workspace pool, so the next
+    /// solve on the same workspace runs clean.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn region_panic_unwinds_and_releases_the_arena() {
+        use crate::FaultPlan;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let (net, s, t) = wide(48);
+        let serial = min_cost_flow(&net, s, t, 40).unwrap();
+        "panic@0:region1".parse::<FaultPlan>().unwrap().install();
+        let mut ws = SolverWorkspace::default();
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            min_cost_flow_par_with(&net, s, t, 40, &mut ws, Some(3))
+        }));
+        FaultPlan::clear();
+        assert!(
+            panicked.is_err(),
+            "region fault should propagate as a panic"
+        );
+        let sol = min_cost_flow_par_with(&net, s, t, 40, &mut ws, Some(3)).unwrap();
+        assert_eq!(sol.cost, serial.cost);
+    }
+}

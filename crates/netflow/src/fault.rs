@@ -21,6 +21,14 @@
 //! `catch_unwind` region, so an injected panic exercises the genuine
 //! containment path, not a shortcut.
 //!
+//! The backend qualifier `region<k>` (e.g. `panic@0:region<k>`) targets
+//! settle region `k` of the decomposed parallel solver instead of a whole
+//! backend attempt: the panic fires inside region `k`'s worker on the
+//! first parallel settle that reaches it (the solve index is ignored),
+//! travels to the coordinating thread, and surfaces as an ordinary
+//! `SolverPanicked` incident for the resilience chain to absorb. Only
+//! `panic` faults accept a region qualifier.
+//!
 //! [`ResilientSolver`]: crate::ResilientSolver
 
 use crate::NetflowError;
@@ -173,6 +181,31 @@ impl std::str::FromStr for FaultPlan {
     }
 }
 
+/// Consults the active plan for a `panic` fault pinned to settle region
+/// `region` of the decomposed parallel solver, via the backend qualifier
+/// convention `region<k>` (e.g. `LEMRA_FAULT=panic@0:region0`). Region
+/// faults fire on the first parallel settle that reaches that region's
+/// worker — the solve index in the spec is ignored, because region workers
+/// have no view of the resilience layer's solve counter. Fires once, like
+/// every fault.
+pub(crate) fn maybe_inject_region(region: usize) -> bool {
+    let mut guard = ACTIVE.lock().expect("fault plan lock poisoned");
+    let Some(plan) = guard.as_mut() else {
+        return false;
+    };
+    let name = format!("region{region}");
+    for fault in &mut plan.faults {
+        if fault.fired || fault.kind != FaultKind::Panic {
+            continue;
+        }
+        if fault.backend.as_deref() == Some(name.as_str()) {
+            fault.fired = true;
+            return true;
+        }
+    }
+    false
+}
+
 /// Consults the active plan for a fault matching this attempt, marking a
 /// match as fired so the fallback retry of the same solve runs clean.
 pub(crate) fn maybe_inject(solve_index: u64, attempt: usize, backend: &str) -> Option<FaultKind> {
@@ -239,5 +272,20 @@ mod tests {
         assert_eq!(maybe_inject(4, 2, "simplex"), None);
         FaultPlan::clear();
         assert_eq!(maybe_inject(2, 0, "ssp"), None);
+    }
+
+    #[test]
+    fn region_faults_match_the_region_qualifier_and_fire_once() {
+        let plan: FaultPlan = "panic@0:region1".parse().unwrap();
+        plan.install();
+        assert!(!maybe_inject_region(0));
+        assert!(maybe_inject_region(1));
+        assert!(!maybe_inject_region(1));
+        // Only panic faults can target a region worker.
+        FaultPlan::new()
+            .fail_backend_at(FaultKind::Budget, 0, "region0")
+            .install();
+        assert!(!maybe_inject_region(0));
+        FaultPlan::clear();
     }
 }

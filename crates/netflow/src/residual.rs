@@ -139,6 +139,13 @@ pub(crate) struct Residual {
     built: Option<BuiltMeta>,
     /// Mutation journal; see [`BuiltMeta`].
     journal: Vec<JournalOp>,
+    /// Edge ids touched by [`Residual::push`] while `log_pushes` is on —
+    /// the decomposed solver drains this between rounds to patch its
+    /// compact copy of the kept capacities instead of re-reading every
+    /// slot.
+    pub edge_log: Vec<u32>,
+    /// Whether `push` appends to `edge_log`.
+    log_pushes: bool,
 }
 
 impl Default for Residual {
@@ -166,7 +173,22 @@ impl Residual {
             max_build_cap: 0,
             built: None,
             journal: Vec::new(),
+            edge_log: Vec::new(),
+            log_pushes: false,
         }
+    }
+
+    /// Starts recording the edge id of every [`Residual::push`] into
+    /// [`Residual::edge_log`], clearing whatever a previous solve left.
+    pub fn start_push_log(&mut self) {
+        self.edge_log.clear();
+        self.log_pushes = true;
+    }
+
+    /// Stops recording pushes and discards the log.
+    pub fn stop_push_log(&mut self) {
+        self.edge_log.clear();
+        self.log_pushes = false;
     }
 
     /// Builds the residual graph of `net` ignoring lower bounds (callers
@@ -594,6 +616,9 @@ impl Residual {
         self.monotone = false;
         if self.built.is_some() {
             self.record(JournalOp::Push { e, amount });
+        }
+        if self.log_pushes {
+            self.edge_log.push(e);
         }
         self.slots[self.slot_of[e as usize] as usize].cap -= amount;
         let back = e ^ 1;

@@ -91,6 +91,7 @@ pub struct ResilientSolver {
     budget: SolveBudget,
     incidents: Vec<SolverIncident>,
     solve_index: u64,
+    region_hints: Option<Vec<u32>>,
 }
 
 impl Default for ResilientSolver {
@@ -123,7 +124,17 @@ impl ResilientSolver {
             budget: SolveBudget::default(),
             incidents: Vec::new(),
             solve_index: 0,
+            region_hints: None,
         }
+    }
+
+    /// Installs caller-provided region-boundary hints (sorted node ids at
+    /// which the parallel solver prefers to cut the node range into
+    /// regions, e.g. the first node of each program segment). Forwarded to
+    /// the workspace before every solve; `None` clears them. Non-parallel
+    /// backends ignore the hints entirely.
+    pub fn set_region_hints(&mut self, hints: Option<Vec<u32>>) {
+        self.region_hints = hints;
     }
 
     /// Installs a [`SolveBudget`] applied to **each** attempt (every link
@@ -224,6 +235,8 @@ impl ResilientSolver {
     ) -> Result<FlowSolution, NetflowError> {
         #[cfg(feature = "fault-inject")]
         crate::fault::FaultPlan::ensure_env_plan();
+
+        ws.set_region_hints(self.region_hints.clone());
 
         let solve_index = self.solve_index;
         self.solve_index += 1;

@@ -86,23 +86,20 @@ pub fn min_cost_flow_scaling_with(
     check_endpoints_with(net, s, t, target, ws)?;
 
     // Same excess/deficit reduction as the plain SSP solver, built into the
-    // workspace's residual arena so repeated solves reuse its buffers.
-    let mut res = ws.take_arena();
-    let (super_s, super_t, required) = transform_into(net, s, t, target, &mut res);
+    // workspace's residual arena so repeated solves reuse its buffers; the
+    // guard returns the arena even on panic.
+    let mut guard = ws.lease_arena();
+    let (res, ws) = guard.parts();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, res);
 
-    let outcome = scaling_run(&mut res, super_s, super_t, required, ws);
-    let solution = outcome.map(|pushed| {
-        if pushed < required {
-            Err(NetflowError::Infeasible {
-                required,
-                achieved: pushed,
-            })
-        } else {
-            Ok(solution_from_residual(net, &res, target))
-        }
-    });
-    ws.put_arena(res);
-    solution?
+    let pushed = scaling_run(res, super_s, super_t, required, ws)?;
+    if pushed < required {
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: pushed,
+        });
+    }
+    Ok(solution_from_residual(net, res, target))
 }
 
 /// Initial Δ below which the excess/deficit machinery is pure overhead: on

@@ -23,9 +23,10 @@
 //! backends rather than test-only curiosities.
 
 use crate::budget::SolveBudget;
-use crate::config::LemraConfig;
+use crate::config::{LemraConfig, ParSolve};
 use crate::cost_scaling::{min_cost_flow_cost_scaling, min_cost_flow_cost_scaling_with};
 use crate::cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
+use crate::decompose::{min_cost_flow_par, min_cost_flow_par_with};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::reopt::Reoptimizer;
 use crate::scaling::{min_cost_flow_scaling, min_cost_flow_scaling_with};
@@ -214,6 +215,34 @@ impl McfSolver for CostScalingSolver {
     }
 }
 
+/// The decomposed parallel solver (`netflow::decompose`): region-partitioned
+/// settling over a reduced-cost working set, joined by a price-repair pass.
+/// Same exact-answer contract as [`Ssp`]; on tie-broken networks the
+/// solutions are byte-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParSsp {
+    /// Explicit region/worker count; `None` sizes from
+    /// [`LemraConfig`](crate::LemraConfig) (`LEMRA_THREADS`).
+    pub workers: Option<usize>,
+}
+
+impl McfSolver for ParSsp {
+    fn name(&self) -> &'static str {
+        "par_ssp"
+    }
+
+    fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        target: i64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<FlowSolution, NetflowError> {
+        min_cost_flow_par_with(net, s, t, target, ws, self.workers)
+    }
+}
+
 impl McfSolver for Reoptimizer {
     fn name(&self) -> &'static str {
         "reopt"
@@ -258,6 +287,13 @@ impl McfSolver for Reoptimizer {
 /// the threshold only needs to catch genuinely capacity-heavy shapes.
 const AUTO_SCALING_CAPACITY: i64 = 1 << 12;
 
+/// Arc counts at or above this make [`Backend::Auto`] (in the default
+/// [`ParSolve::Auto`] mode) hand the solve to the decomposed parallel path:
+/// below it, one monolithic settle is cheaper than building the working set
+/// and coordinating regions; above it, the settle dominates the solve and
+/// decomposition pays for itself.
+const PAR_AUTO_ARCS: usize = 100_000;
+
 /// A named min-cost-flow algorithm choice, selectable via configuration.
 ///
 /// `Backend` is the data-level counterpart of [`McfSolver`]: it travels
@@ -294,6 +330,8 @@ pub enum Backend {
     Simplex,
     /// Goldberg–Tarjan cost scaling (push-relabel with ε-scaling).
     CostScaling,
+    /// Decomposed parallel SSP (region-partitioned settle + price repair).
+    ParSsp,
     /// Pick by network shape at each solve; see [`Backend::select`].
     Auto,
 }
@@ -301,16 +339,18 @@ pub enum Backend {
 impl Backend {
     /// Every concrete algorithm (excludes [`Backend::Auto`], which resolves
     /// to one of these).
-    pub const ALL: [Backend; 5] = [
+    pub const ALL: [Backend; 6] = [
         Backend::Ssp,
         Backend::Scaling,
         Backend::CycleCancel,
         Backend::Simplex,
         Backend::CostScaling,
+        Backend::ParSsp,
     ];
 
     /// Stable lower-case name (`ssp`, `scaling`, `cycle`, `simplex`,
-    /// `cost_scaling`, `auto`); [`str::parse`] accepts exactly these.
+    /// `cost_scaling`, `par_ssp`, `auto`); [`str::parse`] accepts exactly
+    /// these.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Ssp => "ssp",
@@ -318,19 +358,36 @@ impl Backend {
             Backend::CycleCancel => "cycle",
             Backend::Simplex => "simplex",
             Backend::CostScaling => "cost_scaling",
+            Backend::ParSsp => "par_ssp",
             Backend::Auto => "auto",
         }
     }
 
     /// Resolves [`Backend::Auto`] against `net`'s shape; concrete variants
-    /// return themselves.
+    /// return themselves. Reads the process-wide
+    /// [`ParSolve`](crate::ParSolve) mode (`LEMRA_PAR_SOLVE`) for the
+    /// parallel rows; [`Backend::select_with`] takes it explicitly.
+    pub fn select(self, net: &FlowNetwork) -> Backend {
+        let par_solve = if self == Backend::Auto {
+            LemraConfig::get().par_solve
+        } else {
+            ParSolve::Auto
+        };
+        self.select_with(net, par_solve)
+    }
+
+    /// [`Backend::select`] with an explicit [`ParSolve`](crate::ParSolve)
+    /// mode, so the selection table is testable without touching the
+    /// process-wide configuration.
     ///
     /// The policy, in order:
     ///
     /// | shape | choice | why |
     /// |---|---|---|
-    /// | negative costs on a cyclic positive-capacity graph | [`CostScaling`](Backend::CostScaling) | the SSP family must refuse negative cycles (cyclicity is the cheap sound over-approximation); push-relabel ε-scaling saturates them natively and — per Király–Kovács — is the consistently strongest general-purpose algorithm on exactly these dense mixed-sign nets |
+    /// | negative costs on a cyclic positive-capacity graph | [`CostScaling`](Backend::CostScaling) | the SSP family must refuse negative cycles (cyclicity is the cheap sound over-approximation); push-relabel ε-scaling saturates them natively and — per Király–Kovács — is the consistently strongest general-purpose algorithm on exactly these dense mixed-sign nets; outranks even a forced parallel solve, which shares the SSP family's restriction |
+    /// | `LEMRA_PAR_SOLVE=force` | [`ParSsp`](Backend::ParSsp) | the explicit opt-in for determinism matrices and thread-scaling runs |
     /// | any capacity ≥ 2¹² | [`Scaling`](Backend::Scaling) | Δ-phase bulk augmentations beat one-path-per-unit SSP |
+    /// | ≥ 100 000 arcs (unless `LEMRA_PAR_SOLVE=off`) | [`ParSsp`](Backend::ParSsp) | the settling Dijkstra dominates at this size; the decomposed path prunes and partitions it |
     /// | otherwise | [`Ssp`](Backend::Ssp) | the unit-capacity DAGs the allocator builds always land here; the blocking-flow rebuild routes many shortest paths per Dijkstra round |
     ///
     /// [`Simplex`](Backend::Simplex) and
@@ -338,7 +395,7 @@ impl Backend {
     /// win no shape outright but stay within a small factor at every size
     /// the benches measure, so `LEMRA_BACKEND=simplex` (or `cycle`) is a
     /// practical whole-sweep cross-check.
-    pub fn select(self, net: &FlowNetwork) -> Backend {
+    pub fn select_with(self, net: &FlowNetwork, par_solve: ParSolve) -> Backend {
         if self != Backend::Auto {
             return self;
         }
@@ -350,8 +407,12 @@ impl Backend {
         }
         if negative && !is_positive_capacity_dag(net) {
             Backend::CostScaling
+        } else if par_solve == ParSolve::Force {
+            Backend::ParSsp
         } else if max_capacity >= AUTO_SCALING_CAPACITY {
             Backend::Scaling
+        } else if par_solve == ParSolve::Auto && net.arc_count() >= PAR_AUTO_ARCS {
+            Backend::ParSsp
         } else {
             Backend::Ssp
         }
@@ -366,6 +427,7 @@ impl Backend {
             Backend::CycleCancel => Box::new(CycleCancelling),
             Backend::Simplex => Box::new(NetworkSimplex),
             Backend::CostScaling => Box::new(CostScalingSolver),
+            Backend::ParSsp => Box::new(ParSsp::default()),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
     }
@@ -389,6 +451,7 @@ impl Backend {
             Backend::CycleCancel => min_cost_flow_cycle_canceling(net, s, t, target),
             Backend::Simplex => min_cost_flow_network_simplex(net, s, t, target),
             Backend::CostScaling => min_cost_flow_cost_scaling(net, s, t, target),
+            Backend::ParSsp => min_cost_flow_par(net, s, t, target),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
     }
@@ -418,6 +481,7 @@ impl Backend {
                 min_cost_flow_network_simplex_budgeted(net, s, t, target, block, ws.budget)
             }
             Backend::CostScaling => min_cost_flow_cost_scaling_with(net, s, t, target, ws),
+            Backend::ParSsp => min_cost_flow_par_with(net, s, t, target, ws, None),
             Backend::Auto => unreachable!("select() resolves Auto"),
         }
     }
@@ -463,11 +527,12 @@ impl std::str::FromStr for Backend {
             "cycle" | "cycle-cancel" | "cycle_cancel" => Ok(Backend::CycleCancel),
             "simplex" => Ok(Backend::Simplex),
             "cost_scaling" | "cost-scaling" => Ok(Backend::CostScaling),
+            "par_ssp" | "par-ssp" => Ok(Backend::ParSsp),
             "auto" => Ok(Backend::Auto),
             other => Err(NetflowError::InvalidArc {
                 reason: format!(
                     "unknown backend `{other}` (expected ssp, scaling, cycle, simplex, \
-                     cost_scaling or auto)"
+                     cost_scaling, par_ssp or auto)"
                 ),
             }),
         }
@@ -618,6 +683,46 @@ mod tests {
         neg_cyc.add_arc(a, b, AUTO_SCALING_CAPACITY, -1).unwrap();
         neg_cyc.add_arc(b, a, AUTO_SCALING_CAPACITY, -1).unwrap();
         assert_eq!(Backend::Auto.select(&neg_cyc), Backend::CostScaling);
+
+        // Parallel rows (select_with pins them independently of the
+        // process-wide LEMRA_PAR_SOLVE snapshot):
+        // Force engages the parallel path on any SSP-suitable shape...
+        assert_eq!(
+            Backend::Auto.select_with(&dag, ParSolve::Force),
+            Backend::ParSsp
+        );
+        // ...but never overrides a concrete backend choice...
+        assert_eq!(
+            Backend::Simplex.select_with(&dag, ParSolve::Force),
+            Backend::Simplex
+        );
+        // ...and the negative-cycle refusal outranks it.
+        assert_eq!(
+            Backend::Auto.select_with(&neg_cyc, ParSolve::Force),
+            Backend::CostScaling
+        );
+        // Off keeps even a huge instance serial.
+        let mut huge = FlowNetwork::new();
+        let nodes: Vec<_> = (0..=PAR_AUTO_ARCS / 4).map(|_| huge.add_node()).collect();
+        for w in nodes.windows(2) {
+            for _ in 0..4 {
+                huge.add_arc(w[0], w[1], 1, 1).unwrap();
+            }
+        }
+        assert!(huge.arc_count() >= PAR_AUTO_ARCS);
+        assert_eq!(
+            Backend::Auto.select_with(&huge, ParSolve::Auto),
+            Backend::ParSsp
+        );
+        assert_eq!(
+            Backend::Auto.select_with(&huge, ParSolve::Off),
+            Backend::Ssp
+        );
+        // Below the arc threshold, Auto mode stays serial.
+        assert_eq!(
+            Backend::Auto.select_with(&dag, ParSolve::Auto),
+            Backend::Ssp
+        );
     }
 
     #[test]

@@ -89,22 +89,20 @@ pub fn min_cost_flow_with(
 ) -> Result<FlowSolution, NetflowError> {
     check_endpoints_with(net, s, t, target, ws)?;
 
-    let mut res = ws.take_arena();
-    let (super_s, super_t, required) = transform_into(net, s, t, target, &mut res);
+    // The guard returns the arena to the pool even if the solve panics, so
+    // a contained panic (see `ResilientSolver`) cannot leak the buffers.
+    let mut guard = ws.lease_arena();
+    let (res, ws) = guard.parts();
+    let (super_s, super_t, required) = transform_into(net, s, t, target, res);
 
-    let outcome = ssp_run(&mut res, super_s, super_t, required, ws);
-    let solution = outcome.map(|pushed| {
-        if pushed < required {
-            Err(NetflowError::Infeasible {
-                required,
-                achieved: pushed,
-            })
-        } else {
-            Ok(solution_from_residual(net, &res, target))
-        }
-    });
-    ws.put_arena(res);
-    solution?
+    let pushed = ssp_run(res, super_s, super_t, required, ws)?;
+    if pushed < required {
+        return Err(NetflowError::Infeasible {
+            required,
+            achieved: pushed,
+        });
+    }
+    Ok(solution_from_residual(net, res, target))
 }
 
 /// Result of [`transform`]: a finalized residual graph with the synthetic

@@ -18,8 +18,81 @@ use crate::radix::RadixHeap;
 use crate::residual::Residual;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::atomic::AtomicI64;
+use std::sync::Mutex;
 
 pub(crate) const INF: i64 = i64::MAX / 4;
+
+/// Per-region scratch owned exclusively by one settle worker: its frontier
+/// heap and the seed buffer its cross-region inbox is drained into at the
+/// start of each wave. Regions borrow these disjointly (one `&mut` each out
+/// of [`ParScratch::arenas`]) while the shared read-only state — potentials,
+/// kept adjacency, atomic distances — is borrowed once for everyone.
+#[derive(Debug, Default)]
+pub(crate) struct RegionArena {
+    /// The region's private Dijkstra frontier; reset per wave.
+    pub heap: RadixHeap,
+    /// Nodes handed to this region since its last wave (drained inbox).
+    pub seeds: Vec<u32>,
+}
+
+/// Split-borrowable scratch for the decomposed parallel solve path
+/// (`netflow::decompose`). Lives on the [`SolverWorkspace`] so buffers are
+/// reused across solves like every other arena; a plain `Default` when the
+/// parallel path never runs.
+///
+/// The layout is "flat CSR + per-region index ranges": `bounds` partitions
+/// `0..n` into contiguous regions, `region_of` inverts it, and `arenas[r]`
+/// holds region `r`'s exclusively-owned state so a scoped worker borrows one
+/// `&mut RegionArena` plus shared `&` views of everything else.
+#[derive(Debug, Default)]
+pub(crate) struct ParScratch {
+    /// Shared tentative distances, CAS-min updated by all regions.
+    pub dist: Vec<AtomicI64>,
+    /// Potential scratch for the join-time price repair.
+    pub potential: Vec<i64>,
+    /// Region owning each node (index into `arenas`).
+    pub region_of: Vec<u32>,
+    /// Region end offsets: region `r` owns nodes `bounds[r]..bounds[r + 1]`.
+    pub bounds: Vec<u32>,
+    /// Working-set membership per edge id.
+    pub keep: Vec<bool>,
+    /// CSR row starts of the kept adjacency (edge ids per tail).
+    pub kept_start: Vec<u32>,
+    /// CSR payload of the kept adjacency: stable edge ids.
+    pub kept_edges: Vec<u32>,
+    /// Head node per kept-CSR entry — a sequential-scan copy, so the settle
+    /// and blocking-flow hot loops never chase `slot_of` indirections.
+    pub kept_to: Vec<u32>,
+    /// Cost per kept-CSR entry (immutable over a solve, copied once).
+    pub kept_cost: Vec<i64>,
+    /// Live capacity per kept-CSR entry, patched from the residual's push
+    /// log between rounds and updated in place by the kept blocking flow.
+    pub kept_cap: Vec<i64>,
+    /// Edge id → kept-CSR position (`u32::MAX`: not kept).
+    pub kept_pos: Vec<u32>,
+    /// Blocking-flow DFS node states ([`BF_FRESH`]-family constants).
+    pub level: Vec<i32>,
+    /// Blocking-flow DFS arc cursors (kept-CSR positions).
+    pub iter: Vec<u32>,
+    /// Blocking-flow DFS path: kept-CSR positions of the in-arcs taken.
+    pub path: Vec<u32>,
+    /// Blocking-flow DFS node trail, sink-anchored.
+    pub chain: Vec<u32>,
+    /// Ranking scratch of the working-set builder: `(reduced cost, edge)`.
+    pub rank: Vec<(i64, u32)>,
+    /// Counting-sort row starts for the in-arc (head-side) ranking pass.
+    pub in_start: Vec<u32>,
+    /// Counting-sort cursors for the in-arc ranking pass.
+    pub in_cursor: Vec<u32>,
+    /// Counting-sort payload for the in-arc ranking pass.
+    pub in_items: Vec<(i64, u32)>,
+    /// Per-region exclusively-owned worker state.
+    pub arenas: Vec<RegionArena>,
+    /// Cross-region handoff queues: a relaxation that improves a node owned
+    /// by another region pushes it here instead of into a foreign heap.
+    pub inboxes: Vec<Mutex<Vec<u32>>>,
+}
 
 /// Hot per-node solver state: the potential, the epoch-stamped tentative
 /// distance and the blocking-flow BFS level, packed into one 24-byte record.
@@ -181,6 +254,14 @@ pub struct SolverWorkspace {
     /// invalidates it; only passing scans are cached (errors are terminal
     /// and re-deriving their message is fine). Survives [`Self::prepare`].
     pub(crate) validate_cache: Option<(u64, u64, u32, u32, i64)>,
+    /// Scratch of the decomposed parallel solve path; empty until the first
+    /// parallel solve on this workspace.
+    pub(crate) par: ParScratch,
+    /// Build-stage region boundary hints (ascending node indices at which a
+    /// partition cut is structurally cheap, e.g. variable starts in the
+    /// allocation network). Consulted by the parallel path's partitioner;
+    /// `None` falls back to uniform cuts. Survives [`Self::prepare`].
+    pub(crate) region_hints: Option<Vec<u32>>,
 }
 
 impl SolverWorkspace {
@@ -235,6 +316,27 @@ impl SolverWorkspace {
     /// its buffers for the next solve.
     pub(crate) fn put_arena(&mut self, arena: Residual) {
         self.arena = arena;
+    }
+
+    /// Leases the residual arena behind a drop guard: the guard hands out
+    /// disjoint `&mut` borrows of the residual and the rest of the workspace
+    /// via [`ArenaGuard::parts`], and its `Drop` returns the arena even if
+    /// the solve panics — so a `catch_unwind` boundary (e.g. in
+    /// [`ResilientSolver`](crate::ResilientSolver)) never leaks the buffers
+    /// a thread-local workspace was meant to reuse.
+    pub(crate) fn lease_arena(&mut self) -> ArenaGuard<'_> {
+        let res = self.take_arena();
+        ArenaGuard {
+            ws: self,
+            res: Some(res),
+        }
+    }
+
+    /// Installs build-stage region boundary hints for the decomposed
+    /// parallel solve path: ascending node indices where a partition cut is
+    /// structurally cheap (few crossing arcs). `None` clears them.
+    pub fn set_region_hints(&mut self, hints: Option<Vec<u32>>) {
+        self.region_hints = hints;
     }
 
     /// Cumulative effort counters (never reset by [`Self::prepare`]; diff
@@ -306,6 +408,34 @@ impl SolverWorkspace {
     }
 }
 
+/// Drop guard around a leased residual arena (see
+/// [`SolverWorkspace::lease_arena`]). Holds the arena out of the workspace
+/// for the duration of a solve and restores it on drop — including the
+/// unwind path, which the bare `take_arena`/`put_arena` pair missed.
+#[derive(Debug)]
+pub(crate) struct ArenaGuard<'a> {
+    ws: &'a mut SolverWorkspace,
+    res: Option<Residual>,
+}
+
+impl ArenaGuard<'_> {
+    /// Disjoint reborrows of the leased residual and the workspace, so a
+    /// solve can mutate both simultaneously (the whole reason the arena is
+    /// taken out rather than borrowed in place).
+    pub(crate) fn parts(&mut self) -> (&mut Residual, &mut SolverWorkspace) {
+        let res = self.res.as_mut().expect("arena still leased");
+        (res, self.ws)
+    }
+}
+
+impl Drop for ArenaGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            self.ws.put_arena(res);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +461,22 @@ mod tests {
         ws.begin_round();
         assert_eq!(ws.epoch, 1);
         assert_eq!(ws.dist_of(0), INF);
+    }
+
+    #[test]
+    fn arena_guard_returns_arena_on_panic() {
+        let mut ws = SolverWorkspace::new();
+        ws.arena.reset(7);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut guard = ws.lease_arena();
+            let (res, _ws) = guard.parts();
+            res.reset(3);
+            panic!("solver blew up mid-solve");
+        }));
+        assert!(caught.is_err());
+        // The arena came back (with the state it had at unwind time), not a
+        // fresh empty graph left behind by `take_arena`.
+        assert_eq!(ws.arena.node_count(), 3);
     }
 
     #[test]
