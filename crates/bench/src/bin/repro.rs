@@ -149,6 +149,18 @@ fn print_timings() {
         stats.solver.pushed_units,
         stats.solver.incidents
     );
+    let cache = lemra_core::cache_stats();
+    eprintln!(
+        "  cache: {} exact hits, {} warm hits, {} misses, {} insertions, {} evictions; \
+         {} exact + {} warm entries resident",
+        cache.exact_hits,
+        cache.warm_hits,
+        cache.misses,
+        cache.insertions,
+        cache.evictions,
+        cache.exact_entries,
+        cache.warm_entries
+    );
 }
 
 fn print_rows(rows: &[&Row]) {

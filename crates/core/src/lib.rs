@@ -62,6 +62,7 @@
 
 mod allocator;
 mod build;
+mod cache;
 mod codegen;
 mod costs;
 mod events;
@@ -80,9 +81,10 @@ mod viz;
 
 pub use allocator::{allocate, Allocation, Placement, SweepAllocator};
 pub use build::{build_network, NetworkView};
+pub use cache::{cache_stats, clear_cache, CacheStats};
 pub use codegen::{storage_plan, Operand, StorageInstr, StoragePlan};
 pub use events::{trace_var, MemAccess, VarTrace};
-pub use lemra_netflow::COLD_ENV;
+pub use lemra_netflow::{CacheMode, CACHE_CAP_ENV, CACHE_ENV, COLD_ENV};
 pub use modules::{partition_memory_modules, SleepPartition};
 pub use multiblock::{allocate_chain, BlockChain, ChainAllocation};
 pub use offchip::{assign_memory_tiers, OffchipModel, TieredAssignment};

@@ -1,0 +1,503 @@
+//! Canonical instance IR: a content-addressed form of a flow network.
+//!
+//! The `(uid, version)` stamp in [`graph`](crate::graph) answers "is this
+//! the same network *object*, unmutated?" — good enough for memoising work
+//! inside one solve, useless for recognising that two independently built
+//! networks pose the same problem. This module answers the second question:
+//! [`canonicalize`] reduces a built instance `(net, s, t, target)` to a
+//! canonical arc ordering plus two 128-bit fingerprints,
+//!
+//! * [`CanonicalInstance::fingerprint`] — the **exact** key: covers node
+//!   structure, lower bounds, capacities, costs, endpoints and the flow
+//!   target. Two instances with equal fingerprints are the same problem
+//!   arc-for-arc (up to arc numbering), so a cached optimal flow can be
+//!   replayed through the recorded permutation.
+//! * [`CanonicalInstance::class`] — the **structural** key: covers node
+//!   structure, lower bounds and endpoints only. Costs and capacities are
+//!   deliberately excluded because they are exactly what a voltage/encoding
+//!   sweep perturbs; instances in one class are warm-start neighbours, so
+//!   retained [`Reoptimizer`](crate::Reoptimizer) state transfers between
+//!   them (its own snapshot diff re-verifies topology before trusting it).
+//!
+//! Canonical node colours come from Weisfeiler–Leman refinement over the
+//! arc structure (commutative accumulation, so the result is invariant
+//! under arc reordering). WL is not a complete isomorphism test; nodes
+//! still sharing a colour when refinement stabilises are individualised by
+//! their original index. That trades relabel-invariance for soundness on
+//! symmetric instances — a fingerprint match never equates two genuinely
+//! different problems, and invariance under *arc* permutation (the property
+//! the cache actually leans on: builders vary emission order, not node
+//! identity) holds unconditionally.
+
+use crate::graph::{FlowNetwork, NodeId};
+
+/// Identity stamp of a network's contents for a given endpoint pair: the
+/// process-unique `(uid, version)` of [`FlowNetwork`] plus `s`/`t`. Two
+/// stamps compare equal only if taken from the same network instance, with
+/// no mutation in between, for the same endpoints — the validity condition
+/// for caching artifacts derived from a scan of the arcs (input-validation
+/// verdicts, residual CSR layouts). This is the *identity*-keyed complement
+/// of the *content*-keyed [`Fingerprint`]; both caches share this one
+/// vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheStamp {
+    pub(crate) uid: u64,
+    pub(crate) version: u64,
+    pub(crate) s: u32,
+    pub(crate) t: u32,
+}
+
+impl CacheStamp {
+    /// Stamp of `net`'s current contents for endpoints `s → t`.
+    #[inline]
+    pub fn of(net: &FlowNetwork, s: NodeId, t: NodeId) -> Self {
+        let (uid, version) = net.cache_stamp();
+        Self {
+            uid,
+            version,
+            s: s.index() as u32,
+            t: t.index() as u32,
+        }
+    }
+
+    /// Stamp from raw parts (for call sites that carry indices, not ids).
+    #[inline]
+    pub(crate) fn from_parts(net: &FlowNetwork, s: usize, t: usize) -> Self {
+        let (uid, version) = net.cache_stamp();
+        Self {
+            uid,
+            version,
+            s: s as u32,
+            t: t as u32,
+        }
+    }
+}
+
+/// A 128-bit content fingerprint (see [`canonicalize`]). Displayed as hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The canonical form of one built instance: both fingerprints plus the
+/// arc permutation that maps canonical positions back to creation order.
+#[derive(Debug, Clone)]
+pub struct CanonicalInstance {
+    /// Exact content key (structure + bounds + capacities + costs + target).
+    pub fingerprint: Fingerprint,
+    /// Structural class key (structure + lower bounds + endpoints only).
+    pub class: Fingerprint,
+    /// `perm[k]` = original arc index of the `k`-th canonical arc.
+    perm: Vec<u32>,
+}
+
+impl CanonicalInstance {
+    /// Number of arcs in the canonicalized instance.
+    pub fn arc_count(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Reorders per-arc values (creation order) into canonical order —
+    /// e.g. a solved [`FlowSolution::flows`](crate::FlowSolution::flows)
+    /// before caching it under [`Self::fingerprint`].
+    ///
+    /// # Panics
+    ///
+    /// If `values` does not have one entry per canonicalized arc.
+    pub fn to_canonical_order(&self, values: &[i64]) -> Vec<i64> {
+        assert_eq!(values.len(), self.perm.len(), "one value per arc");
+        self.perm.iter().map(|&i| values[i as usize]).collect()
+    }
+
+    /// Inverse of [`Self::to_canonical_order`]: scatters canonical-order
+    /// values back to this instance's creation order (the replay direction
+    /// on an exact cache hit).
+    ///
+    /// # Panics
+    ///
+    /// If `canonical` does not have one entry per canonicalized arc.
+    pub fn from_canonical_order(&self, canonical: &[i64]) -> Vec<i64> {
+        assert_eq!(canonical.len(), self.perm.len(), "one value per arc");
+        let mut out = vec![0i64; self.perm.len()];
+        for (k, &i) in self.perm.iter().enumerate() {
+            out[i as usize] = canonical[k];
+        }
+        out
+    }
+}
+
+/// splitmix64 finalizer: the bijective avalanche at the heart of every hash
+/// in this module (and of the tie-break weights in `solver.rs`).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Order-dependent 128-bit fold over a word stream: two decorrelated u64
+/// lanes, finalized through [`mix`].
+#[derive(Clone, Copy)]
+struct Fold {
+    a: u64,
+    b: u64,
+}
+
+impl Fold {
+    fn new(tag: u64) -> Self {
+        Self {
+            a: mix(tag ^ 0x9e37_79b9_7f4a_7c15),
+            b: mix(tag.wrapping_add(0x6a09_e667_f3bc_c909)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, w: u64) {
+        self.a = mix(self.a ^ w);
+        self.b = mix(self.b.wrapping_add(w).rotate_left(17));
+    }
+
+    #[inline]
+    fn push_i64(&mut self, w: i64) {
+        self.push(w as u64);
+    }
+
+    fn finish(self) -> Fingerprint {
+        let hi = mix(self.a ^ self.b.rotate_left(32));
+        let lo = mix(self.b.wrapping_add(self.a));
+        Fingerprint((u128::from(hi) << 64) | u128::from(lo))
+    }
+}
+
+/// WL refinement rounds before giving up on further splitting. Colour
+/// counts increase monotonically, so stabilisation is detected by count;
+/// the cap only bounds pathological near-stable chains.
+const MAX_ROUNDS: usize = 10;
+
+/// Computes the canonical form of the built instance `(net, s, t, target)`.
+///
+/// Cost is `O(rounds · E + E log E)` — a handful of refinement sweeps plus
+/// one sort of the arc keys. Node colours are derived only from topology,
+/// lower bounds and the `s`/`t` distinction, so two sweep points over the
+/// same built structure land in the same [`CanonicalInstance::class`] even
+/// though their costs (and bypass capacities) differ.
+pub fn canonicalize(net: &FlowNetwork, s: NodeId, t: NodeId, target: i64) -> CanonicalInstance {
+    let n = net.node_count();
+    let arcs = net.arcs_slice();
+    let si = s.index();
+    let ti = t.index();
+
+    // Seed colours: s, t and everyone else. (s == t is rejected later by
+    // input validation; the stamp is still well defined.)
+    let mut color: Vec<u64> = (0..n)
+        .map(|u| {
+            if u == si {
+                mix(0x00A1_1CE5)
+            } else if u == ti {
+                mix(0x00B0_B517)
+            } else {
+                mix(0x0DD5)
+            }
+        })
+        .collect();
+
+    let mut distinct = count_distinct(&color);
+    let mut acc_out = vec![0u64; n];
+    let mut acc_in = vec![0u64; n];
+    for _ in 0..MAX_ROUNDS {
+        if distinct == n {
+            break;
+        }
+        acc_out.iter_mut().for_each(|x| *x = 0);
+        acc_in.iter_mut().for_each(|x| *x = 0);
+        for arc in arcs {
+            let f = arc.from.index();
+            let t = arc.to.index();
+            // Structural signature of the arc as seen from each endpoint.
+            // Only the lower bound participates: costs and capacities are
+            // sweep-variant and must not split structural classes.
+            let sig = mix(color[f] ^ mix(color[t].wrapping_add(arc.lower_bound as u64)));
+            // wrapping_add (not xor) so duplicate arcs don't cancel.
+            acc_out[f] = acc_out[f].wrapping_add(sig);
+            acc_in[t] = acc_in[t].wrapping_add(mix(sig ^ 0x5EED));
+        }
+        for u in 0..n {
+            color[u] = mix(color[u] ^ mix(acc_out[u] ^ acc_in[u].rotate_left(21)));
+        }
+        let now = count_distinct(&color);
+        if now == distinct {
+            break;
+        }
+        distinct = now;
+    }
+
+    if distinct < n {
+        // WL stabilised with non-singleton classes (a genuinely symmetric
+        // or WL-ambiguous instance). Individualise survivors by original
+        // index: sound (never merges distinct problems) and still
+        // arc-order invariant, at the price of relabel-invariance for
+        // these instances only.
+        individualize(&mut color);
+    }
+
+    // Canonical arc order: sort by per-arc content hashes instead of the
+    // raw 5-word keys — at allocation-network sizes (~10⁵ arcs) moving and
+    // comparing 40-byte tuples costs more than everything else in this
+    // function combined. `h_class` covers exactly the class-relevant words
+    // (endpoint colours + lower bound) and LEADS the key, so arcs group by
+    // class content first and cost/capacity deltas can only reorder arcs
+    // within one class group — which keeps the class fold's word sequence
+    // sweep-invariant. `h_rest` (capacity + cost) completes the content
+    // key; the creation index breaks full ties, so duplicate-key groups
+    // (parallel arcs identical in every field — interchangeable by
+    // definition) replay in creation order, exactly as a stable sort would
+    // place them. A hash collision between *different* keys can only
+    // reorder the canonical form, never equate two distinct problems: the
+    // fingerprints fold the hashes in sorted order, so a reordering
+    // disagreement yields differing fingerprints — a missed hit, not a
+    // wrong answer.
+    let mut keyed: Vec<(u64, u64, u32)> = Vec::with_capacity(arcs.len());
+    for (i, a) in arcs.iter().enumerate() {
+        let mut hc = mix(color[a.from.index()] ^ 0x0C1A_55E5);
+        hc = mix(hc ^ color[a.to.index()]);
+        hc = mix(hc ^ a.lower_bound as u64);
+        let hr = mix((a.capacity as u64) ^ mix((a.cost as u64) ^ 0x0C05_7CA9));
+        keyed.push((hc, hr, i as u32));
+    }
+    keyed.sort_unstable();
+
+    let mut exact = Fold::new(0xF1F0);
+    exact.push(n as u64);
+    exact.push_i64(target);
+    exact.push(color[si]);
+    exact.push(color[ti]);
+    let mut class = Fold::new(0xC1A5);
+    class.push(n as u64);
+    class.push(color[si]);
+    class.push(color[ti]);
+    let mut order: Vec<u32> = Vec::with_capacity(arcs.len());
+    for &(hc, hr, i) in &keyed {
+        exact.push(hc);
+        exact.push(hr);
+        class.push(hc);
+        order.push(i);
+    }
+
+    CanonicalInstance {
+        fingerprint: exact.finish(),
+        class: class.finish(),
+        perm: order,
+    }
+}
+
+fn count_distinct(color: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = color.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+fn individualize(color: &mut [u64]) {
+    let mut sorted: Vec<u64> = color.to_vec();
+    sorted.sort_unstable();
+    let mut ambiguous: Vec<u64> = Vec::new();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] && ambiguous.last() != Some(&w[0]) {
+            ambiguous.push(w[0]);
+        }
+    }
+    for (u, c) in color.iter_mut().enumerate() {
+        if ambiguous.binary_search(c).is_ok() {
+            *c = mix(*c ^ mix(u as u64 ^ 0x1DE2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A small sweep-shaped network: source → variables → {mem, reg} → sink.
+    fn build(costs: &[i64], caps: &[i64]) -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        let mem = net.add_node();
+        let reg = net.add_node();
+        for (i, (&c, _)) in costs.iter().zip(caps).enumerate() {
+            let v = net.add_node();
+            net.add_arc_bounded(s, v, 1, 1, 0).unwrap();
+            net.add_arc(v, mem, 1, c).unwrap();
+            net.add_arc(v, reg, 1, c / 2 - i as i64).unwrap();
+        }
+        net.add_arc(mem, t, caps[0].max(1), 1).unwrap();
+        net.add_arc(reg, t, caps.iter().sum::<i64>().max(1), 2)
+            .unwrap();
+        (net, s, t)
+    }
+
+    /// Rebuilds `net` with its arcs emitted in `order`.
+    fn permuted(net: &FlowNetwork, order: &[usize]) -> FlowNetwork {
+        let mut out = FlowNetwork::new();
+        out.add_nodes(net.node_count());
+        let arcs: Vec<_> = net.arcs().map(|(_, a)| *a).collect();
+        for &i in order {
+            let a = arcs[i];
+            out.add_arc_bounded(a.from, a.to, a.lower_bound, a.capacity, a.cost)
+                .unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn identical_builds_share_both_fingerprints() {
+        let (na, s, t) = build(&[10, 20, 30], &[1, 1, 1]);
+        let (nb, _, _) = build(&[10, 20, 30], &[1, 1, 1]);
+        let a = canonicalize(&na, s, t, 3);
+        let b = canonicalize(&nb, s, t, 3);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.class, b.class);
+    }
+
+    #[test]
+    fn cost_shift_changes_fingerprint_but_not_class() {
+        let (na, s, t) = build(&[10, 20, 30], &[1, 1, 1]);
+        let (nb, _, _) = build(&[11, 21, 31], &[1, 1, 1]);
+        let a = canonicalize(&na, s, t, 3);
+        let b = canonicalize(&nb, s, t, 3);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.class, b.class, "costs must not split structural classes");
+    }
+
+    #[test]
+    fn target_changes_fingerprint_but_not_class() {
+        let (na, s, t) = build(&[10, 20, 30], &[1, 1, 1]);
+        let a = canonicalize(&na, s, t, 3);
+        let b = canonicalize(&na, s, t, 2);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.class, b.class, "target deltas are warm-repairable");
+    }
+
+    #[test]
+    fn lower_bound_change_splits_the_class() {
+        let (na, s, t) = build(&[10, 20, 30], &[1, 1, 1]);
+        let nb = permuted(&na, &(0..na.arc_count()).collect::<Vec<_>>());
+        let arcs: Vec<_> = nb.arcs().map(|(_, a)| *a).collect();
+        let mut nc = FlowNetwork::new();
+        nc.add_nodes(nb.node_count());
+        for (i, a) in arcs.iter().enumerate() {
+            let lb = if i == 0 { 0 } else { a.lower_bound };
+            nc.add_arc_bounded(a.from, a.to, lb, a.capacity, a.cost)
+                .unwrap();
+        }
+        let a = canonicalize(&na, s, t, 3);
+        let b = canonicalize(&nb, s, t, 3);
+        let c = canonicalize(&nc, s, t, 3);
+        assert_eq!(a.class, b.class);
+        assert_ne!(a.class, c.class, "lower bounds are structural");
+    }
+
+    #[test]
+    fn round_trip_through_canonical_order_is_identity() {
+        let (net, s, t) = build(&[10, 20, 30], &[1, 1, 1]);
+        let canon = canonicalize(&net, s, t, 3);
+        let values: Vec<i64> = (0..net.arc_count() as i64).map(|i| i * 7 - 3).collect();
+        let back = canon.from_canonical_order(&canon.to_canonical_order(&values));
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn symmetric_instance_is_individualized_not_collapsed() {
+        // Two interchangeable variables: WL alone cannot split them, the
+        // index individualization must still yield a deterministic stamp.
+        let (na, s, t) = build(&[10, 10], &[1, 1]);
+        let (nb, _, _) = build(&[10, 10], &[1, 1]);
+        assert_eq!(
+            canonicalize(&na, s, t, 2).fingerprint,
+            canonicalize(&nb, s, t, 2).fingerprint
+        );
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let (net, s, t) = build(&[10, 20], &[1, 1]);
+        let fp = canonicalize(&net, s, t, 2).fingerprint;
+        let text = fp.to_string();
+        assert_eq!(text.len(), 32);
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    proptest! {
+        /// The exact fingerprint (and the class) are invariant under any
+        /// permutation of arc emission order, and the permutation journal
+        /// maps per-arc values back to each instance's own creation order.
+        #[test]
+        fn fingerprint_invariant_under_arc_permutation(
+            costs in proptest::collection::vec(-50i64..50, 2..8),
+            seed in 0u64..u64::MAX,
+        ) {
+            let caps = vec![1i64; costs.len()];
+            let (net, s, t) = build(&costs, &caps);
+            let m = net.arc_count();
+            // Deterministic shuffle driven by `seed`.
+            let mut order: Vec<usize> = (0..m).collect();
+            let mut x = seed;
+            for i in (1..m).rev() {
+                x = mix(x.wrapping_add(i as u64));
+                order.swap(i, (x % (i as u64 + 1)) as usize);
+            }
+            let shuffled = permuted(&net, &order);
+            let a = canonicalize(&net, s, t, costs.len() as i64);
+            let b = canonicalize(&shuffled, s, t, costs.len() as i64);
+            prop_assert_eq!(a.fingerprint, b.fingerprint);
+            prop_assert_eq!(a.class, b.class);
+            // Per-arc values tagged by original identity survive the
+            // canonical round trip on both orderings and agree arc-for-arc.
+            let va: Vec<i64> = (0..m as i64).collect();
+            let vb: Vec<i64> = order.iter().map(|&i| i as i64).collect();
+            prop_assert_eq!(a.to_canonical_order(&va), b.to_canonical_order(&vb));
+        }
+
+        /// Perturbing a single cost or a single capacity moves the exact
+        /// fingerprint but leaves the structural class alone.
+        #[test]
+        fn single_perturbation_distinguishes_fingerprint_only(
+            costs in proptest::collection::vec(-50i64..50, 2..8),
+            which in 0usize..64,
+            bump in 1i64..5,
+            cap_not_cost in proptest::bool::ANY,
+        ) {
+            let caps = vec![2i64; costs.len()];
+            let (net, s, t) = build(&costs, &caps);
+            let arcs: Vec<_> = net.arcs().map(|(_, a)| *a).collect();
+            let hit = which % arcs.len();
+            let mut nb = FlowNetwork::new();
+            nb.add_nodes(net.node_count());
+            for (i, a) in arcs.iter().enumerate() {
+                let (cap, cost) = if i == hit {
+                    if cap_not_cost {
+                        (a.capacity + bump, a.cost)
+                    } else {
+                        (a.capacity, a.cost + bump)
+                    }
+                } else {
+                    (a.capacity, a.cost)
+                };
+                nb.add_arc_bounded(a.from, a.to, a.lower_bound, cap, cost)
+                    .unwrap();
+            }
+            let a = canonicalize(&net, s, t, costs.len() as i64);
+            let b = canonicalize(&nb, s, t, costs.len() as i64);
+            prop_assert_ne!(a.fingerprint, b.fingerprint);
+            prop_assert_eq!(a.class, b.class);
+        }
+    }
+}

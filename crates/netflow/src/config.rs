@@ -41,6 +41,51 @@ pub const SIMPLEX_BLOCK_ENV: &str = "LEMRA_SIMPLEX_BLOCK";
 /// `1`/`force`/`on` — always; `0`/`off` — never).
 pub const PAR_SOLVE_ENV: &str = "LEMRA_PAR_SOLVE";
 
+/// Environment variable selecting the cross-request allocation cache mode
+/// (`off` — default, no cache; `exact` — replay byte-identical solutions on
+/// exact fingerprint hits; `warm` — additionally adopt retained reoptimizer
+/// state across requests within a structural class).
+pub const CACHE_ENV: &str = "LEMRA_CACHE";
+
+/// Environment variable capping the allocation cache's entry count per
+/// table (positive integer; default 128). Above the cap the entry with the
+/// fewest recorded accesses is evicted, oldest first on ties.
+pub const CACHE_CAP_ENV: &str = "LEMRA_CACHE_CAP";
+
+/// Cross-request allocation cache mode, parsed from [`CACHE_ENV`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheMode {
+    /// No cross-request caching (the default; byte-identical to the
+    /// pre-cache pipeline by construction).
+    #[default]
+    Off,
+    /// Exact-fingerprint hits replay the cached solution; misses solve
+    /// cold and populate the cache.
+    Exact,
+    /// [`CacheMode::Exact`] plus warm-start adoption: retained reoptimizer
+    /// state is checked out per structural class, so sweep-style cost
+    /// deltas repair instead of re-solving.
+    Warm,
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = NetflowError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(CacheMode::Off),
+            "exact" => Ok(CacheMode::Exact),
+            "warm" => Ok(CacheMode::Warm),
+            other => Err(NetflowError::InvalidArc {
+                reason: format!(
+                    "{CACHE_ENV}=`{other}` is not a cache mode \
+                     (expected off, exact or warm)"
+                ),
+            }),
+        }
+    }
+}
+
 /// When [`Backend::Auto`] hands a solve to the decomposed parallel path
 /// (`par_ssp`). Parsed from [`PAR_SOLVE_ENV`]; a concrete backend choice is
 /// never overridden by this knob.
@@ -106,6 +151,10 @@ pub struct LemraConfig {
     pub simplex_block: Option<usize>,
     /// When [`Backend::Auto`] engages the decomposed parallel solver.
     pub par_solve: ParSolve,
+    /// Cross-request allocation cache mode (default off).
+    pub cache: CacheMode,
+    /// Allocation cache capacity, entries per table (default 128).
+    pub cache_cap: usize,
 }
 
 impl Default for LemraConfig {
@@ -118,6 +167,8 @@ impl Default for LemraConfig {
             validate: cfg!(feature = "validate"),
             simplex_block: None,
             par_solve: ParSolve::Auto,
+            cache: CacheMode::Off,
+            cache_cap: 128,
         }
     }
 }
@@ -143,6 +194,8 @@ impl LemraConfig {
             std::env::var(COLD_ENV).ok().as_deref(),
             std::env::var(SIMPLEX_BLOCK_ENV).ok().as_deref(),
             std::env::var(PAR_SOLVE_ENV).ok().as_deref(),
+            std::env::var(CACHE_ENV).ok().as_deref(),
+            std::env::var(CACHE_CAP_ENV).ok().as_deref(),
         )
     }
 
@@ -158,6 +211,8 @@ impl LemraConfig {
         cold: Option<&str>,
         simplex_block: Option<&str>,
         par_solve: Option<&str>,
+        cache: Option<&str>,
+        cache_cap: Option<&str>,
     ) -> Result<Self, NetflowError> {
         let backend = backend.map_or(Ok(Backend::default()), str::parse)?;
         let threads = threads
@@ -182,12 +237,25 @@ impl LemraConfig {
             })
             .transpose()?;
         let par_solve = par_solve.map_or(Ok(ParSolve::default()), str::parse)?;
+        let cache = cache.map_or(Ok(CacheMode::default()), str::parse)?;
+        let cache_cap = cache_cap
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| NetflowError::InvalidArc {
+                        reason: format!("{CACHE_CAP_ENV}=`{v}` is not a positive entry count"),
+                    })
+            })
+            .transpose()?;
         Ok(Self {
             backend,
             threads,
             cold,
             simplex_block,
             par_solve,
+            cache,
+            cache_cap: cache_cap.unwrap_or(Self::default().cache_cap),
             ..Self::default()
         })
     }
@@ -267,21 +335,30 @@ mod tests {
 
     #[test]
     fn from_vars_parses_each_knob() {
-        let cfg =
-            LemraConfig::from_vars(Some("simplex"), Some("3"), Some("1"), Some("8"), None).unwrap();
+        let cfg = LemraConfig::from_vars(
+            Some("simplex"),
+            Some("3"),
+            Some("1"),
+            Some("8"),
+            None,
+            None,
+            None,
+        )
+        .unwrap();
         assert_eq!(cfg.backend, Backend::Simplex);
         assert_eq!(cfg.threads, Some(3));
         assert!(cfg.cold);
         assert_eq!(cfg.simplex_block, Some(8));
-        let unset = LemraConfig::from_vars(None, None, None, None, None).unwrap();
+        let unset = LemraConfig::from_vars(None, None, None, None, None, None, None).unwrap();
         assert_eq!(unset, LemraConfig::default());
-        let off = LemraConfig::from_vars(None, None, Some("0"), None, None).unwrap();
+        let off = LemraConfig::from_vars(None, None, Some("0"), None, None, None, None).unwrap();
         assert!(!off.cold);
     }
 
     #[test]
     fn unknown_backend_is_an_error_listing_valid_names() {
-        let err = LemraConfig::from_vars(Some("simplx"), None, None, None, None).unwrap_err();
+        let err =
+            LemraConfig::from_vars(Some("simplx"), None, None, None, None, None, None).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("simplx"), "names the offender: {msg}");
         for name in [
@@ -307,24 +384,52 @@ mod tests {
             assert_eq!(off.parse::<ParSolve>().unwrap(), ParSolve::Off);
         }
         assert!("yes".parse::<ParSolve>().is_err());
-        let cfg = LemraConfig::from_vars(None, None, None, None, Some("force")).unwrap();
+        let cfg =
+            LemraConfig::from_vars(None, None, None, None, Some("force"), None, None).unwrap();
         assert_eq!(cfg.par_solve, ParSolve::Force);
-        assert!(LemraConfig::from_vars(None, None, None, None, Some("maybe")).is_err());
+        assert!(LemraConfig::from_vars(None, None, None, None, Some("maybe"), None, None).is_err());
+    }
+
+    #[test]
+    fn cache_mode_parses_strictly_and_rejects_typos() {
+        assert_eq!("off".parse::<CacheMode>().unwrap(), CacheMode::Off);
+        assert_eq!("exact".parse::<CacheMode>().unwrap(), CacheMode::Exact);
+        assert_eq!("warm".parse::<CacheMode>().unwrap(), CacheMode::Warm);
+        for bad in ["on", "1", "Warm", "wram", ""] {
+            let err = bad.parse::<CacheMode>().unwrap_err().to_string();
+            assert!(err.contains(CACHE_ENV), "names the variable: {err}");
+            for name in ["off", "exact", "warm"] {
+                assert!(err.contains(name), "lists `{name}`: {err}");
+            }
+        }
+        let cfg =
+            LemraConfig::from_vars(None, None, None, None, None, Some("warm"), Some("7")).unwrap();
+        assert_eq!(cfg.cache, CacheMode::Warm);
+        assert_eq!(cfg.cache_cap, 7);
+        assert!(
+            LemraConfig::from_vars(None, None, None, None, None, Some("wram"), None).is_err(),
+            "a typo'd {CACHE_ENV} must fail loudly"
+        );
+        assert!(LemraConfig::from_vars(None, None, None, None, None, None, Some("0")).is_err());
+        assert!(LemraConfig::from_vars(None, None, None, None, None, None, Some("many")).is_err());
     }
 
     #[test]
     fn cost_scaling_backend_parses_from_env_vars() {
-        let cfg = LemraConfig::from_vars(Some("cost_scaling"), None, None, None, None).unwrap();
+        let cfg = LemraConfig::from_vars(Some("cost_scaling"), None, None, None, None, None, None)
+            .unwrap();
         assert_eq!(cfg.backend, Backend::CostScaling);
-        let dashed = LemraConfig::from_vars(Some("cost-scaling"), None, None, None, None).unwrap();
+        let dashed =
+            LemraConfig::from_vars(Some("cost-scaling"), None, None, None, None, None, None)
+                .unwrap();
         assert_eq!(dashed.backend, Backend::CostScaling);
     }
 
     #[test]
     fn malformed_numeric_knobs_are_errors() {
-        assert!(LemraConfig::from_vars(None, Some("zero"), None, None, None).is_err());
-        assert!(LemraConfig::from_vars(None, Some("0"), None, None, None).is_err());
-        assert!(LemraConfig::from_vars(None, None, None, Some("-1"), None).is_err());
-        assert!(LemraConfig::from_vars(None, None, None, Some("0"), None).is_err());
+        assert!(LemraConfig::from_vars(None, Some("zero"), None, None, None, None, None).is_err());
+        assert!(LemraConfig::from_vars(None, Some("0"), None, None, None, None, None).is_err());
+        assert!(LemraConfig::from_vars(None, None, None, Some("-1"), None, None, None).is_err());
+        assert!(LemraConfig::from_vars(None, None, None, Some("0"), None, None, None).is_err());
     }
 }

@@ -206,6 +206,31 @@ pub(crate) fn maybe_inject_region(region: usize) -> bool {
     false
 }
 
+/// Injection point inside a cache-hit solve, selected by the backend-name
+/// convention `cache` (e.g. `LEMRA_FAULT=panic@0:cache`). The allocation
+/// cache consults it at both of its hit paths — the exact-entry replay and
+/// the adopted-reoptimizer warm solve — and the fault fires on whichever
+/// hit comes first after installation. The solve index in the spec is
+/// ignored, because replays never reach the resilience layer's solve
+/// counter. Fires once, like every fault; the caller is expected to
+/// contain the panic and fall back to a cold solve.
+pub fn maybe_inject_cache() -> bool {
+    let mut guard = ACTIVE.lock().expect("fault plan lock poisoned");
+    let Some(plan) = guard.as_mut() else {
+        return false;
+    };
+    for fault in &mut plan.faults {
+        if fault.fired || fault.kind != FaultKind::Panic {
+            continue;
+        }
+        if fault.backend.as_deref() == Some("cache") {
+            fault.fired = true;
+            return true;
+        }
+    }
+    false
+}
+
 /// Consults the active plan for a fault matching this attempt, marking a
 /// match as fired so the fallback retry of the same solve runs clean.
 pub(crate) fn maybe_inject(solve_index: u64, attempt: usize, backend: &str) -> Option<FaultKind> {
@@ -272,6 +297,19 @@ mod tests {
         assert_eq!(maybe_inject(4, 2, "simplex"), None);
         FaultPlan::clear();
         assert_eq!(maybe_inject(2, 0, "ssp"), None);
+    }
+
+    #[test]
+    fn cache_faults_match_the_cache_qualifier_and_fire_once() {
+        let plan: FaultPlan = "panic@0:cache".parse().unwrap();
+        plan.install();
+        assert!(maybe_inject_cache());
+        assert!(!maybe_inject_cache());
+        // Index-targeted and backend-targeted faults never hit the replay.
+        let plan: FaultPlan = "panic@0".parse().unwrap();
+        plan.install();
+        assert!(!maybe_inject_cache());
+        FaultPlan::clear();
     }
 
     #[test]

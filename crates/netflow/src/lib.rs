@@ -106,6 +106,7 @@
 
 mod batch;
 mod budget;
+mod canon;
 mod config;
 mod cost_scaling;
 mod cycle_cancel;
@@ -128,8 +129,10 @@ mod workspace;
 
 pub use batch::{solve_batch, solve_batch_on, BatchProblem};
 pub use budget::SolveBudget;
+pub use canon::{canonicalize, CacheStamp, CanonicalInstance, Fingerprint};
 pub use config::{
-    LemraConfig, ParSolve, BACKEND_ENV, COLD_ENV, PAR_SOLVE_ENV, SIMPLEX_BLOCK_ENV, THREADS_ENV,
+    CacheMode, LemraConfig, ParSolve, BACKEND_ENV, CACHE_CAP_ENV, CACHE_ENV, COLD_ENV,
+    PAR_SOLVE_ENV, SIMPLEX_BLOCK_ENV, THREADS_ENV,
 };
 pub use cost_scaling::{min_cost_flow_cost_scaling, min_cost_flow_cost_scaling_with};
 pub use cycle_cancel::{min_cost_flow_cycle_canceling, min_cost_flow_cycle_canceling_with};
@@ -137,7 +140,7 @@ pub use decompose::{min_cost_flow_par, min_cost_flow_par_with};
 pub use dinic::max_flow;
 pub use dot::to_dot;
 #[cfg(feature = "fault-inject")]
-pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
+pub use fault::{maybe_inject_cache, FaultKind, FaultPlan, FAULT_ENV};
 pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
 pub use reopt::Reoptimizer;
 pub use resilience::{ResilientSolver, SolverIncident};

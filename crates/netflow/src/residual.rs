@@ -31,6 +31,7 @@
 //! After `finalize`, the slot arrays are the single source of truth for
 //! capacities; [`ResEdge::initial_cap`] is only the staging value.
 
+use crate::canon::CacheStamp;
 use crate::graph::{FlowNetwork, NodeId};
 
 /// One directed edge of the residual graph as staged by
@@ -70,10 +71,8 @@ pub(crate) struct Slot {
 /// O(V + E) counting-sort rebuild into O(pushes of the previous solve).
 #[derive(Debug, Clone, Copy)]
 struct BuiltMeta {
-    net_uid: u64,
-    net_version: u64,
-    s: u32,
-    t: u32,
+    /// Identity stamp of the network contents and endpoints as built.
+    stamp: CacheStamp,
     target: i64,
     /// Total excess the transformed instance must route (memoised result).
     required: i64,
@@ -242,16 +241,14 @@ impl Residual {
         let n = net.node_count();
         let nodes = n + 2;
         let (super_s, super_t) = (n, n + 1);
-        let (net_uid, net_version) = net.cache_stamp();
+        let stamp = CacheStamp::from_parts(net, s, t);
         // Rollback fast path: this arena already holds the pristine build of
         // the identical request and a faithful journal of everything the
         // last solve did to it — undo the journal instead of rebuilding.
         // Undoing in reverse restores the exact slot order, so cached solves
         // stay bit-identical to cold ones.
         if let Some(b) = self.built {
-            if (b.net_uid, b.net_version, b.s, b.t, b.target)
-                == (net_uid, net_version, s as u32, t as u32, target)
-            {
+            if (b.stamp, b.target) == (stamp, target) {
                 self.undo_journal();
                 self.monotone = b.monotone;
                 return (super_s, super_t, b.required);
@@ -399,10 +396,7 @@ impl Residual {
         self.max_build_cap = max_cap;
         self.journal.clear();
         self.built = Some(BuiltMeta {
-            net_uid,
-            net_version,
-            s: s as u32,
-            t: t as u32,
+            stamp,
             target,
             required,
             monotone: self.monotone,

@@ -16,6 +16,7 @@
 //! the standard excess/deficit transformation; see
 //! [`min_cost_flow`] for the contract.
 
+use crate::canon::CacheStamp;
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual::{idx, Residual};
 use crate::workspace::{with_thread_workspace, SolverWorkspace, INF};
@@ -190,13 +191,12 @@ pub(crate) fn check_endpoints_with(
     ws: &mut SolverWorkspace,
 ) -> Result<(), NetflowError> {
     net.validate_request(s, t, target)?;
-    let (uid, version) = net.cache_stamp();
-    let key = (uid, version, s.index() as u32, t.index() as u32);
+    let stamp = CacheStamp::of(net, s, t);
     let achievable = match ws.validate_cache {
-        Some((u, v, cs, ct, a)) if (u, v, cs, ct) == key => a,
+        Some((cached, a)) if cached == stamp => a,
         _ => {
             let a = net.scan_arcs(s, t)?;
-            ws.validate_cache = Some((key.0, key.1, key.2, key.3, a));
+            ws.validate_cache = Some((stamp, a));
             a
         }
     };

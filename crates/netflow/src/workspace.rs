@@ -14,6 +14,7 @@
 //! increment instead of an O(V) fill.
 
 use crate::budget::SolveBudget;
+use crate::canon::CacheStamp;
 use crate::radix::RadixHeap;
 use crate::residual::Residual;
 use std::cell::RefCell;
@@ -249,11 +250,11 @@ pub struct SolverWorkspace {
     /// governs every solve run on this workspace.
     pub(crate) budget: SolveBudget,
     /// Memo of the last passing [`FlowNetwork::scan_arcs`](crate::FlowNetwork)
-    /// run through this workspace: `(uid, version, s, t)` →  achievable
-    /// capacity bound. Keyed on the network's cache stamp, so any mutation
+    /// run through this workspace: [`CacheStamp`] → achievable capacity
+    /// bound. Keyed on the network's identity stamp, so any mutation
     /// invalidates it; only passing scans are cached (errors are terminal
     /// and re-deriving their message is fine). Survives [`Self::prepare`].
-    pub(crate) validate_cache: Option<(u64, u64, u32, u32, i64)>,
+    pub(crate) validate_cache: Option<(CacheStamp, i64)>,
     /// Scratch of the decomposed parallel solve path; empty until the first
     /// parallel solve on this workspace.
     pub(crate) par: ParScratch,
