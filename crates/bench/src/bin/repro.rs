@@ -131,14 +131,18 @@ fn main() {
 fn print_timings() {
     let stats = lemra_core::pipeline_stats();
     eprintln!("-- pipeline stage timings --");
-    eprintln!("  {:<10} {:>7} {:>12}", "stage", "runs", "total ms");
+    eprintln!(
+        "  {:<10} {:>7} {:>12} {:>12}",
+        "stage", "runs", "total ms", "peak KiB"
+    );
     for stage in lemra_core::Stage::ALL {
         let t = stats.stage(stage);
         eprintln!(
-            "  {:<10} {:>7} {:>12.3}",
+            "  {:<10} {:>7} {:>12.3} {:>12.1}",
             stage.name(),
             t.runs,
-            t.nanos as f64 / 1e6
+            t.nanos as f64 / 1e6,
+            t.bytes as f64 / 1024.0
         );
     }
     eprintln!(

@@ -1,0 +1,141 @@
+//! Whole-program allocation driver: runs a `lemra-workloads` tier chain
+//! through [`allocate_program`] and prints a deterministic per-block digest.
+//!
+//! ```text
+//! cargo run -p lemra-bench --bin wholeprogram -- --tier 4k
+//! cargo run -p lemra-bench --bin wholeprogram -- --tier 4k --threads 4
+//! cargo run -p lemra-bench --bin wholeprogram -- --tier trace --timings
+//! ```
+//!
+//! Stdout is the digest and is **byte-identical at any thread count** (the
+//! CI `wholeprogram-smoke` job `cmp`s `--threads 1` against `--threads 4`);
+//! `--timings` adds per-stage timing and peak-byte counters on stderr.
+//! `--threads N` overrides `LEMRA_THREADS` for the Phase-A worker pool.
+
+use lemra_core::{allocate_program_threads, BlockChain};
+use lemra_netflow::LemraConfig;
+use lemra_workloads::wholeprogram::{loop_nest, min_reg_trace, LoopNestConfig, MinRegTraceConfig};
+
+const USAGE: &str =
+    "usage: wholeprogram [--tier 1k|4k|8k|trace] [--threads N] [--seed S] [--timings]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timings = args.iter().any(|a| a == "--timings");
+    let mut tier = "4k".to_owned();
+    let mut threads: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| panic!("{name} needs a value\n{USAGE}"))
+        };
+        match a.as_str() {
+            "--tier" => tier = value("--tier"),
+            "--threads" => {
+                threads = Some(value("--threads").parse().expect("--threads: not a number"));
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed: not a number"),
+            "--timings" | "--help" | "-h" => {}
+            other => {
+                eprintln!("wholeprogram: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let base = LemraConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("wholeprogram: {e}");
+        std::process::exit(2);
+    });
+    LemraConfig { timings, ..base }.install();
+
+    let chain: BlockChain = match tier.as_str() {
+        "1k" => loop_nest(&LoopNestConfig::tier_1k(seed)),
+        "4k" => loop_nest(&LoopNestConfig::tier_4k(seed)),
+        "8k" => loop_nest(&LoopNestConfig::tier_8k(seed)),
+        "trace" => min_reg_trace(&MinRegTraceConfig::tier_2k(seed)),
+        other => {
+            eprintln!("wholeprogram: unknown tier `{other}`\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let total_vars: usize = chain.blocks.iter().map(|b| b.lifetimes.len()).sum();
+    let workers = threads.unwrap_or_else(|| LemraConfig::get().worker_count(chain.blocks.len()));
+
+    let t0 = std::time::Instant::now();
+    let program = allocate_program_threads(&chain, workers).unwrap_or_else(|e| {
+        eprintln!("wholeprogram: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = t0.elapsed();
+
+    println!(
+        "wholeprogram tier={tier} blocks={} vars={total_vars}",
+        chain.blocks.len()
+    );
+    for (i, report) in program.chain.reports.iter().enumerate() {
+        let problem = &program.chain.problems[i];
+        println!(
+            "block {i:>3}: regs={} mem_rw={}/{} reg_rw={}/{} carried_reg={} carried_mem={} \
+             static={:.3} activity={:.3} addrs={}",
+            report.registers_used,
+            report.mem_reads,
+            report.mem_writes,
+            report.reg_reads,
+            report.reg_writes,
+            problem.carried_in_register.len(),
+            problem.carried_in_memory.len(),
+            report.static_energy,
+            report.activity_energy,
+            program.realloc[i].locations,
+        );
+    }
+    println!(
+        "total: static={:.3} activity={:.3} mem_accesses={} switching={:.3}",
+        program.chain.total_static_energy(),
+        program.chain.total_activity_energy(),
+        program.chain.total_mem_accesses(),
+        program.total_switching(),
+    );
+
+    // Wall-clock and throughput go to stderr: they vary run to run, stdout
+    // must not.
+    eprintln!(
+        "e2e: {:.3} ms, {:.1} blocks/s, workers={workers}",
+        elapsed.as_secs_f64() * 1e3,
+        chain.blocks.len() as f64 / elapsed.as_secs_f64()
+    );
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        if let Some(hwm) = status.lines().find(|l| l.starts_with("VmHWM")) {
+            eprintln!("{hwm}");
+        }
+    }
+    if timings {
+        let stats = lemra_core::pipeline_stats();
+        eprintln!("-- pipeline stage timings --");
+        eprintln!(
+            "  {:<10} {:>7} {:>12} {:>12}",
+            "stage", "runs", "total ms", "peak KiB"
+        );
+        for stage in lemra_core::Stage::ALL {
+            let t = stats.stage(stage);
+            eprintln!(
+                "  {:<10} {:>7} {:>12.3} {:>12.1}",
+                stage.name(),
+                t.runs,
+                t.nanos as f64 / 1e6,
+                t.bytes as f64 / 1024.0
+            );
+        }
+        eprintln!(
+            "  solves: {} warm, {} cold; {} incidents",
+            stats.warm_solves, stats.cold_solves, stats.solver.incidents
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Multi-block determinism at whole-program scale: the chain allocation of
+//! a ≥16-block instance must be byte-identical across Phase-A worker
+//! counts, and (under `fault-inject`) an injected per-block solver fault
+//! must be absorbed by the resilience layer without changing a byte.
+//!
+//! The backend × worker-count matrix lives with the pipeline
+//! (`lemra-core`'s `chain_is_identical_across_backends_and_worker_counts`);
+//! this test exercises the public API on the real workload generators.
+
+use lemra_core::{allocate_chain_threads, allocate_program_threads, ChainAllocation};
+use lemra_workloads::wholeprogram::{loop_nest, min_reg_trace, LoopNestConfig, MinRegTraceConfig};
+
+fn digest(chain: &ChainAllocation) -> String {
+    format!(
+        "{:?}|{:?}|{:?}",
+        chain.reports, chain.allocations, chain.problems
+    )
+}
+
+#[test]
+fn worker_counts_are_byte_identical_on_both_generators() {
+    let nest = loop_nest(&LoopNestConfig {
+        tiles: 16,
+        vars_per_tile: 48,
+        accumulators: 6,
+        steps: 36,
+        registers: 8,
+        seed: 7,
+    });
+    let trace = min_reg_trace(&MinRegTraceConfig {
+        blocks: 16,
+        vars_per_block: 32,
+        steps: 24,
+        registers: 6,
+        seed: 7,
+    });
+    for (name, chain) in [("loop_nest", &nest), ("min_reg_trace", &trace)] {
+        let reference = digest(&allocate_chain_threads(chain, 1).unwrap());
+        for workers in [2usize, 8] {
+            let got = digest(&allocate_chain_threads(chain, workers).unwrap());
+            assert_eq!(reference, got, "{name} workers={workers}");
+        }
+        // The realloc join is thread-count independent too.
+        let serial = allocate_program_threads(chain, 1).unwrap();
+        let parallel = allocate_program_threads(chain, 8).unwrap();
+        assert_eq!(serial.realloc, parallel.realloc, "{name} realloc join");
+    }
+}
+
+/// One planted per-block solver fault must be absorbed by the fallback
+/// chain: the chain still allocates, and every byte matches the uninjected
+/// reference. Phase-A workers solve through the warm path — the
+/// reoptimizer primary backed by the SSP anchor — so the faulted attempt
+/// falls through to the anchor inside whichever worker hits the planted
+/// solve index, and the speculative result is still produced and adopted.
+/// (Workers ≥ 2 only: the serial walk's cold solves run the primary-only
+/// `[Ssp]` chain, whose warm-path absorption `fault_sweep` already covers.)
+/// The plan is process-global, so worker counts are exercised inside this
+/// single test to stay serialized with it.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_block_fault_is_absorbed_at_any_worker_count() {
+    use lemra_netflow::{FaultKind, FaultPlan};
+
+    let chain = loop_nest(&LoopNestConfig {
+        tiles: 16,
+        vars_per_tile: 48,
+        accumulators: 6,
+        steps: 36,
+        registers: 8,
+        seed: 11,
+    });
+    let reference = digest(&allocate_chain_threads(&chain, 1).unwrap());
+    for workers in [2usize, 4] {
+        for kind in [FaultKind::Panic, FaultKind::Budget] {
+            FaultPlan::new().fail_at(kind, 3).install();
+            let got = allocate_chain_threads(&chain, workers)
+                .expect("chain must survive the injected fault");
+            FaultPlan::clear();
+            assert_eq!(reference, digest(&got), "{kind:?} workers={workers}");
+        }
+    }
+}

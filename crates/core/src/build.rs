@@ -23,8 +23,10 @@ use crate::costs::CostCalculator;
 use crate::problem::{AllocationProblem, GraphStyle};
 use crate::segment::{SegmentId, Segmentation};
 use crate::CoreError;
+use lemra_energy::MicroEnergy;
 use lemra_ir::{DensityProfile, Tick, TickRange};
 use lemra_netflow::{ArcId, FlowNetwork, NodeId};
+use std::cell::RefCell;
 
 /// The constructed flow network plus the maps back to segments.
 ///
@@ -82,6 +84,63 @@ pub(crate) struct BuiltNetwork {
     pub region_hints: Vec<u32>,
 }
 
+impl BuiltNetwork {
+    /// Heap footprint of the built view — the arc arena plus every handle
+    /// map and tie-break table, charged at capacity. The counted two-pass
+    /// build sizes each buffer exactly, so this is also the Build stage's
+    /// peak retained footprint, which the `--timings` peak-bytes column
+    /// reports.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        fn cap_bytes<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        self.net.heap_bytes()
+            + cap_bytes(&self.segment_arc)
+            + cap_bytes(&self.read_node)
+            + cap_bytes(&self.write_node)
+            + cap_bytes(&self.handoff_of)
+            + cap_bytes(&self.chain_of)
+            + cap_bytes(&self.source_of)
+            + cap_bytes(&self.sink_of)
+            + cap_bytes(&self.tie_weights)
+            + cap_bytes(&self.preferred)
+            + cap_bytes(&self.region_hints)
+    }
+}
+
+/// Per-thread scratch for the Build stage. The one-endpoint precompute
+/// tables and the start-order index are `n`-sized and were rebuilt from
+/// scratch for every block, so whole-program pipelines — one worker
+/// allocating dozens of blocks back to back — churned six allocations per
+/// build. The arena keeps the buffers across builds on the same thread;
+/// clearing retains capacity, so steady-state builds allocate nothing here.
+#[derive(Default)]
+struct BuildArena {
+    exit_cost: Vec<MicroEnergy>,
+    enter_cost: Vec<MicroEnergy>,
+    register_carried_first: Vec<bool>,
+    starts: Vec<Tick>,
+    ends: Vec<Tick>,
+    var_of: Vec<u32>,
+    by_start: Vec<u32>,
+}
+
+impl BuildArena {
+    fn clear(&mut self) {
+        self.exit_cost.clear();
+        self.enter_cost.clear();
+        self.register_carried_first.clear();
+        self.starts.clear();
+        self.ends.clear();
+        self.var_of.clear();
+        self.by_start.clear();
+    }
+}
+
+thread_local! {
+    static BUILD_ARENA: RefCell<BuildArena> = RefCell::default();
+}
+
 /// True if a hand-off from a read at `from` to a write at `to` is admitted
 /// under the region rule: `from <= to` and no maximum-density region lies
 /// strictly inside the open interval `(from, to)`.
@@ -127,10 +186,28 @@ pub(crate) fn build(
 
 /// The BuildNetwork stage proper: emits the §5.1 network over a
 /// [`Segmentation`] whose max-density `regions` were already profiled.
+///
+/// Construction is a counted two-pass: a cheap census over the hand-off
+/// windows and hook-up rules first establishes the exact arc total, then
+/// every buffer — the arc arena, the handle maps, the tie-break tables — is
+/// allocated once at its final size and filled. No buffer ever doubles, so
+/// the stage's peak heap equals its retained result, which is what keeps
+/// 4k-variable whole-program builds from dominating peak RSS.
 pub(crate) fn build_with_regions(
     problem: &AllocationProblem,
     segmentation: &Segmentation,
     regions: &[TickRange],
+) -> Result<BuiltNetwork, CoreError> {
+    BUILD_ARENA.with(|arena| {
+        build_with_regions_in(problem, segmentation, regions, &mut arena.borrow_mut())
+    })
+}
+
+fn build_with_regions_in(
+    problem: &AllocationProblem,
+    segmentation: &Segmentation,
+    regions: &[TickRange],
+    arena: &mut BuildArena,
 ) -> Result<BuiltNetwork, CoreError> {
     let costs = CostCalculator::new(
         &problem.energy,
@@ -142,11 +219,78 @@ pub(crate) fn build_with_regions(
     // t sits after every event; s before every event.
     let infinity = Tick(u32::MAX);
     let source_tick = Tick(0);
+    let n = segmentation.len();
 
-    let mut net = FlowNetwork::new();
+    // ---- pass 1: per-segment precompute + exact arc census ---------------
+    //
+    // The hand-off double loop visits every admitted segment pair;
+    // everything that depends on one endpoint only is computed once per
+    // segment here, so both the census and the emission loop below are left
+    // with an O(1) window test per candidate (plus, in the emission loop,
+    // the pair-specific Hamming transition term).
+    arena.clear();
+    let mut chain_count = 0usize;
+    for (_, seg) in segmentation.iter() {
+        arena.exit_cost.push(costs.exit(seg));
+        arena.enter_cost.push(costs.enter(seg));
+        arena
+            .register_carried_first
+            .push(seg.is_first && problem.carried_in_register.contains(&seg.var));
+        arena.starts.push(seg.start());
+        arena.ends.push(seg.end());
+        arena.var_of.push(seg.var.0);
+        chain_count += usize::from(!seg.is_last);
+    }
+    // Segment ids ordered by start tick (ties by id): the hand-off loop
+    // binary-searches this order for the first feasible `to` and stops at the
+    // end of the region window, instead of scanning all O(n²) pairs. The sort
+    // key depends only on the segmentation, never on costs or capacities, so
+    // two problems over the same lifetime table emit identical arc numbering
+    // — the determinism the warm-start diff layer relies on.
+    arena.by_start.extend(0..n as u32);
+    let (starts, by_start) = (&arena.starts, &mut arena.by_start);
+    by_start.sort_by_key(|&i| (starts[i as usize], i));
+
+    // Census of the hand-off windows: the same candidate walk as the
+    // emission loop, minus the cost terms — cheap enough that running it
+    // twice costs far less than letting the arc arena double its way up.
+    let mut handoff_count = 0usize;
+    for from_idx in 0..n {
+        let from_end = arena.ends[from_idx];
+        let first_beyond = regions.partition_point(|r| r.start <= from_end);
+        let window_end = regions.get(first_beyond).map_or(Tick(u32::MAX), |r| r.end);
+        let lo = arena
+            .by_start
+            .partition_point(|&i| arena.starts[i as usize] < from_end);
+        for &to_idx in &arena.by_start[lo..] {
+            if arena.starts[to_idx as usize] > window_end {
+                break;
+            }
+            let to = to_idx as usize;
+            if arena.var_of[to] == arena.var_of[from_idx] || arena.register_carried_first[to] {
+                continue;
+            }
+            handoff_count += 1;
+        }
+    }
+    let mut source_count = 0usize;
+    let mut sink_count = 0usize;
+    for (id, seg) in segmentation.iter() {
+        let source_ok = region_allows(regions, source_tick, seg.start());
+        let carried_register = arena.register_carried_first[id.index()];
+        source_count += usize::from(
+            source_ok || carried_register || (problem.relief_arcs && seg.forced_register),
+        );
+        let sink_ok = region_allows(regions, seg.end(), infinity);
+        sink_count += usize::from(sink_ok || problem.relief_arcs);
+    }
+    // n segment arcs + chains + hand-offs + hook-ups + the bypass.
+    let arc_total = n + chain_count + handoff_count + source_count + sink_count + 1;
+
+    // ---- pass 2: emission into exactly-sized buffers ---------------------
+    let mut net = FlowNetwork::with_capacity(2 + 2 * n, arc_total);
     let s = net.add_node();
     let t = net.add_node();
-    let n = segmentation.len();
     let mut write_node = Vec::with_capacity(n);
     let mut read_node = Vec::with_capacity(n);
     let mut segment_arc = Vec::with_capacity(n);
@@ -159,32 +303,8 @@ pub(crate) fn build_with_regions(
         read_node.push(r);
     }
 
-    let mut handoff_of = Vec::new();
-    let mut chain_of = Vec::new();
-
-    // The hand-off double loop visits every segment pair; everything that
-    // depends on one endpoint only is computed once per segment here, so the
-    // pair loop is left with an O(1) window test plus the pair-specific
-    // Hamming transition term.
-    let mut exit_cost = Vec::with_capacity(n);
-    let mut enter_cost = Vec::with_capacity(n);
-    let mut register_carried_first = Vec::with_capacity(n);
-    let mut starts = Vec::with_capacity(n);
-    for (_, seg) in segmentation.iter() {
-        exit_cost.push(costs.exit(seg));
-        enter_cost.push(costs.enter(seg));
-        register_carried_first.push(seg.is_first && problem.carried_in_register.contains(&seg.var));
-        starts.push(seg.start());
-    }
-    // Segment ids ordered by start tick (ties by id): the hand-off loop
-    // binary-searches this order for the first feasible `to` and stops at the
-    // end of the region window, instead of scanning all O(n²) pairs. The sort
-    // key depends only on the segmentation, never on costs or capacities, so
-    // two problems over the same lifetime table emit identical arc numbering
-    // — the determinism the warm-start diff layer relies on.
-    let mut by_start: Vec<u32> = (0..n as u32).collect();
-    by_start.sort_by_key(|&i| (starts[i as usize], i));
-
+    let mut handoff_of = Vec::with_capacity(handoff_count);
+    let mut chain_of = Vec::with_capacity(chain_count);
     for (from_id, from) in segmentation.iter() {
         // Chain arc to the variable's next segment — eq. (9).
         if !from.is_last {
@@ -211,20 +331,25 @@ pub(crate) fn build_with_regions(
         // another variable's register. Candidates come from `by_start`: the
         // first segment starting at or after `from_end` through the last one
         // inside the region window.
-        let lo = by_start.partition_point(|&i| starts[i as usize] < from_end);
-        for &to_idx in &by_start[lo..] {
-            let to_start = starts[to_idx as usize];
+        let lo = arena
+            .by_start
+            .partition_point(|&i| arena.starts[i as usize] < from_end);
+        for &to_idx in &arena.by_start[lo..] {
+            let to_start = arena.starts[to_idx as usize];
             if to_start > window_end {
                 break;
             }
             let to_id = SegmentId(to_idx);
-            let to = segmentation.segment(to_id);
-            if to.var == from.var || register_carried_first[to_id.index()] {
+            if arena.var_of[to_id.index()] == from.var.0
+                || arena.register_carried_first[to_id.index()]
+            {
                 continue;
             }
+            let to = segmentation.segment(to_id);
             debug_assert!(region_allows(regions, from_end, to_start));
-            let cost =
-                exit_cost[from_id.index()] + enter_cost[to_id.index()] + costs.transition(from, to);
+            let cost = arena.exit_cost[from_id.index()]
+                + arena.enter_cost[to_id.index()]
+                + costs.transition(from, to);
             debug_assert_eq!(cost, costs.handoff(from, to));
             let arc = net.add_arc(
                 read_node[from_id.index()],
@@ -237,11 +362,11 @@ pub(crate) fn build_with_regions(
     }
 
     // Source and sink hook-ups.
-    let mut source_of = Vec::new();
-    let mut sink_of = Vec::new();
+    let mut source_of = Vec::with_capacity(source_count);
+    let mut sink_of = Vec::with_capacity(sink_count);
     for (id, seg) in segmentation.iter() {
         let source_ok = region_allows(regions, source_tick, seg.start());
-        let carried_register = seg.is_first && problem.carried_in_register.contains(&seg.var);
+        let carried_register = arena.register_carried_first[id.index()];
         if source_ok || carried_register || (problem.relief_arcs && seg.forced_register) {
             let arc = net.add_arc(s, write_node[id.index()], 1, costs.source(seg).raw())?;
             source_of.push((arc, id));
@@ -255,6 +380,7 @@ pub(crate) fn build_with_regions(
 
     // Unused registers flow straight through.
     let bypass = net.add_arc(s, t, i64::from(problem.registers), 0)?;
+    debug_assert_eq!(net.arc_count(), arc_total, "arc census out of sync");
 
     // Chain and hand-off arcs get the tie-break discount: among equal-cost
     // optima, prefer the maximally-chained one (fewest registers touched).
@@ -330,23 +456,25 @@ pub(crate) fn refresh(
         let cost = costs.chain(segmentation.segment(from));
         built.net.set_arc_cost(arc, cost.raw());
     }
-    // Same one-endpoint precompute as `build`: the hand-off list is the
-    // quadratic part of the network.
-    let n = segmentation.len();
-    let mut exit_cost = Vec::with_capacity(n);
-    let mut enter_cost = Vec::with_capacity(n);
-    for (_, seg) in segmentation.iter() {
-        exit_cost.push(costs.exit(seg));
-        enter_cost.push(costs.enter(seg));
-    }
-    for &(arc, from_id, to_id) in &built.handoff_of {
-        let from = segmentation.segment(from_id);
-        let to = segmentation.segment(to_id);
-        let cost =
-            exit_cost[from_id.index()] + enter_cost[to_id.index()] + costs.transition(from, to);
-        debug_assert_eq!(cost, costs.handoff(from, to));
-        built.net.set_arc_cost(arc, cost.raw());
-    }
+    // Same one-endpoint precompute as `build`, in the same per-thread
+    // arena: the hand-off list is the quadratic part of the network.
+    BUILD_ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        arena.clear();
+        for (_, seg) in segmentation.iter() {
+            arena.exit_cost.push(costs.exit(seg));
+            arena.enter_cost.push(costs.enter(seg));
+        }
+        for &(arc, from_id, to_id) in &built.handoff_of {
+            let from = segmentation.segment(from_id);
+            let to = segmentation.segment(to_id);
+            let cost = arena.exit_cost[from_id.index()]
+                + arena.enter_cost[to_id.index()]
+                + costs.transition(from, to);
+            debug_assert_eq!(cost, costs.handoff(from, to));
+            built.net.set_arc_cost(arc, cost.raw());
+        }
+    });
     for &(arc, seg) in &built.source_of {
         let cost = costs.source(segmentation.segment(seg));
         built.net.set_arc_cost(arc, cost.raw());
@@ -469,13 +597,10 @@ fn apply_tie_break(
         t.saturating_add(arc.capacity.saturating_mul(weights[id.index()].abs()))
     });
     let scale = weight_total.saturating_add(1);
-    let scaled: Vec<(ArcId, i64)> = net
-        .arcs()
-        .map(|(id, arc)| (id, (arc.cost / unit) * scale + weights[id.index()]))
-        .collect();
-    for (id, cost) in scaled {
-        net.set_arc_cost(id, cost);
-    }
+    // In place, one version bump: no staging buffer of (arc, cost) pairs —
+    // on a 4k-variable network that intermediate was several MB of churn
+    // per build and per sweep point.
+    net.map_costs(|id, arc| (arc.cost / unit) * scale + weights[id.index()]);
     (scale, unit, weights, bits)
 }
 
@@ -764,6 +889,24 @@ mod tests {
             resolutions.windows(2).any(|w| w[0] != w[1]),
             "resolution never moved: {resolutions:?}"
         );
+    }
+
+    #[test]
+    fn counted_build_reserves_exact_capacities() {
+        // The census and the emission loop must agree, and no buffer may
+        // over-reserve: peak build heap equals the retained result.
+        let problem = crate::AllocationProblem::new(figure1_table(), 2);
+        let segs = Segmentation::new(&problem.lifetimes, &SplitOptions::none());
+        let built = build(&problem, &segs).unwrap();
+        assert_eq!(
+            built.net.heap_bytes(),
+            built.net.arc_count() * std::mem::size_of::<lemra_netflow::Arc>()
+        );
+        assert_eq!(built.handoff_of.capacity(), built.handoff_of.len());
+        assert_eq!(built.chain_of.capacity(), built.chain_of.len());
+        assert_eq!(built.source_of.capacity(), built.source_of.len());
+        assert_eq!(built.sink_of.capacity(), built.sink_of.len());
+        assert!(built.heap_bytes() > built.net.heap_bytes());
     }
 
     #[test]

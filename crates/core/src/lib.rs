@@ -86,7 +86,10 @@ pub use codegen::{storage_plan, Operand, StorageInstr, StoragePlan};
 pub use events::{trace_var, MemAccess, VarTrace};
 pub use lemra_netflow::{CacheMode, CACHE_CAP_ENV, CACHE_ENV, COLD_ENV};
 pub use modules::{partition_memory_modules, SleepPartition};
-pub use multiblock::{allocate_chain, BlockChain, ChainAllocation};
+pub use multiblock::{
+    allocate_chain, allocate_chain_threads, allocate_program, allocate_program_threads, BlockChain,
+    ChainAllocation, ProgramAllocation,
+};
 pub use offchip::{assign_memory_tiers, OffchipModel, TieredAssignment};
 pub use pipeline::{pipeline_stats, PipelineCx, PipelineStats, Stage, StageTiming};
 pub use ports::{allocate_with_ports, PortLimits};

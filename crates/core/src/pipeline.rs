@@ -104,17 +104,27 @@ impl std::fmt::Display for Stage {
     }
 }
 
-/// Accumulated wall time and run count of one stage.
+/// Accumulated wall time, run count and peak heap footprint of one stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTiming {
     /// Total nanoseconds spent in the stage.
     pub nanos: u64,
     /// Times the stage ran.
     pub runs: u64,
+    /// Largest heap footprint (bytes, charged at buffer capacity) any one
+    /// run of the stage retained — currently reported by the Build stage,
+    /// whose counted two-pass construction makes capacity equal the exact
+    /// result size. Zero for stages that don't report, and always zero when
+    /// [`LemraConfig::timings`] is off.
+    pub bytes: u64,
 }
 
 impl StageTiming {
-    const ZERO: StageTiming = StageTiming { nanos: 0, runs: 0 };
+    const ZERO: StageTiming = StageTiming {
+        nanos: 0,
+        runs: 0,
+        bytes: 0,
+    };
 }
 
 /// Per-stage timings plus solver counters of one pipeline context (or, via
@@ -160,6 +170,9 @@ impl PipelineStats {
         for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
             mine.nanos += theirs.nanos;
             mine.runs += theirs.runs;
+            // Peak, not sum: the merged figure answers "how big did any one
+            // build get", the same question a single context's counter does.
+            mine.bytes = mine.bytes.max(theirs.bytes);
         }
         self.solver = self.solver + other.solver;
         self.warm_solves += other.warm_solves;
@@ -341,6 +354,21 @@ impl PipelineCx {
         self.backend
     }
 
+    /// A fresh context with this one's configuration (backend, cold
+    /// override, timings, cache mode) but none of its state — what the
+    /// parallel block pipeline hands each worker thread, so speculative
+    /// per-block solves run under exactly the settings the joining context
+    /// would have used. The worker's counters flush to the process-wide
+    /// registry when it drops, like any other timed context.
+    pub(crate) fn fork(&self) -> Self {
+        Self::configured(
+            self.backend,
+            self.force_cold,
+            self.timings_on,
+            self.cache_mode,
+        )
+    }
+
     /// This context's accumulated stage timings and solver counters (all
     /// zero unless [`LemraConfig::timings`] is on).
     pub fn stats(&self) -> PipelineStats {
@@ -413,6 +441,17 @@ impl PipelineCx {
         }
     }
 
+    /// Folds one run's retained heap footprint into the stage's peak-bytes
+    /// counter. Free when timings are off: callers compute `bytes` from
+    /// buffer capacities (no allocator interrogation), and the max-fold is
+    /// skipped entirely.
+    fn record_bytes(&mut self, stage: Stage, bytes: usize) {
+        if self.timings_on {
+            let slot = &mut self.stats.stages[stage.index()];
+            slot.bytes = slot.bytes.max(bytes as u64);
+        }
+    }
+
     // ---- the individual stages -------------------------------------------
 
     /// Segment stage: lifetime segmentation per §5.2.
@@ -445,6 +484,9 @@ impl PipelineCx {
         let t0 = self.clock();
         let built = build_with_regions(problem, segmentation, regions);
         self.record(Stage::Build, t0);
+        if let Ok(b) = &built {
+            self.record_bytes(Stage::Build, b.heap_bytes());
+        }
         built
     }
 
@@ -657,7 +699,9 @@ impl PipelineCx {
             let t0 = self.clock();
             let cache = self.cache.as_mut().expect("covered implies cached");
             refresh(problem, &cache.segmentation, &mut cache.built)?;
+            let bytes = cache.built.heap_bytes();
             self.record(Stage::Build, t0);
+            self.record_bytes(Stage::Build, bytes);
         } else {
             let segmentation = self.segment(problem);
             let regions = self.profile(problem, &segmentation);
@@ -949,6 +993,7 @@ pub(crate) fn solve_chain_flow(
     }
     net.add_arc(s, t, i64::from(spec.capacity), 0)?;
     cx.record(Stage::Build, t0);
+    cx.record_bytes(Stage::Build, net.heap_bytes());
 
     // This network's node numbering has nothing to do with any previously
     // installed allocation-network hints; drop them rather than let the

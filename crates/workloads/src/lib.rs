@@ -9,7 +9,10 @@
 //!   substituting Table 1's proprietary industrial trace (max lifetime
 //!   density 26);
 //! * [`random`] — seeded random instances for property tests and the
-//!   polynomial-scaling benchmarks.
+//!   polynomial-scaling benchmarks;
+//! * [`wholeprogram`] — the whole-program tier: tiled loop-nest chains and
+//!   min-register scheduling traces, 1k–8k variables across 8–64 linked
+//!   blocks for the multi-block pipeline benches.
 //!
 //! # Examples
 //!
@@ -36,3 +39,4 @@ pub mod dsp;
 pub mod paper_examples;
 pub mod random;
 pub mod rsp;
+pub mod wholeprogram;

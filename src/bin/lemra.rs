@@ -142,10 +142,11 @@ fn run() -> Result<(), String> {
         for stage in lemra::core::Stage::ALL {
             let t = stats.stage(stage);
             eprintln!(
-                "  {:<10} {:>4} runs {:>10.3} ms",
+                "  {:<10} {:>4} runs {:>10.3} ms {:>10.1} peak KiB",
                 stage.name(),
                 t.runs,
-                t.nanos as f64 / 1e6
+                t.nanos as f64 / 1e6,
+                t.bytes as f64 / 1024.0
             );
         }
         eprintln!(
