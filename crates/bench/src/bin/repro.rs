@@ -129,42 +129,10 @@ fn main() {
 /// Stage timings and solver counters of everything the run solved, on
 /// stderr so `--json` consumers of stdout are unaffected.
 fn print_timings() {
-    let stats = lemra_core::pipeline_stats();
-    eprintln!("-- pipeline stage timings --");
-    eprintln!(
-        "  {:<10} {:>7} {:>12} {:>12}",
-        "stage", "runs", "total ms", "peak KiB"
-    );
-    for stage in lemra_core::Stage::ALL {
-        let t = stats.stage(stage);
-        eprintln!(
-            "  {:<10} {:>7} {:>12.3} {:>12.1}",
-            stage.name(),
-            t.runs,
-            t.nanos as f64 / 1e6,
-            t.bytes as f64 / 1024.0
-        );
-    }
-    eprintln!(
-        "  solves: {} warm, {} cold; {} dijkstra rounds, {} units pushed, {} incidents",
-        stats.warm_solves,
-        stats.cold_solves,
-        stats.solver.dijkstra_rounds,
-        stats.solver.pushed_units,
-        stats.solver.incidents
-    );
-    let cache = lemra_core::cache_stats();
-    eprintln!(
-        "  cache: {} exact hits, {} warm hits, {} misses, {} insertions, {} evictions; \
-         {} exact + {} warm entries resident",
-        cache.exact_hits,
-        cache.warm_hits,
-        cache.misses,
-        cache.insertions,
-        cache.evictions,
-        cache.exact_entries,
-        cache.warm_entries
-    );
+    // One shared snapshot (lemra_core::StatsSnapshot) renders this block;
+    // its format is pinned by a regression test because CI greps these
+    // lines.
+    eprint!("{}", lemra_core::StatsSnapshot::collect().render_timings());
 }
 
 fn print_rows(rows: &[&Row]) {

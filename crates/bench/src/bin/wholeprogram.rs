@@ -117,25 +117,8 @@ fn main() {
         }
     }
     if timings {
-        let stats = lemra_core::pipeline_stats();
-        eprintln!("-- pipeline stage timings --");
-        eprintln!(
-            "  {:<10} {:>7} {:>12} {:>12}",
-            "stage", "runs", "total ms", "peak KiB"
-        );
-        for stage in lemra_core::Stage::ALL {
-            let t = stats.stage(stage);
-            eprintln!(
-                "  {:<10} {:>7} {:>12.3} {:>12.1}",
-                stage.name(),
-                t.runs,
-                t.nanos as f64 / 1e6,
-                t.bytes as f64 / 1024.0
-            );
-        }
-        eprintln!(
-            "  solves: {} warm, {} cold; {} incidents",
-            stats.warm_solves, stats.cold_solves, stats.solver.incidents
-        );
+        // Same shared snapshot as `repro --timings` and the server's admin
+        // endpoint (stdout stays byte-identical; this is stderr).
+        eprint!("{}", lemra_core::StatsSnapshot::collect().render_timings());
     }
 }

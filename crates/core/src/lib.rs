@@ -75,6 +75,7 @@ mod problem;
 mod realloc;
 mod report;
 mod segment;
+mod stats;
 mod synthesis;
 mod validate;
 mod viz;
@@ -87,8 +88,8 @@ pub use events::{trace_var, MemAccess, VarTrace};
 pub use lemra_netflow::{CacheMode, CACHE_CAP_ENV, CACHE_ENV, COLD_ENV};
 pub use modules::{partition_memory_modules, SleepPartition};
 pub use multiblock::{
-    allocate_chain, allocate_chain_threads, allocate_program, allocate_program_threads, BlockChain,
-    ChainAllocation, ProgramAllocation,
+    allocate_chain, allocate_chain_threads, allocate_program, allocate_program_threads,
+    allocate_program_with, BlockChain, ChainAllocation, ProgramAllocation,
 };
 pub use offchip::{assign_memory_tiers, OffchipModel, TieredAssignment};
 pub use pipeline::{pipeline_stats, PipelineCx, PipelineStats, Stage, StageTiming};
@@ -97,6 +98,7 @@ pub use problem::{AllocationProblem, GraphStyle};
 pub use realloc::{reallocate_memory, MemoryReallocation};
 pub use report::{baseline_energy, AllocationReport};
 pub use segment::{Boundary, Segment, SegmentId, Segmentation, SplitOptions};
+pub use stats::StatsSnapshot;
 pub use synthesis::{synthesize, SynthesisConfig, SynthesisError, SynthesisResult};
 pub use validate::validate;
 pub use viz::{render_allocation, render_lifetimes};

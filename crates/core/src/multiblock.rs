@@ -366,6 +366,22 @@ pub fn allocate_program_threads(
     allocate_program_on(&mut PipelineCx::new(), chain, Some(workers.max(1)))
 }
 
+/// [`allocate_program`] composed onto an existing [`PipelineCx`]: the
+/// allocation server runs each request on its worker's forked context so
+/// per-request solve budgets and incident counters apply, and the
+/// context's cache/backend settings carry across requests.
+///
+/// # Errors
+///
+/// Same as [`allocate_program`].
+pub fn allocate_program_with(
+    cx: &mut PipelineCx,
+    chain: &BlockChain,
+    workers: usize,
+) -> Result<ProgramAllocation, CoreError> {
+    allocate_program_on(cx, chain, Some(workers.max(1)))
+}
+
 fn allocate_program_on(
     cx: &mut PipelineCx,
     chain: &BlockChain,

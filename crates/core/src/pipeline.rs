@@ -359,8 +359,10 @@ impl PipelineCx {
     /// parallel block pipeline hands each worker thread, so speculative
     /// per-block solves run under exactly the settings the joining context
     /// would have used. The worker's counters flush to the process-wide
-    /// registry when it drops, like any other timed context.
-    pub(crate) fn fork(&self) -> Self {
+    /// registry when it drops, like any other timed context. The
+    /// allocation server forks one context per worker thread the same way
+    /// (and re-forks after containing a panicked request).
+    pub fn fork(&self) -> Self {
         Self::configured(
             self.backend,
             self.force_cold,

@@ -92,6 +92,12 @@ impl SolveBudget {
         self
     }
 
+    /// This budget with the deadline set `timeout` from now — how the
+    /// allocation server turns a per-request timeout into a solve budget.
+    pub fn with_timeout(self, timeout: std::time::Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
     /// True when no limit is set — solvers use this to skip accounting.
     pub fn is_unlimited(&self) -> bool {
         self.max_pivots.is_none() && self.max_rounds.is_none() && self.deadline.is_none()

@@ -140,7 +140,10 @@ pub use decompose::{min_cost_flow_par, min_cost_flow_par_with};
 pub use dinic::max_flow;
 pub use dot::to_dot;
 #[cfg(feature = "fault-inject")]
-pub use fault::{maybe_inject_cache, FaultKind, FaultPlan, FAULT_ENV};
+pub use fault::{
+    ensure_env_plan, injected_conn_count, injected_fault_count, maybe_inject_cache,
+    maybe_inject_conn, FaultKind, FaultPlan, RequestScope, FAULT_ENV,
+};
 pub use graph::{Arc, ArcId, FlowNetwork, NodeId};
 pub use reopt::Reoptimizer;
 pub use resilience::{ResilientSolver, SolverIncident};

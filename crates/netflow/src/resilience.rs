@@ -102,13 +102,13 @@ impl Default for ResilientSolver {
 
 impl ResilientSolver {
     /// A resilient solver whose chain is `primary` followed by the
-    /// [`Backend::Ssp`] anchor (omitted when `primary` *is* plain SSP).
+    /// [`Backend::Ssp`] anchor. The anchor is appended even when `primary`
+    /// *is* plain SSP: the second attempt runs on a fresh workspace, which
+    /// is what recovers a contained panic — a request served by the
+    /// allocation server must fall through to an identical re-solve, not
+    /// surface the panic to the client.
     pub fn new(primary: Backend) -> Self {
-        let mut chain = vec![primary];
-        if primary != Backend::Ssp {
-            chain.push(Backend::Ssp);
-        }
-        Self::with_chain(chain)
+        Self::with_chain(vec![primary, Backend::Ssp])
     }
 
     /// A resilient solver trying exactly `chain`, in order. An empty chain
@@ -322,6 +322,9 @@ impl ResilientSolver {
                             reason: format!("injected fault at solve {solve_index}"),
                         });
                     }
+                    // Connection faults target the server's response path;
+                    // `maybe_inject` never returns them.
+                    crate::fault::FaultKind::Conn => {}
                 }
             }
             solve(ws)
@@ -397,13 +400,17 @@ mod tests {
         assert_eq!(solver.solve(&net, s, t, 2).unwrap().cost, 8);
         assert_eq!(solver.incident_count(), 0);
         assert_eq!(solver.solves(), 1);
-        assert_eq!(solver.chain(), &[Backend::Ssp]);
+        assert_eq!(solver.chain(), &[Backend::Ssp, Backend::Ssp]);
     }
 
     #[test]
     fn default_chain_appends_ssp_anchor() {
         let solver = ResilientSolver::new(Backend::Simplex);
         assert_eq!(solver.chain(), &[Backend::Simplex, Backend::Ssp]);
+        // Even an SSP primary gets the anchor: the fresh-workspace retry is
+        // what recovers a contained panic.
+        let solver = ResilientSolver::new(Backend::Ssp);
+        assert_eq!(solver.chain(), &[Backend::Ssp, Backend::Ssp]);
         let solver = ResilientSolver::with_chain(Vec::new());
         assert_eq!(solver.chain(), &[Backend::Ssp]);
     }
@@ -533,15 +540,15 @@ mod tests {
         assert_eq!(solver.incident_count(), 0);
         assert_eq!(reopt.cold_solves(), 1);
         // Raising the target forces the warm path to push one more unit,
-        // which a zero-round budget forbids; the SSP anchor runs under the
-        // same per-attempt budget and fails too. Clearing the budget (and
-        // resetting the reoptimizer) recovers.
+        // which a zero-round budget forbids; both SSP chain links run under
+        // the same per-attempt budget and fail too. Clearing the budget
+        // (and resetting the reoptimizer) recovers.
         solver.set_budget(SolveBudget::default().with_max_rounds(0));
         let err = solver
             .solve_with_fallback(&mut reopt, &net, s, t, 2)
             .unwrap_err();
         assert!(matches!(err, NetflowError::BudgetExceeded { .. }));
-        assert_eq!(solver.incident_count(), 2); // reopt + ssp anchor
+        assert_eq!(solver.incident_count(), 3); // reopt + ssp + ssp anchor
         reopt.reset();
         solver.set_budget(SolveBudget::default());
         let sol = solver

@@ -1,0 +1,230 @@
+//! A small blocking client for the wire protocol, with the retry/backoff
+//! loop the load generator uses.
+//!
+//! Retries are id-stable: a retried request is re-sent under its original
+//! request id, so server-side fire-once fault plans (`panic@solve:req7`)
+//! still fire exactly once per logical request no matter how many
+//! connections the retry loop burns through.
+
+use crate::wire::{self, RequestKind, Status, WireError, DEFAULT_MAX_PAYLOAD};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures. Everything transport-level is retryable;
+/// [`ClientError::Rejected`] carries a terminal server status.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/write failed.
+    Io(io::Error),
+    /// The response failed to decode (including torn connections).
+    Wire(WireError),
+    /// The server answered with a non-retryable error status.
+    Rejected {
+        /// The terminal status.
+        status: Status,
+        /// The server's reason payload.
+        reason: String,
+    },
+    /// Retries exhausted; carries the last failure's description.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Rejected { status, reason } => write!(f, "server: {status}: {reason}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The server's status.
+    pub status: Status,
+    /// Echoed request id.
+    pub id: u64,
+    /// Response payload text.
+    pub payload: String,
+}
+
+/// One connection to a `lemra-server`.
+pub struct Client {
+    stream: TcpStream,
+    addr: String,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> Result<Client, ClientError> {
+        let display = addr.to_string();
+        let stream = TcpStream::connect(&addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            addr: display,
+            next_id: 1,
+        })
+    }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = TcpStream::connect(&self.addr)?;
+        self.stream.set_nodelay(true).ok();
+        Ok(())
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request frame and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`ClientError::Io`], [`ClientError::Wire`]);
+    /// every decoded response — including error statuses — is `Ok`.
+    pub fn request_with_id(
+        &mut self,
+        kind: RequestKind,
+        id: u64,
+        payload: &[u8],
+    ) -> Result<Response, ClientError> {
+        wire::write_frame(&mut self.stream, kind.as_u16(), id, payload).map_err(ClientError::Io)?;
+        let (status, frame) = wire::read_response(&mut self.stream, DEFAULT_MAX_PAYLOAD)?;
+        Ok(Response {
+            status,
+            id: frame.id,
+            payload: String::from_utf8_lossy(&frame.payload).into_owned(),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        self.request_with_id(RequestKind::Ping, id, b"")
+    }
+
+    /// Single-block allocation of a raw textfmt spec.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn allocate(
+        &mut self,
+        spec: &str,
+        registers: u32,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        let payload = wire::format_allocate_payload(spec, registers, timeout_ms);
+        self.request_with_id(RequestKind::Allocate, id, &payload)
+    }
+
+    /// Whole-program allocation of a pre-serialized `program` payload.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn program(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        self.request_with_id(RequestKind::Program, id, payload)
+    }
+
+    /// Sends under a fixed id, retrying per `policy` on transport failures
+    /// and retryable statuses ([`Status::is_retryable`]); reconnects before
+    /// each retry, since the failure may have torn the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] when every attempt failed;
+    /// non-retryable response statuses are returned as `Ok` for the caller
+    /// to inspect.
+    pub fn request_with_retry(
+        &mut self,
+        kind: RequestKind,
+        id: u64,
+        payload: &[u8],
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let mut backoff = policy.base_backoff;
+        let mut last = String::new();
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+                if self.reconnect().is_err() {
+                    last = format!("reconnect to {} failed", self.addr);
+                    continue;
+                }
+            }
+            match self.request_with_id(kind, id, payload) {
+                Ok(response) if response.status.is_retryable() => {
+                    last = format!("server said {}", response.status);
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: policy.max_attempts,
+            last,
+        })
+    }
+}
+
+/// Exponential-backoff retry schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Allocation-as-a-service: a fault-tolerant TCP front-end over the
+//! network-flow allocation pipeline.
+//!
+//! The `lemra-server` binary turns the [`lemra_core`] pipeline into a
+//! long-running service: a listener thread decodes length-prefixed frames
+//! ([`wire`]), admission control is a bounded queue that sheds load with a
+//! typed [`Status::Overloaded`](wire::Status::Overloaded) instead of
+//! queueing unboundedly, and a pool of workers — each owning a forked
+//! [`PipelineCx`](lemra_core::PipelineCx) — serves requests under
+//! per-request deadlines with panic containment. SIGTERM drains
+//! gracefully: in-flight requests finish, new ones are refused, counters
+//! flush.
+//!
+//! Determinism survives the transport: the same request payload produces
+//! the same response bytes whether served offline, by one worker, or by
+//! four workers racing over a faulty network — the fault-injection smoke
+//! in CI holds the server to that.
+//!
+//! ```no_run
+//! use lemra_server::{Client, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut server = Server::start(ServerConfig {
+//!     listen: "127.0.0.1:0".into(),
+//!     admin: "127.0.0.1:0".into(),
+//!     ..ServerConfig::default()
+//! })?;
+//! let mut client = Client::connect(server.addr())?;
+//! let response = client.allocate("block 4\nvar a def=1 reads=3\n", 2, None)?;
+//! assert_eq!(response.status, lemra_server::wire::Status::Ok);
+//! server.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod metrics;
+mod queue;
+mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, Response, RetryPolicy};
+pub use config::{
+    ConfigError, ServerConfig, ADMIN_ENV, LISTEN_ENV, MAX_PAYLOAD_ENV, QUEUE_DEPTH_ENV,
+    REQ_TIMEOUT_ENV,
+};
+pub use metrics::ServerMetrics;
+pub use server::Server;

@@ -1,0 +1,119 @@
+//! The bounded MPMC job queue between the connection threads and the
+//! worker pool. Admission control lives here: `try_push` never blocks, so
+//! a full queue is an immediate typed `Overloaded` response instead of
+//! unbounded latency.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a `try_push` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at its watermark — shed the request.
+    Full,
+    /// The queue is closed (server draining) — refuse new work.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A `Mutex + Condvar` bounded queue: producers never block (shed on
+/// full), consumers block until an item arrives or the queue closes.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    takers: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; the returned item lets the caller
+    /// respond to the shed request.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.cap {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available. `None` means the queue closed
+    /// and drained — the worker should exit.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takers.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: no new pushes, consumers drain the remainder and
+    /// then see `None`. This is the drain half of graceful shutdown.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.takers.notify_all();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_on_full_and_drains_on_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3).unwrap_err(), (3, PushError::Full));
+        q.close();
+        assert_eq!(q.try_push(4).unwrap_err(), (4, PushError::Closed));
+        // Consumers still drain what was admitted before the close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let taker = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(9).unwrap();
+        assert_eq!(taker.join().unwrap(), Some(9));
+        let q3 = Arc::clone(&q);
+        let taker = std::thread::spawn(move || q3.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(taker.join().unwrap(), None);
+    }
+}

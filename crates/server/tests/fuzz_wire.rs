@@ -1,0 +1,223 @@
+//! Byte-driven fuzz harness for the wire decoder and the request payload
+//! parsers. As with `lemra-netflow`'s harness, `cargo-fuzz` needs a
+//! registry and nightly that this build environment does not have, so the
+//! same harness shape runs under proptest, and the checked-in seed corpus
+//! under `fuzz/corpus/` replays known-interesting frames on every run.
+//!
+//! The invariants fuzzed for: no input bytes may panic `read_frame`,
+//! `read_request`, `read_response`, `parse_allocate_payload` or
+//! `parse_program_payload`; every rejection is a typed error; oversized
+//! declarations are refused before the payload is read and keep their
+//! request id; and encode → decode is the identity.
+
+use lemra_server::wire::{
+    parse_allocate_payload, parse_program_payload, read_frame, read_request, read_response,
+    write_frame, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Feeds one byte string through every decoder entry point. Panics (failing
+/// the test) only if a decoder itself panics — every return value is legal.
+fn run_decoders(data: &[u8]) {
+    let _ = read_frame(&mut Cursor::new(data), DEFAULT_MAX_PAYLOAD);
+    let _ = read_request(&mut Cursor::new(data), DEFAULT_MAX_PAYLOAD);
+    let _ = read_response(&mut Cursor::new(data), DEFAULT_MAX_PAYLOAD);
+    // Tiny caps exercise the TooLarge path on the same bytes.
+    let _ = read_frame(&mut Cursor::new(data), 8);
+    let _ = parse_allocate_payload(data);
+    let _ = parse_program_payload(data);
+}
+
+/// A valid frame for the given parts.
+fn encode(code: u16, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    write_frame(&mut bytes, code, id, payload).expect("Vec writer");
+    bytes
+}
+
+/// Text fragments that steer random payloads toward the parsers' deeper
+/// branches: section markers, keywords, numbers, separators. Sampled by
+/// index — the vendored proptest has no `prop_oneof`.
+const TOKENS: &[&str] = &[
+    "allocate",
+    "program",
+    "registers=",
+    "timeout_ms=",
+    "hamming=",
+    "-- block",
+    "-- patterns width=",
+    "-- link",
+    "block",
+    "var",
+    "def=",
+    "reads=",
+    "liveout",
+    "\n",
+    " ",
+    ":",
+    ",",
+    "0",
+    "1",
+    "7",
+    "4096",
+    "999999999",
+    "18446744073709551615",
+    "-1",
+    "a",
+    "ff,1a",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic any decoder entry point.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        run_decoders(&data);
+    }
+
+    /// Every prefix of a valid frame is a clean EOF (empty) or a typed
+    /// truncation — never a panic, never a silent partial frame.
+    #[test]
+    fn every_truncation_is_typed(
+        code in 0u16..4,
+        id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<usize>(),
+    ) {
+        let bytes = encode(code, id, &payload);
+        let cut = cut % bytes.len(); // 0..len, always a strict prefix
+        match read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_PAYLOAD) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the frame boundary"),
+            Err(WireError::Truncated { .. }) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame never panics, and header
+    /// corruption in the fixed fields yields the matching typed error.
+    #[test]
+    fn single_byte_flips_stay_typed(
+        id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode(1, id, &payload);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        match read_request(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD) {
+            Err(WireError::BadMagic(_)) => prop_assert!(pos < 4),
+            Err(WireError::BadVersion(_)) => prop_assert!((4..6).contains(&pos)),
+            Err(WireError::BadKind(_)) => prop_assert!((6..8).contains(&pos)),
+            // A flipped length byte either truncates (declared > available)
+            // or leaves trailing garbage behind a shorter frame — both fine.
+            Err(WireError::Truncated { .. }) | Err(WireError::TooLarge { .. }) => {
+                prop_assert!((16..20).contains(&pos));
+            }
+            Ok(Some(_)) => prop_assert!(pos >= 8, "corrupt fixed header decoded"),
+            other => prop_assert!(false, "flip at {pos} gave {other:?}"),
+        }
+    }
+
+    /// Oversized declarations are refused before any payload byte is read,
+    /// and the refusal keeps the request id for the in-kind response.
+    #[test]
+    fn oversize_is_refused_with_id_before_payload(
+        id in any::<u64>(),
+        len in 65u32..=u32::MAX,
+    ) {
+        // Header only — the declared payload is absent on purpose: the cap
+        // check must fire without attempting to read it.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_be_bytes());
+        header.extend_from_slice(&1u16.to_be_bytes());
+        header.extend_from_slice(&id.to_be_bytes());
+        header.extend_from_slice(&len.to_be_bytes());
+        match read_frame(&mut Cursor::new(&header), 64) {
+            Err(WireError::TooLarge { id: got, len: l, max }) => {
+                prop_assert_eq!(got, id);
+                prop_assert_eq!(l, len);
+                prop_assert_eq!(max, 64);
+            }
+            other => prop_assert!(false, "declared {len} against cap 64 gave {other:?}"),
+        }
+    }
+
+    /// Encode → decode is the identity for every representable frame.
+    #[test]
+    fn roundtrip_is_identity(
+        code in any::<u16>(),
+        id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let bytes = encode(code, id, &payload);
+        let frame = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD)
+            .expect("own encoding decodes")
+            .expect("one frame present");
+        prop_assert_eq!(frame.code, code);
+        prop_assert_eq!(frame.id, id);
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    /// Keyword-steered text reaches the payload parsers' deep branches
+    /// without panicking; rejections are typed `PayloadError`s.
+    #[test]
+    fn structured_text_never_panics_parsers(
+        picks in proptest::collection::vec(0usize..TOKENS.len(), 0..40),
+    ) {
+        let text: String = picks.iter().map(|&i| TOKENS[i]).collect();
+        let _ = parse_allocate_payload(text.as_bytes());
+        let _ = parse_program_payload(text.as_bytes());
+    }
+}
+
+/// Replays the checked-in seed corpus: valid ping/allocate/program frames,
+/// bad magic, bad version, unknown kind, truncations and an oversize
+/// declaration (see `fuzz/README.md`).
+#[test]
+fn corpus_seeds_never_panic() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus");
+    let mut seeds = 0;
+    for entry in std::fs::read_dir(&corpus).expect("fuzz/corpus directory is checked in") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_file() {
+            let data = std::fs::read(&path).expect("readable seed");
+            run_decoders(&data);
+            // Flip each byte in turn — cheap corpus-guided mutation.
+            for i in 0..data.len() {
+                let mut mutated = data.clone();
+                mutated[i] ^= 0x40;
+                run_decoders(&mutated);
+            }
+            seeds += 1;
+        }
+    }
+    assert!(seeds >= 8, "seed corpus went missing: only {seeds} files");
+}
+
+/// The valid corpus seeds actually decode: the harness must not drift from
+/// the protocol and silently fuzz dead inputs.
+#[test]
+fn valid_corpus_seeds_decode() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus");
+    for name in ["ping.bin", "allocate.bin", "program.bin"] {
+        let data = std::fs::read(corpus.join(name)).expect("seed present");
+        let (kind, frame) = read_request(&mut Cursor::new(&data), DEFAULT_MAX_PAYLOAD)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .expect("one frame");
+        match name {
+            "allocate.bin" => {
+                assert_eq!(kind as u16, 1);
+                parse_allocate_payload(&frame.payload).expect("allocate seed parses");
+            }
+            "program.bin" => {
+                assert_eq!(kind as u16, 2);
+                parse_program_payload(&frame.payload).expect("program seed parses");
+            }
+            _ => assert_eq!(kind as u16, 0),
+        }
+    }
+}

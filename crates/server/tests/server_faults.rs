@@ -1,0 +1,88 @@
+//! Fault-injection end-to-end proof: under request-scoped solver faults
+//! and a connection kill, a retrying client still collects byte-identical
+//! responses for every request, and each injected fault produces exactly
+//! one counted event — no more, no fewer.
+//!
+//! Lives in its own test binary because the fault plan is process-global.
+
+#![cfg(feature = "fault-inject")]
+
+use lemra_netflow::{injected_conn_count, injected_fault_count, FaultKind, FaultPlan};
+use lemra_server::wire::{format_allocate_payload, RequestKind, Status};
+use lemra_server::{Client, RetryPolicy, Server, ServerConfig};
+use std::sync::atomic::Ordering;
+
+const FIGURE1: &str = "\
+block 7
+var a def=1 reads=3
+var b def=1 reads=3
+var c def=2 liveout
+var d def=3 liveout
+var e def=5 reads=7
+";
+
+#[test]
+fn faulted_requests_recover_byte_identically_with_counted_incidents() {
+    // Request 3's first solve attempt panics (the resilient solver absorbs
+    // it and the anchor answers); request 5's connection is killed after
+    // the solve, before the response (the retrying client re-sends under
+    // the same id, and fire-once means the retry goes through).
+    FaultPlan::new()
+        .fail_request(FaultKind::Panic, 3)
+        .fail_request(FaultKind::Budget, 4)
+        .kill_conn(5)
+        .install();
+
+    let mut server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        admin: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+    let payload = format_allocate_payload(FIGURE1, 2, None);
+    let policy = RetryPolicy::default();
+
+    let mut responses = Vec::new();
+    for id in 1..=8u64 {
+        let mut client = Client::connect(addr).unwrap();
+        let response = client
+            .request_with_retry(RequestKind::Allocate, id, &payload, &policy)
+            .unwrap_or_else(|e| panic!("request {id}: {e}"));
+        assert_eq!(
+            response.status,
+            Status::Ok,
+            "request {id}: {}",
+            response.payload
+        );
+        assert_eq!(response.id, id);
+        responses.push(response.payload);
+    }
+
+    // Every response — faulted requests included — carries the same bytes
+    // as the unfaulted ones: degradation is invisible in the payload.
+    for (i, payload) in responses.iter().enumerate() {
+        assert_eq!(payload, &responses[0], "request {} diverged", i + 1);
+    }
+
+    // Exactly one incident per injected solver fault, one killed
+    // connection, nothing spurious.
+    assert_eq!(
+        injected_fault_count(),
+        2,
+        "panic@req3 and budget@req4 fired once each"
+    );
+    assert_eq!(injected_conn_count(), 1, "conn@5 fired once");
+    let metrics = server.metrics();
+    assert_eq!(metrics.incidents.load(Ordering::Relaxed), 2);
+    assert_eq!(metrics.conn_killed.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.internal.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.worker_respawns.load(Ordering::Relaxed), 0);
+    // 8 logical requests + the one retry of request 5.
+    assert_eq!(metrics.received.load(Ordering::Relaxed), 9);
+    assert_eq!(metrics.ok.load(Ordering::Relaxed), 9);
+
+    server.join();
+    FaultPlan::clear();
+}
